@@ -1,0 +1,79 @@
+// Ablation: query-processing load balance under skewed attribute popularity.
+//
+// The paper's queries pick attributes uniformly ("randomly generated", §V),
+// which flatters LORM: each attribute's query traffic lands on a different
+// cluster. Real grids ask for a few attributes far more often. This
+// ablation sweeps a Zipf exponent over attribute popularity and measures
+// who absorbs the query traffic (per-node visit counts): Mercury spreads
+// even a hot attribute's range walks across its whole hub, while LORM
+// concentrates them on the hot attribute's d-node cluster — a load-balance
+// cost of the hierarchical design the paper's §IV does not analyze.
+#include "fig_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace lorm;
+  using harness::SystemKind;
+  const auto opt = bench::ParseOptions(argc, argv);
+  auto setup = bench::FigureSetup(opt);
+  if (!opt.quick) {
+    setup.attributes = 100;
+    setup.infos_per_attribute = 200;
+  }
+  const std::size_t queries = opt.quick ? 300 : 2000;
+
+  harness::PrintBanner(
+      std::cout, "Ablation — query-load balance vs attribute popularity skew",
+      "per-node visit counts over single-attribute range queries; "
+      "Jain fairness of the busiest decile and the hottest node's share");
+  bench::PrintSetup(setup, queries);
+
+  harness::TablePrinter table(std::cout,
+                              {"zipf-s", "system", "visits", "fairness",
+                               "p99", "max-share%"},
+                              12);
+  table.PrintHeader();
+
+  for (const double zipf : {0.0, 0.8, 1.2}) {
+    for (const auto kind :
+         {SystemKind::kLorm, SystemKind::kMercury, SystemKind::kSword}) {
+      auto wsetup = setup;
+      resource::WorkloadConfig wcfg = wsetup.MakeWorkloadConfig();
+      wcfg.attr_zipf_exponent = zipf;
+      resource::Workload workload(wcfg);
+      auto service = harness::MakeService(kind, wsetup, workload.registry());
+      std::vector<NodeAddr> providers;
+      for (std::size_t i = 0; i < wsetup.nodes; ++i) {
+        providers.push_back(static_cast<NodeAddr>(i));
+      }
+      Rng rng(wsetup.seed ^ 0xBEEF);
+      harness::AdvertiseAll(*service,
+                            workload.GenerateInfos(providers, rng));
+
+      service->ResetQueryLoad();
+      harness::QueryExperimentConfig qcfg;
+      qcfg.requesters = queries / 10;
+      qcfg.queries_per_requester = 10;
+      qcfg.attrs_per_query = 1;
+      qcfg.range = true;
+      qcfg.seed = 0x21BF + static_cast<std::uint64_t>(zipf * 10);
+      harness::RunQueries(*service, workload, qcfg);
+
+      const auto loads = service->QueryLoadCounts();
+      const Summary s = Summarize(loads);
+      table.Row({harness::TablePrinter::Num(zipf, 1),
+                 harness::SystemName(kind),
+                 harness::TablePrinter::Int(s.total),
+                 harness::TablePrinter::Num(JainFairness(loads), 3),
+                 harness::TablePrinter::Num(s.p99, 1),
+                 harness::TablePrinter::Num(100.0 * s.max / s.total, 2)});
+    }
+  }
+
+  std::cout << "\nshape check: at zipf 0 all systems look like Figure 5; as "
+               "the skew grows, Mercury's fairness barely moves (hot-"
+               "attribute walks still spread over the whole hub) while "
+               "LORM's and SWORD's hottest node absorbs an increasing share "
+               "of all visits — LORM caps it at the hot cluster's d nodes, "
+               "SWORD at a single root\n";
+  return 0;
+}

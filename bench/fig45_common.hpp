@@ -1,0 +1,67 @@
+// Shared sweep used by the Figure 4 (non-range hops) and Figure 5 (range
+// visited-nodes) benches: all four systems are built once at the paper's
+// configuration, then queried with 1..10-attribute queries, 100 requesters x
+// 10 queries per point (paper §V-B).
+#pragma once
+
+#include <map>
+
+#include "fig_common.hpp"
+
+namespace lorm::bench {
+
+struct SweepPoint {
+  std::size_t attrs = 0;
+  /// Per-system averages per query of the chosen metric.
+  std::map<harness::SystemKind, double> value;
+};
+
+enum class Metric { kAvgHops, kTotalHops, kAvgVisited, kTotalVisited };
+
+inline std::vector<SweepPoint> RunQuerySweep(
+    const harness::Setup& setup, const resource::Workload& workload,
+    const std::vector<harness::SystemKind>& kinds, bool range, Metric metric,
+    const std::vector<std::size_t>& attr_counts,
+    std::size_t requesters = 100, std::size_t queries_each = 10) {
+  // Build & populate each system once; reuse across the sweep.
+  std::map<harness::SystemKind,
+           std::unique_ptr<discovery::DiscoveryService>>
+      services;
+  for (const auto kind : kinds) {
+    services[kind] = BuildPopulated(kind, setup, workload);
+  }
+
+  std::vector<SweepPoint> points;
+  for (const std::size_t attrs : attr_counts) {
+    SweepPoint p;
+    p.attrs = attrs;
+    for (const auto kind : kinds) {
+      harness::QueryExperimentConfig cfg;
+      cfg.requesters = requesters;
+      cfg.queries_per_requester = queries_each;
+      cfg.attrs_per_query = attrs;
+      cfg.range = range;
+      cfg.style = resource::RangeStyle::kBounded;
+      cfg.seed = 0xF16u + attrs;  // same queries for every system
+      const auto r = harness::RunQueries(*services[kind], workload, cfg);
+      switch (metric) {
+        case Metric::kAvgHops:
+          p.value[kind] = r.avg_hops;
+          break;
+        case Metric::kTotalHops:
+          p.value[kind] = r.total_hops;
+          break;
+        case Metric::kAvgVisited:
+          p.value[kind] = r.avg_visited;
+          break;
+        case Metric::kTotalVisited:
+          p.value[kind] = r.total_visited;
+          break;
+      }
+    }
+    points.push_back(std::move(p));
+  }
+  return points;
+}
+
+}  // namespace lorm::bench

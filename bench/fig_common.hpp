@@ -1,0 +1,82 @@
+// Shared plumbing for the figure-reproduction benches.
+//
+// Every fig* binary regenerates one panel of the paper's evaluation: it
+// builds the systems at the paper's §V configuration, runs the figure's
+// workload, and prints the measured series next to the paper's analytical
+// overlay curves, exactly as the figure plots them. Pass --quick to run a
+// reduced-scale smoke version.
+#pragma once
+
+#include <cstring>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/theorems.hpp"
+#include "harness/experiments.hpp"
+#include "harness/setup.hpp"
+#include "harness/table.hpp"
+
+namespace lorm::bench {
+
+struct BenchOptions {
+  bool quick = false;  ///< reduced-scale smoke run
+  bool csv = false;    ///< machine-readable table rows
+};
+
+inline BenchOptions ParseOptions(int argc, char** argv) {
+  BenchOptions opt;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) opt.quick = true;
+    if (std::strcmp(argv[i], "--csv") == 0) opt.csv = true;
+  }
+  harness::TablePrinter::SetCsvMode(opt.csv);
+  return opt;
+}
+
+/// The paper's setup, or a proportionally reduced one for --quick runs.
+inline harness::Setup FigureSetup(const BenchOptions& opt) {
+  if (!opt.quick) return harness::Setup::Paper();
+  harness::Setup s = harness::Setup::Paper();
+  s.nodes = 384;
+  s.dimension = 6;
+  s.chord_bits = 9;
+  s.attributes = 40;
+  s.infos_per_attribute = 100;
+  return s;
+}
+
+inline analysis::SystemModel ModelOf(const harness::Setup& s) {
+  analysis::SystemModel m;
+  m.n = s.nodes;
+  m.m = s.attributes;
+  m.k = s.infos_per_attribute;
+  m.d = s.dimension;
+  return m;
+}
+
+/// Builds a system and advertises the workload's m*k tuples through it.
+inline std::unique_ptr<discovery::DiscoveryService> BuildPopulated(
+    harness::SystemKind kind, const harness::Setup& setup,
+    const resource::Workload& workload) {
+  auto service = harness::MakeService(kind, setup, workload.registry());
+  std::vector<NodeAddr> providers;
+  for (std::size_t i = 0; i < setup.nodes; ++i) {
+    providers.push_back(static_cast<NodeAddr>(i));
+  }
+  Rng rng(setup.seed ^ 0xBEEF);
+  harness::AdvertiseAll(*service, workload.GenerateInfos(providers, rng));
+  return service;
+}
+
+inline void PrintSetup(const harness::Setup& s, std::size_t queries = 0) {
+  std::cout << "setup: n=" << s.nodes << " nodes, m=" << s.attributes
+            << " attributes, k=" << s.infos_per_attribute
+            << " pieces/attribute, Cycloid d=" << s.dimension << ", Chord "
+            << s.chord_bits << "-bit";
+  if (queries > 0) std::cout << ", " << queries << " queries/point";
+  std::cout << "\n\n";
+}
+
+}  // namespace lorm::bench

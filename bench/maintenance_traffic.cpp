@@ -1,0 +1,78 @@
+// Maintenance-traffic extension of Theorem 4.1.
+//
+// The theorem compares *structure maintenance overhead*; Fig. 3(a) shows it
+// as out-link counts. This bench measures it directly as protocol messages:
+// each system runs the paper's churn workload (§V-C) with periodic
+// stabilization, and reports overlay maintenance messages per node per
+// simulated second. Mercury pays roughly m rings' worth; LORM's constant
+// degree keeps its refresh traffic flat.
+#include <map>
+
+#include "fig_common.hpp"
+#include "harness/churn.hpp"
+
+int main(int argc, char** argv) {
+  using namespace lorm;
+  using harness::SystemKind;
+  const auto opt = bench::ParseOptions(argc, argv);
+  auto setup = bench::FigureSetup(opt);
+  if (!opt.quick) {
+    setup.attributes = 100;        // keep the Mercury sweep affordable
+    setup.infos_per_attribute = 100;
+  }
+  const std::size_t queries = opt.quick ? 60 : 400;
+
+  harness::PrintBanner(
+      std::cout, "Maintenance traffic per node under churn (Theorem 4.1)",
+      "overlay protocol messages / node / simulated second; maintenance "
+      "round every 20 s");
+  bench::PrintSetup(setup, queries);
+
+  harness::TablePrinter table(std::cout,
+                              {"R", "LORM", "Mercury", "SWORD", "MAAN",
+                               "Mercury/SWORD", "Mercury/LORM"},
+                              13);
+  table.PrintHeader();
+
+  for (const double rate : {0.1, 0.3, 0.5}) {
+    std::map<SystemKind, double> per_node_per_sec;
+    for (const auto kind : harness::AllSystems()) {
+      resource::Workload workload(setup.MakeWorkloadConfig());
+      auto service = bench::BuildPopulated(kind, setup, workload);
+      const std::uint64_t before = service->MaintenanceMessages();
+
+      harness::ChurnConfig cfg;
+      cfg.rate = rate;
+      cfg.total_queries = queries;
+      cfg.query_rate = 4.0;
+      cfg.attrs_per_query = 2;
+      cfg.maintain_interval = 20.0;
+      cfg.seed = 0x7AFF1C + static_cast<std::uint64_t>(rate * 10);
+      const auto churn = harness::RunChurn(
+          *service, workload, static_cast<NodeAddr>(setup.nodes) + 1, cfg);
+
+      const double messages =
+          static_cast<double>(service->MaintenanceMessages() - before);
+      per_node_per_sec[kind] =
+          messages / static_cast<double>(service->NetworkSize()) /
+          churn.sim_duration;
+    }
+    table.Row(
+        {harness::TablePrinter::Num(rate, 1),
+         harness::TablePrinter::Num(per_node_per_sec[SystemKind::kLorm], 2),
+         harness::TablePrinter::Num(per_node_per_sec[SystemKind::kMercury], 2),
+         harness::TablePrinter::Num(per_node_per_sec[SystemKind::kSword], 2),
+         harness::TablePrinter::Num(per_node_per_sec[SystemKind::kMaan], 2),
+         harness::TablePrinter::Num(per_node_per_sec[SystemKind::kMercury] /
+                                        per_node_per_sec[SystemKind::kSword],
+                                    1),
+         harness::TablePrinter::Num(per_node_per_sec[SystemKind::kMercury] /
+                                        per_node_per_sec[SystemKind::kLorm],
+                                    1)});
+  }
+
+  std::cout << "\nshape check: Mercury/SWORD ~ m (one ring's traffic per "
+               "hub); Mercury/LORM > m (Theorem 4.1: the Cycloid refresh is "
+               "cheaper than one Chord ring's)\n";
+  return 0;
+}

@@ -1,0 +1,125 @@
+// Microbenchmarks (google-benchmark): the DHT substrates and hash layer.
+//
+// Not a paper figure — these measure the simulator itself (lookups/second,
+// join cost, hashing throughput), which bounds how large an experiment the
+// harness can run.
+#include <benchmark/benchmark.h>
+
+#include "chord/chord.hpp"
+#include "common/hashing.hpp"
+#include "common/random.hpp"
+#include "common/sha1.hpp"
+#include "cycloid/cycloid.hpp"
+
+namespace {
+
+using namespace lorm;
+
+void BM_Sha1Hash64(benchmark::State& state) {
+  std::string key = "attr-key-0123456789";
+  std::uint64_t sink = 0;
+  for (auto _ : state) {
+    key[0] = static_cast<char>('a' + (sink & 15));
+    sink ^= Sha1::Hash64(key);
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_Sha1Hash64);
+
+void BM_ConsistentHash(benchmark::State& state) {
+  const ConsistentHash ch(32);
+  std::uint64_t sink = 1;
+  for (auto _ : state) {
+    sink = ch(sink);
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ConsistentHash);
+
+void BM_LocalityPreservingHash(benchmark::State& state) {
+  const LocalityPreservingHash lph(32, 1.0, 1000.0);
+  Rng rng(1);
+  std::uint64_t sink = 0;
+  for (auto _ : state) {
+    sink ^= lph(rng.NextDouble(1.0, 1000.0));
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_LocalityPreservingHash);
+
+void BM_ChordLookup(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  chord::Config cfg;
+  cfg.bits = 24;
+  auto ring = chord::MakeRing(n, cfg, /*deterministic_ids=*/false);
+  const auto members = ring.Members();
+  Rng rng(7);
+  std::uint64_t hops = 0;
+  for (auto _ : state) {
+    const auto res = ring.Lookup(rng.NextBelow(ring.space()),
+                                 members[rng.NextBelow(members.size())]);
+    hops += res.hops;
+  }
+  benchmark::DoNotOptimize(hops);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.counters["avg_hops"] =
+      static_cast<double>(hops) / static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_ChordLookup)->Arg(256)->Arg(2048)->Arg(16384);
+
+void BM_CycloidLookup(benchmark::State& state) {
+  const auto d = static_cast<unsigned>(state.range(0));
+  cycloid::Config cfg;
+  cfg.dimension = d;
+  auto net = cycloid::MakeCycloid((std::size_t{1} << d) * d, cfg);
+  const auto members = net.Members();
+  Rng rng(7);
+  std::uint64_t hops = 0;
+  for (auto _ : state) {
+    const cycloid::CycloidId key{
+        static_cast<unsigned>(rng.NextBelow(d)),
+        rng.NextBelow(std::uint64_t{1} << d)};
+    const auto res = net.Lookup(key, members[rng.NextBelow(members.size())]);
+    hops += res.hops;
+  }
+  benchmark::DoNotOptimize(hops);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.counters["avg_hops"] =
+      static_cast<double>(hops) / static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_CycloidLookup)->Arg(6)->Arg(8)->Arg(10);
+
+void BM_ChordChurnCycle(benchmark::State& state) {
+  chord::Config cfg;
+  cfg.bits = 20;
+  auto ring = chord::MakeRing(1024, cfg, false);
+  NodeAddr next = 100000;
+  for (auto _ : state) {
+    ring.AddNode(next);
+    ring.RemoveNode(next);
+    ++next;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ChordChurnCycle);
+
+void BM_CycloidChurnCycle(benchmark::State& state) {
+  cycloid::Config cfg;
+  cfg.dimension = 8;
+  auto net = cycloid::MakeCycloid(1024, cfg);
+  NodeAddr next = 100000;
+  for (auto _ : state) {
+    net.AddNode(next);
+    net.RemoveNode(next);
+    ++next;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_CycloidChurnCycle);
+
+}  // namespace
+
+BENCHMARK_MAIN();

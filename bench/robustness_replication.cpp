@@ -1,0 +1,71 @@
+// Robustness extension: directory replication factor vs crash damage.
+//
+// Replicating each directory entry on the owner's r-1 successors (cyclic
+// successors in LORM's clusters, ring successors elsewhere) turns a crash
+// from data loss into a hand-over: the failed sector's new owner already
+// holds the replicas. This bench fixes the crash fraction at 20% and sweeps
+// r, reporting per-sub-query recall before any re-advertisement. SWORD —
+// whose unreplicated attribute piles are all-or-nothing — gains the most.
+#include "fig_common.hpp"
+#include "harness/failures.hpp"
+
+int main(int argc, char** argv) {
+  using namespace lorm;
+  using harness::SystemKind;
+  const auto opt = bench::ParseOptions(argc, argv);
+  auto setup = bench::FigureSetup(opt);
+  if (!opt.quick) {
+    setup.attributes = 100;
+    setup.infos_per_attribute = 200;
+  }
+  const std::size_t queries = opt.quick ? 40 : 150;
+  const double fraction = 0.20;
+
+  harness::PrintBanner(
+      std::cout, "Robustness — replication factor vs 20% simultaneous crashes",
+      "per-sub-query recall before re-advertisement; storage = r x entries");
+  bench::PrintSetup(setup, queries);
+
+  harness::TablePrinter table(
+      std::cout,
+      {"r", "system", "stored", "lost", "degraded", "repaired", "final"},
+      11);
+  table.PrintHeader();
+
+  for (const std::size_t r : {std::size_t{1}, std::size_t{2}, std::size_t{3}}) {
+    for (const auto kind : harness::AllSystems()) {
+      auto rsetup = setup;
+      rsetup.replicas = r;
+      resource::Workload workload(rsetup.MakeWorkloadConfig());
+      auto service = harness::MakeService(kind, rsetup, workload.registry());
+      std::vector<NodeAddr> providers;
+      for (std::size_t i = 0; i < rsetup.nodes; ++i) {
+        providers.push_back(static_cast<NodeAddr>(i));
+      }
+      Rng rng(rsetup.seed ^ 0xBEEF);
+      const auto infos = workload.GenerateInfos(providers, rng);
+      harness::AdvertiseAll(*service, infos);
+      const std::size_t stored = service->TotalInfoPieces();
+
+      harness::FailureConfig cfg;
+      cfg.fail_fraction = fraction;
+      cfg.queries = queries;
+      cfg.attrs_per_query = 2;
+      cfg.seed = 0x4EB1 + r;
+      const auto result =
+          harness::RunFailureExperiment(*service, workload, infos, cfg);
+
+      table.Row({std::to_string(r), harness::SystemName(kind),
+                 std::to_string(stored), std::to_string(result.lost_entries),
+                 harness::TablePrinter::Num(result.degraded.recall, 3),
+                 harness::TablePrinter::Num(result.repaired.recall, 3),
+                 harness::TablePrinter::Num(result.recovered.recall, 3)});
+    }
+  }
+
+  std::cout << "\nshape check: the repaired column (routing healed, no "
+               "re-advertisement yet) climbs toward 1.0 with r at the cost "
+               "of r x storage; the final column is 1.000 everywhere "
+               "regardless\n";
+  return 0;
+}

@@ -1,0 +1,104 @@
+#include "analysis/theorems.hpp"
+
+#include <cmath>
+
+namespace lorm::analysis {
+
+namespace {
+double N(const SystemModel& s) { return static_cast<double>(s.n); }
+double M(const SystemModel& s) { return static_cast<double>(s.m); }
+double K(const SystemModel& s) { return static_cast<double>(s.k); }
+double D(const SystemModel& s) { return static_cast<double>(s.d); }
+}  // namespace
+
+double Log2(double n) { return std::log2(n); }
+
+double T41StructureOverheadRatio(const SystemModel& s) {
+  return M(s) * Log2(N(s)) / D(s);
+}
+
+double MercuryOutlinks(const SystemModel& s) { return M(s) * Log2(N(s)); }
+double ChordOutlinks(const SystemModel& s) { return Log2(N(s)); }
+double CycloidOutlinks() { return 7.0; }
+
+double T42MaanStorageFactor() { return 2.0; }
+
+double T43MaanDirectoryReduction(const SystemModel& s) {
+  return D(s) * (1.0 + M(s) / N(s));
+}
+
+double T44SwordDirectoryReduction(const SystemModel& s) { return D(s); }
+
+double T45MercuryBalanceFactor(const SystemModel& s) {
+  return N(s) / (D(s) * M(s));
+}
+
+double AvgDirectorySizeLorm(const SystemModel& s) {
+  return M(s) * K(s) / N(s);
+}
+double AvgDirectorySizeMercury(const SystemModel& s) {
+  return AvgDirectorySizeLorm(s);
+}
+double AvgDirectorySizeSword(const SystemModel& s) {
+  return AvgDirectorySizeLorm(s);
+}
+double AvgDirectorySizeMaan(const SystemModel& s) {
+  return 2.0 * AvgDirectorySizeLorm(s);
+}
+
+double ChordLookupHops(const SystemModel& s) { return Log2(N(s)) / 2.0; }
+double CycloidLookupHops(const SystemModel& s) { return D(s); }  // O(d)
+
+double T47LormVsMaanFactor(const SystemModel& s) {
+  return Log2(N(s)) / D(s);
+}
+
+double T48MercurySwordVsMaanFactor() { return 2.0; }
+
+double NonRangeHopsLorm(const SystemModel& s, std::size_t m_q) {
+  return static_cast<double>(m_q) * CycloidLookupHops(s);
+}
+double NonRangeHopsMercury(const SystemModel& s, std::size_t m_q) {
+  return static_cast<double>(m_q) * ChordLookupHops(s);
+}
+double NonRangeHopsSword(const SystemModel& s, std::size_t m_q) {
+  return NonRangeHopsMercury(s, m_q);
+}
+double NonRangeHopsMaan(const SystemModel& s, std::size_t m_q) {
+  return 2.0 * static_cast<double>(m_q) * ChordLookupHops(s);
+}
+
+double RangeVisitedLorm(const SystemModel& s, std::size_t m_q) {
+  return static_cast<double>(m_q) * (1.0 + D(s) / 4.0);
+}
+double RangeVisitedMercury(const SystemModel& s, std::size_t m_q) {
+  return static_cast<double>(m_q) * (1.0 + N(s) / 4.0);
+}
+double RangeVisitedSword(const SystemModel& /*s*/, std::size_t m_q) {
+  return static_cast<double>(m_q);
+}
+double RangeVisitedMaan(const SystemModel& s, std::size_t m_q) {
+  return static_cast<double>(m_q) * (2.0 + N(s) / 4.0);
+}
+
+double T49LormSavingsVsSystemWide(const SystemModel& s, std::size_t m_q) {
+  return static_cast<double>(m_q) * (N(s) - D(s)) / 4.0;
+}
+double T49SwordSavingsVsLorm(const SystemModel& s, std::size_t m_q) {
+  return static_cast<double>(m_q) * D(s) / 4.0;
+}
+
+double T410WorstCaseMercury(const SystemModel& s, std::size_t m_q) {
+  return static_cast<double>(m_q) * (Log2(N(s)) + N(s));
+}
+double T410WorstCaseMaan(const SystemModel& s, std::size_t m_q) {
+  return static_cast<double>(m_q) * (2.0 * Log2(N(s)) + N(s));
+}
+double T410WorstCaseLorm(const SystemModel& s, std::size_t m_q) {
+  return static_cast<double>(m_q) * D(s);
+}
+double T410LormSavings(const SystemModel& s, std::size_t m_q) {
+  return static_cast<double>(m_q) * N(s);
+}
+
+}  // namespace lorm::analysis

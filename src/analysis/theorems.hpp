@@ -1,0 +1,103 @@
+// Closed-form analytical models — Theorems 4.1 through 4.10 of the paper.
+//
+// These are the formulas the paper overlays on its experimental curves
+// ("Analysis-LORM", "Analysis>LORM", "Analysis-SWORD/Mercury", ...). The
+// bench harnesses print them next to the measured series exactly as the
+// figures do, and the test suite checks the measured/analytical consistency
+// claims of §V.
+//
+// Parameters follow the paper's notation:
+//   n — number of nodes,   m — number of resource attributes,
+//   k — resource-information pieces per attribute,
+//   d — Cycloid dimension (n = d * 2^d when fully populated).
+#pragma once
+
+#include <cstddef>
+
+namespace lorm::analysis {
+
+struct SystemModel {
+  std::size_t n = 2048;  ///< nodes
+  std::size_t m = 200;   ///< attributes
+  std::size_t k = 500;   ///< info pieces per attribute
+  unsigned d = 8;        ///< Cycloid dimension
+};
+
+/// log2(n) — Chord's per-ring routing-table size (and hop bound).
+double Log2(double n);
+
+// ---- Maintenance overhead (§IV-A) ----------------------------------------
+
+/// Theorem 4.1: LORM improves the structure-maintenance overhead of
+/// multi-DHT methods by >= m times. Returns the ratio m*log(n)/d.
+double T41StructureOverheadRatio(const SystemModel& s);
+
+/// Per-node outlinks charged to Mercury: m * log2(n).
+double MercuryOutlinks(const SystemModel& s);
+/// Per-node outlinks charged to a single Chord ring: log2(n).
+double ChordOutlinks(const SystemModel& s);
+/// Cycloid's constant degree (7 routing-state entries).
+double CycloidOutlinks();
+
+/// Theorem 4.2: MAAN stores twice the total resource information of the
+/// other three systems. Returns that factor (2).
+double T42MaanStorageFactor();
+
+/// Theorem 4.3: LORM reduces MAAN's per-directory information by
+/// d * (1 + m/n) times.
+double T43MaanDirectoryReduction(const SystemModel& s);
+
+/// Theorem 4.4: LORM reduces SWORD's per-directory information by d times.
+double T44SwordDirectoryReduction(const SystemModel& s);
+
+/// Theorem 4.5: Mercury is more balanced than LORM by n / (d m) times.
+double T45MercuryBalanceFactor(const SystemModel& s);
+
+/// Expected average directory size (total pieces / n) of each system.
+double AvgDirectorySizeLorm(const SystemModel& s);
+double AvgDirectorySizeMercury(const SystemModel& s);
+double AvgDirectorySizeSword(const SystemModel& s);
+double AvgDirectorySizeMaan(const SystemModel& s);  ///< 2x the others
+
+// ---- Efficiency of resource discovery (§IV-B) -----------------------------
+
+/// Average hops of one DHT lookup: log2(n)/2 for Chord, d for Cycloid
+/// (the per-lookup costs used in the proofs of Theorems 4.7/4.8).
+double ChordLookupHops(const SystemModel& s);
+double CycloidLookupHops(const SystemModel& s);
+
+/// Theorem 4.7: LORM reduces MAAN's contacted nodes for non-range queries
+/// by log(n)/d times.
+double T47LormVsMaanFactor(const SystemModel& s);
+
+/// Theorem 4.8: Mercury/SWORD reduce MAAN's contacted nodes by 2x.
+double T48MercurySwordVsMaanFactor();
+
+/// Average total hops of an m_q-attribute non-range query (Fig. 4 curves).
+double NonRangeHopsLorm(const SystemModel& s, std::size_t m_q);
+double NonRangeHopsMercury(const SystemModel& s, std::size_t m_q);
+double NonRangeHopsSword(const SystemModel& s, std::size_t m_q);
+double NonRangeHopsMaan(const SystemModel& s, std::size_t m_q);
+
+/// Average visited nodes of an m_q-attribute range query (Theorem 4.9 /
+/// Fig. 5 curves): Mercury m(1 + n/4), MAAN m(2 + n/4), LORM m(1 + d/4),
+/// SWORD m.
+double RangeVisitedLorm(const SystemModel& s, std::size_t m_q);
+double RangeVisitedMercury(const SystemModel& s, std::size_t m_q);
+double RangeVisitedSword(const SystemModel& s, std::size_t m_q);
+double RangeVisitedMaan(const SystemModel& s, std::size_t m_q);
+
+/// Theorem 4.9 deltas: LORM saves >= m(n-d)/4 visited nodes vs system-wide
+/// methods; SWORD saves m*d/4 vs LORM.
+double T49LormSavingsVsSystemWide(const SystemModel& s, std::size_t m_q);
+double T49SwordSavingsVsLorm(const SystemModel& s, std::size_t m_q);
+
+/// Theorem 4.10 worst cases: contacted nodes of an m_q-attribute full-span
+/// range query: Mercury m(log n + n), MAAN m(2 log n + n), LORM m*d.
+double T410WorstCaseMercury(const SystemModel& s, std::size_t m_q);
+double T410WorstCaseMaan(const SystemModel& s, std::size_t m_q);
+double T410WorstCaseLorm(const SystemModel& s, std::size_t m_q);
+/// The saving LORM guarantees vs system-wide methods: >= m*n.
+double T410LormSavings(const SystemModel& s, std::size_t m_q);
+
+}  // namespace lorm::analysis

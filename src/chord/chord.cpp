@@ -1,0 +1,393 @@
+#include "chord/chord.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/hashing.hpp"
+#include "common/random.hpp"
+
+namespace lorm::chord {
+
+bool InIntervalOC(Key x, Key lo, Key hi) {
+  if (lo == hi) return true;  // degenerate interval covers the whole ring
+  if (lo < hi) return x > lo && x <= hi;
+  return x > lo || x <= hi;  // wrapped
+}
+
+bool InIntervalOO(Key x, Key lo, Key hi) {
+  if (lo == hi) return x != lo;  // whole ring minus the endpoint
+  if (lo < hi) return x > lo && x < hi;
+  return x > lo || x < hi;  // wrapped
+}
+
+ChordRing::ChordRing(Config cfg) : cfg_(cfg) {
+  if (cfg_.bits == 0 || cfg_.bits > 63) {
+    throw ConfigError("ChordRing bits must be in [1, 63]");
+  }
+  if (cfg_.successor_list == 0) {
+    throw ConfigError("ChordRing successor list must be non-empty");
+  }
+  space_ = std::uint64_t{1} << cfg_.bits;
+}
+
+ChordRing::Node& ChordRing::MustGet(NodeAddr addr) {
+  auto it = by_addr_.find(addr);
+  LORM_CHECK_MSG(it != by_addr_.end(), "unknown chord node");
+  return it->second;
+}
+
+const ChordRing::Node& ChordRing::MustGet(NodeAddr addr) const {
+  auto it = by_addr_.find(addr);
+  LORM_CHECK_MSG(it != by_addr_.end(), "unknown chord node");
+  return it->second;
+}
+
+Key ChordRing::FingerStart(Key id, unsigned i) const {
+  return (id + (std::uint64_t{1} << i)) & (space_ - 1);
+}
+
+Key ChordRing::AddNode(NodeAddr addr) {
+  const ConsistentHash ch(cfg_.bits);
+  Key id = ch(static_cast<std::uint64_t>(addr) ^ cfg_.seed);
+  std::uint64_t salt = 0;
+  while (ring_.count(id) != 0) {
+    ++salt;
+    id = MixHashes(static_cast<std::uint64_t>(addr) ^ cfg_.seed, salt) &
+         (space_ - 1);
+  }
+  AddNodeWithId(addr, id);
+  return id;
+}
+
+void ChordRing::AddNodeWithId(NodeAddr addr, Key id) {
+  LORM_CHECK_MSG(id < space_, "chord id outside the identifier space");
+  if (Contains(addr)) throw ConfigError("node address already in ring");
+  if (ring_.count(id) != 0) throw ConfigError("chord id collision");
+
+  Node n;
+  n.id = id;
+  n.addr = addr;
+
+  if (by_addr_.empty()) {
+    n.predecessor = addr;
+    n.successors.assign(1, addr);
+    n.fingers.assign(cfg_.bits, addr);
+    ring_[id] = addr;
+    by_addr_[addr] = std::move(n);
+    maintenance_.join_messages += 1;  // bootstrap announcement
+    for (auto* obs : observers_) obs->OnJoin(addr, addr);
+    return;
+  }
+
+  // Splice into the successor/predecessor ring (the protocol's join+notify
+  // step, done atomically because departures here are graceful).
+  ring_[id] = addr;
+  by_addr_[addr] = std::move(n);
+  Node& self = by_addr_[addr];
+  BuildState(self);
+  // Join cost: the bootstrap lookup (~log n hops), one message per table
+  // entry built, and the two notify messages below.
+  maintenance_.join_messages +=
+      cfg_.bits / 2 + self.fingers.size() + self.successors.size() + 2;
+  const NodeAddr succ = self.successors.front();
+  Node& s = MustGet(succ);
+  const NodeAddr pred = s.predecessor;
+  self.predecessor = pred;
+  s.predecessor = addr;
+  if (pred != kNoNode && pred != addr) {
+    Node& p = MustGet(pred);
+    if (!p.successors.empty()) {
+      p.successors.front() = addr;
+    } else {
+      p.successors.assign(1, addr);
+    }
+  }
+  for (auto* obs : observers_) obs->OnJoin(addr, succ);
+}
+
+void ChordRing::RemoveNode(NodeAddr addr) {
+  Node& n = MustGet(addr);
+  const bool last = by_addr_.size() == 1;
+  const NodeAddr succ = last ? kNoNode : FirstLiveSuccessorExcept(n, addr);
+  // Two notify messages (pred, succ) plus the key-handoff transfer.
+  maintenance_.leave_messages += 3;
+  for (auto* obs : observers_) obs->OnLeave(addr, succ);
+
+  if (!last) {
+    const NodeAddr pred = n.predecessor;
+    Node& s = MustGet(succ);
+    if (pred != kNoNode && pred != addr) {
+      s.predecessor = pred;
+      Node& p = MustGet(pred);
+      if (!p.successors.empty() && p.successors.front() == addr) {
+        p.successors.front() = succ;
+      }
+    } else {
+      s.predecessor = succ;  // degenerate two-node case
+    }
+  }
+  ring_.erase(n.id);
+  by_addr_.erase(addr);
+}
+
+void ChordRing::FailNode(NodeAddr addr) {
+  const Node& n = MustGet(addr);
+  for (auto* obs : observers_) obs->OnFail(addr);
+  // No splice, no handoff: neighbors discover the failure lazily.
+  ring_.erase(n.id);
+  by_addr_.erase(addr);
+}
+
+std::vector<NodeAddr> ChordRing::Members() const {
+  std::vector<NodeAddr> out;
+  out.reserve(ring_.size());
+  for (const auto& [id, addr] : ring_) out.push_back(addr);
+  return out;
+}
+
+Key ChordRing::IdOf(NodeAddr addr) const { return MustGet(addr).id; }
+
+NodeAddr ChordRing::OwnerOf(Key key) const {
+  LORM_CHECK_MSG(!ring_.empty(), "OwnerOf on empty ring");
+  auto it = ring_.lower_bound(key);
+  if (it == ring_.end()) it = ring_.begin();
+  return it->second;
+}
+
+NodeAddr ChordRing::Successor(NodeAddr addr) const {
+  const Node& n = MustGet(addr);
+  return FirstLiveSuccessor(n);
+}
+
+NodeAddr ChordRing::Predecessor(NodeAddr addr) const {
+  return MustGet(addr).predecessor;
+}
+
+bool ChordRing::Owns(NodeAddr addr, Key key) const {
+  const Node& n = MustGet(addr);
+  if (n.predecessor == kNoNode || n.predecessor == addr) return true;
+  const auto pit = by_addr_.find(n.predecessor);
+  Key pred_id;
+  if (pit == by_addr_.end()) {
+    // The predecessor failed: the failure detector fires and the node adopts
+    // the closest live predecessor — the state the next stabilization round
+    // converges to. (Claiming the whole ring here would terminate lookups at
+    // the wrong owner.)
+    ++maintenance_.dead_links_skipped;
+    auto it = ring_.find(n.id);
+    LORM_CHECK(it != ring_.end());
+    pred_id = (it == ring_.begin()) ? ring_.rbegin()->first
+                                    : std::prev(it)->first;
+    if (pred_id == n.id) return true;  // alone in the ring
+  } else {
+    pred_id = pit->second.id;
+  }
+  return InIntervalOC(key, pred_id, n.id);
+}
+
+std::size_t ChordRing::Outlinks(NodeAddr addr) const {
+  const Node& n = MustGet(addr);
+  std::vector<NodeAddr> distinct;
+  auto consider = [&](NodeAddr a) {
+    if (a == kNoNode || a == addr || !Alive(a)) return;
+    if (std::find(distinct.begin(), distinct.end(), a) == distinct.end()) {
+      distinct.push_back(a);
+    }
+  };
+  for (NodeAddr f : n.fingers) consider(f);
+  for (NodeAddr s : n.successors) consider(s);
+  consider(n.predecessor);
+  return distinct.size();
+}
+
+std::size_t ChordRing::FingerTableSize(NodeAddr addr) const {
+  const Node& n = MustGet(addr);
+  std::vector<NodeAddr> distinct;
+  for (NodeAddr f : n.fingers) {
+    if (f == kNoNode || f == addr || !Alive(f)) continue;
+    if (std::find(distinct.begin(), distinct.end(), f) == distinct.end()) {
+      distinct.push_back(f);
+    }
+  }
+  return distinct.size();
+}
+
+std::vector<NodeAddr> ChordRing::NeighborsOf(NodeAddr addr) const {
+  const Node& n = MustGet(addr);
+  std::vector<NodeAddr> out;
+  auto consider = [&](NodeAddr a) {
+    if (a == kNoNode || a == addr) return;
+    if (std::find(out.begin(), out.end(), a) == out.end()) out.push_back(a);
+  };
+  for (NodeAddr f : n.fingers) consider(f);
+  for (NodeAddr s : n.successors) consider(s);
+  consider(n.predecessor);
+  return out;
+}
+
+NodeAddr ChordRing::FirstLiveSuccessor(const Node& n) const {
+  for (NodeAddr s : n.successors) {
+    if (Alive(s)) return s;
+    ++maintenance_.dead_links_skipped;
+  }
+  // Whole successor list died (only possible under extreme churn between
+  // maintenance rounds): detect the failure and recover from the oracle,
+  // as a real node would recover through its failure detector + backup list.
+  auto it = ring_.upper_bound(n.id);
+  if (it == ring_.end()) it = ring_.begin();
+  return it->second;
+}
+
+NodeAddr ChordRing::FirstLiveSuccessorExcept(const Node& n,
+                                             NodeAddr excluded) const {
+  for (NodeAddr s : n.successors) {
+    if (s != excluded && Alive(s)) return s;
+  }
+  auto it = ring_.upper_bound(n.id);
+  for (std::size_t guard = 0; guard <= ring_.size(); ++guard) {
+    if (it == ring_.end()) it = ring_.begin();
+    if (it->second != excluded) return it->second;
+    ++it;
+  }
+  return kNoNode;
+}
+
+NodeAddr ChordRing::ClosestPreceding(const Node& n, Key key) const {
+  // Fingers from most- to least-significant, then the successor list; pick
+  // the live node whose ID most closely precedes the key.
+  for (auto it = n.fingers.rbegin(); it != n.fingers.rend(); ++it) {
+    const NodeAddr f = *it;
+    if (f == kNoNode || f == n.addr) continue;
+    if (!Alive(f)) {
+      ++maintenance_.dead_links_skipped;
+      continue;
+    }
+    if (InIntervalOO(by_addr_.at(f).id, n.id, key)) return f;
+  }
+  NodeAddr best = kNoNode;
+  Key best_id = n.id;
+  for (NodeAddr s : n.successors) {
+    if (s == kNoNode || s == n.addr || !Alive(s)) continue;
+    const Key sid = by_addr_.at(s).id;
+    if (!InIntervalOO(sid, n.id, key)) continue;
+    if (best == kNoNode || InIntervalOO(best_id, n.id, sid)) {
+      best = s;
+      best_id = sid;
+    }
+  }
+  return best;
+}
+
+LookupResult ChordRing::Lookup(Key key, NodeAddr origin) const {
+  LookupResult r;
+  r.key = key & (space_ - 1);
+  if (!Contains(origin)) return r;
+
+  const std::size_t max_hops = by_addr_.size() + 4 * cfg_.bits + 8;
+  NodeAddr cur = origin;
+  r.path.push_back(cur);
+  while (!Owns(cur, r.key)) {
+    const Node& n = MustGet(cur);
+    const NodeAddr succ = FirstLiveSuccessor(n);
+    NodeAddr next;
+    if (succ == cur) {
+      // Sole member believes it owns everything; Owns() should have caught
+      // this, but guard against a dangling predecessor pointer.
+      break;
+    }
+    if (InIntervalOC(r.key, n.id, by_addr_.at(succ).id)) {
+      next = succ;
+    } else {
+      next = ClosestPreceding(n, r.key);
+      if (next == kNoNode || next == cur) next = succ;
+    }
+    cur = next;
+    ++r.hops;
+    r.path.push_back(cur);
+    if (r.hops > max_hops) {
+      return r;  // ok stays false: routing failure (should not happen)
+    }
+  }
+  r.owner = cur;
+  r.ok = true;
+  return r;
+}
+
+void ChordRing::BuildState(Node& n) {
+  n.fingers.assign(cfg_.bits, n.addr);
+  for (unsigned i = 0; i < cfg_.bits; ++i) {
+    n.fingers[i] = OwnerOf(FingerStart(n.id, i));
+  }
+  n.successors.clear();
+  auto it = ring_.upper_bound(n.id);
+  for (std::size_t k = 0; k < cfg_.successor_list; ++k) {
+    if (it == ring_.end()) it = ring_.begin();
+    if (it->second == n.addr) break;  // wrapped all the way around
+    n.successors.push_back(it->second);
+    ++it;
+  }
+  if (n.successors.empty()) n.successors.push_back(n.addr);
+}
+
+void ChordRing::FixNode(NodeAddr addr) {
+  Node& n = MustGet(addr);
+  BuildState(n);
+  maintenance_.stabilize_messages += n.fingers.size() + n.successors.size() + 1;
+}
+
+void ChordRing::StabilizeAll() {
+  for (auto& [addr, node] : by_addr_) {
+    BuildState(node);
+    maintenance_.stabilize_messages +=
+        node.fingers.size() + node.successors.size() + 1;
+    // Refresh the predecessor pointer to the oracle state as well; this is
+    // what repeated stabilize() rounds converge to.
+    auto it = ring_.find(node.id);
+    LORM_CHECK(it != ring_.end());
+    if (it == ring_.begin()) {
+      node.predecessor = ring_.rbegin()->second;
+    } else {
+      node.predecessor = std::prev(it)->second;
+    }
+  }
+}
+
+void ChordRing::AddObserver(MembershipObserver* obs) {
+  observers_.push_back(obs);
+}
+
+void ChordRing::RemoveObserver(MembershipObserver* obs) {
+  observers_.erase(std::remove(observers_.begin(), observers_.end(), obs),
+                   observers_.end());
+}
+
+ChordRing MakeRing(std::size_t n, Config cfg, bool deterministic_ids,
+                   NodeAddr base_addr) {
+  ChordRing ring(cfg);
+  if (deterministic_ids) {
+    const std::uint64_t space = std::uint64_t{1} << cfg.bits;
+    if (n > space) throw ConfigError("more nodes than identifiers");
+    // Seed-derived rotation: rings built with different seeds place the same
+    // addresses at different (still evenly spaced) positions. Without this,
+    // Mercury's m hubs would all map the same address to the same sector and
+    // every hub's hot key region would land on the same node.
+    std::uint64_t st = cfg.seed;
+    const Key offset = SplitMix64(st) & (space - 1);
+    for (std::size_t i = 0; i < n; ++i) {
+      // Proportional placement floor(i * space / n): evenly spread over the
+      // whole space even when space is not a multiple of n.
+      const auto id = static_cast<Key>(
+          (static_cast<unsigned __int128>(i) * space / n + offset) &
+          (space - 1));
+      ring.AddNodeWithId(static_cast<NodeAddr>(base_addr + i), id);
+    }
+  } else {
+    for (std::size_t i = 0; i < n; ++i) {
+      ring.AddNode(static_cast<NodeAddr>(base_addr + i));
+    }
+  }
+  ring.StabilizeAll();
+  return ring;
+}
+
+}  // namespace lorm::chord

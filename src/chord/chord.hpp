@@ -1,0 +1,190 @@
+// Chord DHT simulator (Stoica et al., IEEE/ACM ToN 2003).
+//
+// This is the substrate the paper runs Mercury, SWORD and MAAN on ("to be
+// comparable, we use Chord for attribute hubs in Mercury, and we replace
+// Bamboo DHT with Chord in SWORD", §IV). The simulator is message-level:
+//
+//  * every node keeps its own finger table, successor list and predecessor;
+//  * Lookup() walks those tables hop by hop from the querying node, exactly
+//    as the iterative Chord protocol does, and reports the real hop count
+//    and path — hop metrics in the figures come from here, never formulas;
+//  * joins and graceful departures splice the successor/predecessor ring
+//    immediately (the protocol's notify step) and leave finger tables stale
+//    until FixFingers/StabilizeAll runs, so churn experiments exercise
+//    routing through partially stale state, as in the paper's §V-C;
+//  * a global sorted index of members serves purely as the maintenance
+//    oracle (what stabilization converges to) and for O(1) test assertions.
+//
+// The ring is configurable between the paper's deterministic mode (an
+// 11-bit space holding all 2048 IDs) and the standard random-ID mode
+// (IDs = consistent hash of the node address in a large space).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/maintenance.hpp"
+#include "common/types.hpp"
+
+namespace lorm::chord {
+
+using lorm::MaintenanceStats;
+
+/// Position in the Chord identifier circle.
+using Key = std::uint64_t;
+
+/// True iff `x` lies in the half-open ring interval (lo, hi] (mod 2^bits).
+bool InIntervalOC(Key x, Key lo, Key hi);
+/// True iff `x` lies in the open ring interval (lo, hi) (mod 2^bits).
+bool InIntervalOO(Key x, Key lo, Key hi);
+
+struct Config {
+  /// Identifier-space size is 2^bits. The paper uses bits=11 with 2048 nodes.
+  unsigned bits = 24;
+  /// Length of each node's successor list (>= 1).
+  std::size_t successor_list = 4;
+  /// Seed for ID assignment in random-ID mode.
+  std::uint64_t seed = 0x5EEDC0DEull;
+};
+
+/// Result of routing a lookup through the overlay.
+struct LookupResult {
+  bool ok = false;
+  Key key = 0;                  ///< the looked-up key
+  NodeAddr owner = kNoNode;     ///< node whose ID sector contains the key
+  HopCount hops = 0;            ///< inter-node hops from origin to owner
+  std::vector<NodeAddr> path;   ///< origin first, owner last
+};
+
+/// Observer of ring membership changes; the discovery layer uses this to
+/// re-home stored resource information when key ownership moves.
+class MembershipObserver {
+ public:
+  virtual ~MembershipObserver() = default;
+  /// Called after `node` has joined; keys in (pred(node), node] moved from
+  /// `successor` to `node`.
+  virtual void OnJoin(NodeAddr node, NodeAddr successor) = 0;
+  /// Called before `node` leaves; all its keys move to `successor`
+  /// (kNoNode when the last node leaves).
+  virtual void OnLeave(NodeAddr node, NodeAddr successor) = 0;
+  /// Called when `node` fails abruptly: no handoff happened — everything it
+  /// stored is lost until providers re-advertise (soft state).
+  virtual void OnFail(NodeAddr node) { (void)node; }
+};
+
+
+class ChordRing {
+ public:
+  explicit ChordRing(Config cfg);
+
+  // ---- Membership -------------------------------------------------------
+
+  /// Joins a new node with the given address; its ID is the consistent hash
+  /// of the address (salted on collision). Returns its ring ID.
+  Key AddNode(NodeAddr addr);
+
+  /// Joins a new node at an explicit ring ID (deterministic mode; the
+  /// paper's fully populated 11-bit ring). Throws on ID collision.
+  void AddNodeWithId(NodeAddr addr, Key id);
+
+  /// Graceful departure: splices the ring and notifies observers.
+  void RemoveNode(NodeAddr addr);
+
+  /// Abrupt failure: the node vanishes without notifying anyone. Neighbors'
+  /// pointers to it go stale until routing skips them and maintenance
+  /// repairs them; anything it stored is lost (observers get OnFail).
+  void FailNode(NodeAddr addr);
+
+  std::size_t size() const { return by_addr_.size(); }
+  bool Contains(NodeAddr addr) const { return by_addr_.count(addr) != 0; }
+  std::vector<NodeAddr> Members() const;
+
+  // ---- Structure queries (oracle / protocol state) -----------------------
+
+  Key IdOf(NodeAddr addr) const;
+  /// Oracle: the current owner (successor) of `key`.
+  NodeAddr OwnerOf(Key key) const;
+  /// The node's own successor pointer (protocol state).
+  NodeAddr Successor(NodeAddr addr) const;
+  NodeAddr Predecessor(NodeAddr addr) const;
+  /// True iff `key` is in (pred(node), node] per the node's own state.
+  bool Owns(NodeAddr addr, Key key) const;
+
+  /// Number of distinct live remote nodes in the routing state (fingers,
+  /// successor list, predecessor). This is the "outlinks" metric of Fig 3(a).
+  std::size_t Outlinks(NodeAddr addr) const;
+
+  /// Distinct finger-table targets only (the classic log n figure).
+  std::size_t FingerTableSize(NodeAddr addr) const;
+
+  /// Every distinct node the given node can reach in one hop (fingers,
+  /// successor list, predecessor — live or stale). Exposed so tests can
+  /// verify that lookup paths only ever traverse real routing-table links.
+  std::vector<NodeAddr> NeighborsOf(NodeAddr addr) const;
+
+  // ---- Routing ----------------------------------------------------------
+
+  /// Iterative Chord lookup from `origin`, using only per-node tables.
+  LookupResult Lookup(Key key, NodeAddr origin) const;
+
+  // ---- Maintenance ------------------------------------------------------
+
+  /// Rebuilds one node's fingers/successor-list to the converged state
+  /// (what repeated fix_fingers would reach).
+  void FixNode(NodeAddr addr);
+  /// One maintenance round over every node.
+  void StabilizeAll();
+
+  void AddObserver(MembershipObserver* obs);
+  void RemoveObserver(MembershipObserver* obs);
+
+  const MaintenanceStats& maintenance() const { return maintenance_; }
+  void ResetMaintenanceStats() { maintenance_ = {}; }
+
+  unsigned bits() const { return cfg_.bits; }
+  /// 2^bits as a value; bits == 64 is not supported for rings.
+  std::uint64_t space() const { return space_; }
+  const Config& config() const { return cfg_; }
+
+ private:
+  struct Node {
+    Key id = 0;
+    NodeAddr addr = kNoNode;
+    NodeAddr predecessor = kNoNode;
+    std::vector<NodeAddr> fingers;     // bits entries; may be stale
+    std::vector<NodeAddr> successors;  // successor list; [0] kept fresh
+  };
+
+  Node& MustGet(NodeAddr addr);
+  const Node& MustGet(NodeAddr addr) const;
+  bool Alive(NodeAddr addr) const { return by_addr_.count(addr) != 0; }
+  /// First live entry of the node's successor list (falls back to oracle if
+  /// the whole list died; counts as a detected failure, not a hop).
+  NodeAddr FirstLiveSuccessor(const Node& n) const;
+  /// Like FirstLiveSuccessor but never returns `excluded` (used while the
+  /// excluded node is departing).
+  NodeAddr FirstLiveSuccessorExcept(const Node& n, NodeAddr excluded) const;
+  NodeAddr ClosestPreceding(const Node& n, Key key) const;
+  void BuildState(Node& n);
+  Key FingerStart(Key id, unsigned i) const;
+
+  Config cfg_;
+  std::uint64_t space_;
+  std::map<Key, NodeAddr> ring_;                  // oracle index
+  std::unordered_map<NodeAddr, Node> by_addr_;
+  std::vector<MembershipObserver*> observers_;
+  mutable MaintenanceStats maintenance_;  // mutable: routing is const
+};
+
+/// Populates a ring with `n` nodes and addresses base..base+n-1.
+/// In deterministic mode, IDs are evenly spaced over the full space (with
+/// bits = ceil(log2 n) and n a power of two this is the paper's fully
+/// populated ring).
+ChordRing MakeRing(std::size_t n, Config cfg, bool deterministic_ids,
+                   NodeAddr base_addr = 0);
+
+}  // namespace lorm::chord

@@ -1,0 +1,15 @@
+#include "common/error.hpp"
+
+#include <sstream>
+
+namespace lorm::detail {
+
+void RaiseInvariant(const char* expr, const char* file, int line,
+                    const std::string& message) {
+  std::ostringstream os;
+  os << "invariant violated: " << expr << " at " << file << ":" << line;
+  if (!message.empty()) os << " (" << message << ")";
+  throw InvariantError(os.str());
+}
+
+}  // namespace lorm::detail

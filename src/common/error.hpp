@@ -1,0 +1,46 @@
+// Lightweight assertion / invariant-checking utilities.
+//
+// Simulator invariants are checked in all build types: a violated overlay
+// invariant silently corrupts every measurement downstream, and the cost of
+// the checks is negligible next to message routing.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace lorm {
+
+/// Thrown when a simulator invariant is violated.
+class InvariantError : public std::logic_error {
+ public:
+  explicit InvariantError(const std::string& what) : std::logic_error(what) {}
+};
+
+/// Thrown on invalid user-supplied configuration.
+class ConfigError : public std::invalid_argument {
+ public:
+  explicit ConfigError(const std::string& what) : std::invalid_argument(what) {}
+};
+
+namespace detail {
+[[noreturn]] void RaiseInvariant(const char* expr, const char* file, int line,
+                                 const std::string& message);
+}  // namespace detail
+
+}  // namespace lorm
+
+/// Checks a simulator invariant; throws lorm::InvariantError on failure.
+#define LORM_CHECK(expr)                                                  \
+  do {                                                                    \
+    if (!(expr)) {                                                        \
+      ::lorm::detail::RaiseInvariant(#expr, __FILE__, __LINE__, "");      \
+    }                                                                     \
+  } while (false)
+
+/// Checks a simulator invariant with an explanatory message.
+#define LORM_CHECK_MSG(expr, msg)                                         \
+  do {                                                                    \
+    if (!(expr)) {                                                        \
+      ::lorm::detail::RaiseInvariant(#expr, __FILE__, __LINE__, (msg));   \
+    }                                                                     \
+  } while (false)

@@ -1,0 +1,28 @@
+// Protocol-message accounting shared by the DHT simulators.
+//
+// Used by the maintenance-traffic experiments (an extension of the paper's
+// Theorem 4.1, which compares structure-maintenance overhead). Counting
+// rules: a join charges its bootstrap-lookup hops plus the notify messages
+// and one message per routing-table entry built; a graceful leave charges
+// its notify + handoff messages; a maintenance round charges one
+// refresh/ping per routing-state entry of each node. Abrupt failures charge
+// nothing (that is their point); dead entries noticed while routing are
+// tallied separately.
+#pragma once
+
+#include <cstdint>
+
+namespace lorm {
+
+struct MaintenanceStats {
+  std::uint64_t join_messages = 0;
+  std::uint64_t leave_messages = 0;
+  std::uint64_t stabilize_messages = 0;
+  std::uint64_t dead_links_skipped = 0;  ///< stale entries hit while routing
+
+  std::uint64_t Total() const {
+    return join_messages + leave_messages + stabilize_messages;
+  }
+};
+
+}  // namespace lorm

@@ -1,0 +1,144 @@
+#include "common/sha1.hpp"
+
+#include <cstring>
+
+#include "common/error.hpp"
+
+namespace lorm {
+namespace {
+
+inline std::uint32_t Rotl(std::uint32_t x, unsigned n) {
+  return (x << n) | (x >> (32u - n));
+}
+
+}  // namespace
+
+Sha1::Sha1()
+    : state_{0x67452301u, 0xEFCDAB89u, 0x98BADCFEu, 0x10325476u, 0xC3D2E1F0u} {}
+
+void Sha1::Update(const void* data, std::size_t len) {
+  LORM_CHECK_MSG(!finished_, "Sha1::Update after Finish");
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  total_bytes_ += len;
+
+  if (buffered_ > 0) {
+    const std::size_t want = 64 - buffered_;
+    const std::size_t take = len < want ? len : want;
+    std::memcpy(buffer_.data() + buffered_, p, take);
+    buffered_ += take;
+    p += take;
+    len -= take;
+    if (buffered_ == 64) {
+      ProcessBlock(buffer_.data());
+      buffered_ = 0;
+    }
+  }
+  while (len >= 64) {
+    ProcessBlock(p);
+    p += 64;
+    len -= 64;
+  }
+  if (len > 0) {
+    std::memcpy(buffer_.data(), p, len);
+    buffered_ = len;
+  }
+}
+
+Sha1Digest Sha1::Finish() {
+  LORM_CHECK_MSG(!finished_, "Sha1::Finish called twice");
+  finished_ = true;
+
+  const std::uint64_t bit_len = total_bytes_ * 8;
+  // Padding: 0x80, zeros, then the 64-bit big-endian message bit length.
+  std::uint8_t pad[72] = {0x80};
+  const std::size_t rem = static_cast<std::size_t>(total_bytes_ % 64);
+  const std::size_t pad_len = (rem < 56) ? (56 - rem) : (120 - rem);
+  finished_ = false;  // allow the padding Updates below
+  Update(pad, pad_len);
+  std::uint8_t len_be[8];
+  for (int i = 0; i < 8; ++i) {
+    len_be[i] = static_cast<std::uint8_t>(bit_len >> (56 - 8 * i));
+  }
+  total_bytes_ -= pad_len;  // padding is not part of the message length
+  Update(len_be, 8);
+  finished_ = true;
+  LORM_CHECK(buffered_ == 0);
+
+  Sha1Digest out{};
+  for (int i = 0; i < 5; ++i) {
+    out[4 * i + 0] = static_cast<std::uint8_t>(state_[i] >> 24);
+    out[4 * i + 1] = static_cast<std::uint8_t>(state_[i] >> 16);
+    out[4 * i + 2] = static_cast<std::uint8_t>(state_[i] >> 8);
+    out[4 * i + 3] = static_cast<std::uint8_t>(state_[i]);
+  }
+  return out;
+}
+
+void Sha1::ProcessBlock(const std::uint8_t* block) {
+  std::uint32_t w[80];
+  for (int i = 0; i < 16; ++i) {
+    w[i] = (static_cast<std::uint32_t>(block[4 * i]) << 24) |
+           (static_cast<std::uint32_t>(block[4 * i + 1]) << 16) |
+           (static_cast<std::uint32_t>(block[4 * i + 2]) << 8) |
+           static_cast<std::uint32_t>(block[4 * i + 3]);
+  }
+  for (int i = 16; i < 80; ++i) {
+    w[i] = Rotl(w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16], 1);
+  }
+
+  std::uint32_t a = state_[0], b = state_[1], c = state_[2], d = state_[3],
+                e = state_[4];
+  for (int i = 0; i < 80; ++i) {
+    std::uint32_t f, k;
+    if (i < 20) {
+      f = (b & c) | (~b & d);
+      k = 0x5A827999u;
+    } else if (i < 40) {
+      f = b ^ c ^ d;
+      k = 0x6ED9EBA1u;
+    } else if (i < 60) {
+      f = (b & c) | (b & d) | (c & d);
+      k = 0x8F1BBCDCu;
+    } else {
+      f = b ^ c ^ d;
+      k = 0xCA62C1D6u;
+    }
+    const std::uint32_t tmp = Rotl(a, 5) + f + e + k + w[i];
+    e = d;
+    d = c;
+    c = Rotl(b, 30);
+    b = a;
+    a = tmp;
+  }
+  state_[0] += a;
+  state_[1] += b;
+  state_[2] += c;
+  state_[3] += d;
+  state_[4] += e;
+}
+
+Sha1Digest Sha1::Hash(std::string_view s) {
+  Sha1 h;
+  h.Update(s);
+  return h.Finish();
+}
+
+std::uint64_t Sha1::Hash64(std::string_view s) {
+  const Sha1Digest d = Hash(s);
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v = (v << 8) | d[static_cast<std::size_t>(i)];
+  return v;
+}
+
+std::string Sha1::ToHex(const Sha1Digest& d) {
+  static const char* kHex = "0123456789abcdef";
+  std::string out;
+  out.reserve(40);
+  for (std::uint8_t byte : d) {
+    out.push_back(kHex[byte >> 4]);
+    out.push_back(kHex[byte & 0xf]);
+  }
+  return out;
+}
+
+}  // namespace lorm

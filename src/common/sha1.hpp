@@ -1,0 +1,61 @@
+// Self-contained SHA-1 implementation (FIPS 180-1).
+//
+// Used as the base hash of the consistent-hashing layer, exactly as Chord,
+// Cycloid and MAAN specify. Implemented from scratch: the simulator has no
+// external dependencies beyond the standard library.
+//
+// SHA-1 is cryptographically broken for collision resistance; here it is used
+// only to spread keys uniformly over a DHT identifier space, for which it
+// remains entirely adequate (and matches the cited systems).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace lorm {
+
+/// 160-bit SHA-1 digest.
+using Sha1Digest = std::array<std::uint8_t, 20>;
+
+/// Incremental SHA-1 hasher.
+///
+/// Usage:
+///   Sha1 h;
+///   h.Update(data, len);
+///   Sha1Digest d = h.Finish();
+class Sha1 {
+ public:
+  Sha1();
+
+  /// Absorbs `len` bytes. May be called repeatedly.
+  void Update(const void* data, std::size_t len);
+  void Update(std::string_view s) { Update(s.data(), s.size()); }
+
+  /// Completes the hash and returns the digest. The hasher must not be
+  /// reused afterwards (construct a fresh one).
+  Sha1Digest Finish();
+
+  /// One-shot convenience.
+  static Sha1Digest Hash(std::string_view s);
+
+  /// First eight digest bytes as a big-endian unsigned 64-bit integer —
+  /// the projection used to derive DHT keys from digests.
+  static std::uint64_t Hash64(std::string_view s);
+
+  /// Hex rendering of a digest, for diagnostics and tests.
+  static std::string ToHex(const Sha1Digest& d);
+
+ private:
+  void ProcessBlock(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 5> state_;
+  std::uint64_t total_bytes_ = 0;
+  std::array<std::uint8_t, 64> buffer_{};
+  std::size_t buffered_ = 0;
+  bool finished_ = false;
+};
+
+}  // namespace lorm

@@ -1,0 +1,86 @@
+// Summary statistics used throughout the experiment harnesses.
+//
+// The paper reports averages and 1st/99th percentiles of per-node directory
+// sizes (Fig. 3), averages/totals of logical hops (Fig. 4) and visited-node
+// counts (Figs. 5-6). This module computes those from raw samples.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace lorm {
+
+/// Five-number-style summary of a sample set.
+struct Summary {
+  std::size_t count = 0;
+  double total = 0.0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double p01 = 0.0;  ///< 1st percentile (paper's lower whisker)
+  double p50 = 0.0;  ///< median
+  double p99 = 0.0;  ///< 99th percentile (paper's upper whisker)
+};
+
+/// Computes a full Summary of `samples`. Does not modify the input.
+/// An empty input yields an all-zero summary.
+Summary Summarize(std::vector<double> samples);
+
+/// Percentile by linear interpolation between closest ranks;
+/// `q` in [0, 100]. `sorted` must be ascending and non-empty.
+double PercentileSorted(const std::vector<double>& sorted, double q);
+
+/// Streaming accumulator (Welford) for mean/variance without storing samples.
+class OnlineStats {
+ public:
+  void Add(double x);
+  void Merge(const OnlineStats& other);
+
+  std::size_t count() const { return count_; }
+  double total() const { return total_; }
+  double mean() const { return count_ ? mean_ : 0.0; }
+  double variance() const;
+  double stddev() const;
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double total_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Fixed-width equi-spaced histogram over [lo, hi); out-of-range samples are
+/// clamped into the edge bins. Used by the load-balance ablation benches.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void Add(double x);
+  std::size_t bin_count() const { return counts_.size(); }
+  std::size_t count(std::size_t bin) const { return counts_.at(bin); }
+  std::size_t total() const { return total_; }
+  double bin_lo(std::size_t bin) const;
+  double bin_hi(std::size_t bin) const;
+
+  /// Multi-line ASCII rendering for example programs.
+  std::string Render(std::size_t width = 50) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+/// Jain's fairness index of a load vector: (Σx)² / (n·Σx²), in (0, 1];
+/// 1 means perfectly balanced. Used to quantify Theorems 4.5/4.6 beyond
+/// percentiles.
+double JainFairness(const std::vector<double>& loads);
+
+}  // namespace lorm

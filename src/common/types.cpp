@@ -1,0 +1,19 @@
+#include "common/types.hpp"
+
+#include <array>
+#include <cstdio>
+
+namespace lorm {
+
+std::string FormatNodeAddr(NodeAddr addr) {
+  if (addr == kNoNode) return "<none>";
+  std::array<char, 24> buf{};
+  // Map the dense address into a private 10.x.y.z style quad for readability.
+  const unsigned a = (addr >> 16) & 0xff;
+  const unsigned b = (addr >> 8) & 0xff;
+  const unsigned c = addr & 0xff;
+  std::snprintf(buf.data(), buf.size(), "10.%u.%u.%u", a, b, c);
+  return std::string(buf.data());
+}
+
+}  // namespace lorm

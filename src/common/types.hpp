@@ -1,0 +1,29 @@
+// Basic shared vocabulary types for the LORM grid resource-discovery library.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace lorm {
+
+/// Simulated network endpoint of a grid node (stands in for an IP address).
+/// The paper's resource-info tuples carry `ip_addr(i)`; in the simulator every
+/// physical grid node is identified by a dense 32-bit address.
+using NodeAddr = std::uint32_t;
+
+/// Sentinel for "no node".
+inline constexpr NodeAddr kNoNode = 0xffffffffu;
+
+/// Dense identifier of a registered attribute type (index into the registry).
+using AttrId = std::uint32_t;
+
+/// Number of logical hops traversed by a message.
+using HopCount = std::uint32_t;
+
+/// Simulated time in seconds.
+using SimTime = double;
+
+/// Renders a NodeAddr as a dotted-quad style string for logs and examples.
+std::string FormatNodeAddr(NodeAddr addr);
+
+}  // namespace lorm

@@ -1,0 +1,493 @@
+#include "cycloid/cycloid.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/hashing.hpp"
+
+namespace lorm::cycloid {
+namespace {
+
+// Ring-interval membership (modulus-free: pure order comparisons with wrap).
+bool InOC(std::uint64_t x, std::uint64_t lo, std::uint64_t hi) {
+  if (lo == hi) return true;  // degenerate interval covers the whole ring
+  if (lo < hi) return x > lo && x <= hi;
+  return x > lo || x <= hi;
+}
+
+}  // namespace
+
+CycloidNetwork::CycloidNetwork(Config cfg) : cfg_(cfg) {
+  if (cfg_.dimension < 2 || cfg_.dimension > 24) {
+    throw ConfigError("Cycloid dimension must be in [2, 24]");
+  }
+  cluster_space_ = std::uint64_t{1} << cfg_.dimension;
+}
+
+CycloidNetwork::Node& CycloidNetwork::MustGet(NodeAddr addr) {
+  auto it = by_addr_.find(addr);
+  LORM_CHECK_MSG(it != by_addr_.end(), "unknown cycloid node");
+  return it->second;
+}
+
+const CycloidNetwork::Node& CycloidNetwork::MustGet(NodeAddr addr) const {
+  auto it = by_addr_.find(addr);
+  LORM_CHECK_MSG(it != by_addr_.end(), "unknown cycloid node");
+  return it->second;
+}
+
+const CycloidNetwork::Cluster& CycloidNetwork::MustCluster(
+    std::uint64_t a) const {
+  auto it = clusters_.find(a);
+  LORM_CHECK_MSG(it != clusters_.end(), "no cluster at cubical index");
+  return it->second;
+}
+
+std::uint64_t CycloidNetwork::OwnerClusterCubical(std::uint64_t a) const {
+  LORM_CHECK_MSG(!clusters_.empty(), "empty cycloid network");
+  auto it = clusters_.lower_bound(a);
+  if (it == clusters_.end()) it = clusters_.begin();
+  return it->first;
+}
+
+NodeAddr CycloidNetwork::OwnerInCluster(const Cluster& c, unsigned k) const {
+  LORM_CHECK_MSG(!c.empty(), "empty cluster");
+  auto it = c.lower_bound(k);
+  if (it == c.end()) it = c.begin();
+  return it->second;
+}
+
+NodeAddr CycloidNetwork::PrimaryOf(const Cluster& c) const {
+  LORM_CHECK_MSG(!c.empty(), "empty cluster");
+  return c.rbegin()->second;
+}
+
+std::uint64_t CycloidNetwork::PrecedingClusterCubical(std::uint64_t a) const {
+  LORM_CHECK_MSG(!clusters_.empty(), "empty cycloid network");
+  auto it = clusters_.find(a);
+  LORM_CHECK(it != clusters_.end());
+  if (it == clusters_.begin()) return clusters_.rbegin()->first;
+  return std::prev(it)->first;
+}
+
+std::uint64_t CycloidNetwork::SucceedingClusterCubical(std::uint64_t a) const {
+  LORM_CHECK_MSG(!clusters_.empty(), "empty cycloid network");
+  auto it = clusters_.find(a);
+  LORM_CHECK(it != clusters_.end());
+  ++it;
+  if (it == clusters_.end()) it = clusters_.begin();
+  return it->first;
+}
+
+CycloidId CycloidNetwork::AddNode(NodeAddr addr) {
+  const ConsistentHash ch(63);
+  std::uint64_t pos =
+      ch(static_cast<std::uint64_t>(addr) ^ cfg_.seed) % capacity();
+  const std::uint64_t cap = capacity();
+  LORM_CHECK_MSG(by_addr_.size() < cap, "cycloid network full");
+  for (;;) {
+    const CycloidId id{static_cast<unsigned>(pos % cfg_.dimension),
+                       pos / cfg_.dimension};
+    const auto cit = clusters_.find(id.a);
+    if (cit == clusters_.end() || cit->second.count(id.k) == 0) {
+      AddNodeWithId(addr, id);
+      return id;
+    }
+    pos = (pos + 1) % cap;
+  }
+}
+
+void CycloidNetwork::AddNodeWithId(NodeAddr addr, CycloidId id) {
+  if (id.k >= cfg_.dimension || id.a >= cluster_space_) {
+    throw ConfigError("cycloid id outside the identifier space");
+  }
+  if (Contains(addr)) throw ConfigError("node address already in network");
+  auto cit = clusters_.find(id.a);
+  if (cit != clusters_.end() && cit->second.count(id.k) != 0) {
+    throw ConfigError("cycloid position already occupied");
+  }
+
+  // Sources whose sectors may shrink: computed against the pre-join state.
+  std::vector<NodeAddr> sources;
+  if (!by_addr_.empty()) {
+    if (cit != clusters_.end()) {
+      // Cluster exists: only the cyclic successor's sector splits.
+      sources.push_back(OwnerInCluster(cit->second, id.k));
+    } else {
+      // New cluster: its cubical sector is carved out of every member of
+      // the succeeding cluster.
+      const std::uint64_t succ_a = OwnerClusterCubical(id.a);
+      for (const auto& [k, member] : MustCluster(succ_a)) {
+        sources.push_back(member);
+      }
+    }
+  }
+
+  Node n;
+  n.id = id;
+  n.addr = addr;
+  clusters_[id.a][id.k] = addr;
+  by_addr_[addr] = n;
+  // Join cost: the bootstrap lookup (~d hops) plus the leaf-set repair
+  // messages charged inside RepairAround.
+  maintenance_.join_messages += cfg_.dimension;
+  RepairAround(id.a);
+  for (auto* obs : observers_) obs->OnJoin(addr, sources);
+}
+
+void CycloidNetwork::RemoveNode(NodeAddr addr) {
+  Node& n = MustGet(addr);
+  const CycloidId id = n.id;
+  auto cit = clusters_.find(id.a);
+  LORM_CHECK(cit != clusters_.end());
+  cit->second.erase(id.k);
+  if (cit->second.empty()) clusters_.erase(cit);
+  // Notify the inside leaf set and both outside primaries, plus the handoff.
+  maintenance_.leave_messages += 5;
+
+  // Observers re-home the departing node's objects via OwnerOf(), which now
+  // reflects the post-departure ownership; the node's state is still
+  // readable while they run.
+  for (auto* obs : observers_) obs->OnLeave(addr);
+
+  by_addr_.erase(addr);
+  if (!clusters_.empty()) RepairAround(id.a);
+}
+
+void CycloidNetwork::FailNode(NodeAddr addr) {
+  const Node& n = MustGet(addr);
+  const CycloidId id = n.id;
+  for (auto* obs : observers_) obs->OnFail(addr);
+  auto cit = clusters_.find(id.a);
+  LORM_CHECK(cit != clusters_.end());
+  cit->second.erase(id.k);
+  if (cit->second.empty()) clusters_.erase(cit);
+  by_addr_.erase(addr);
+  // No repair, no handoff: leaf sets pointing at the node go stale until
+  // routing skips them and StabilizeAll/FixNode heals the neighborhood.
+}
+
+std::vector<NodeAddr> CycloidNetwork::Members() const {
+  std::vector<NodeAddr> out;
+  out.reserve(by_addr_.size());
+  for (const auto& [a, cluster] : clusters_) {
+    for (const auto& [k, addr] : cluster) out.push_back(addr);
+  }
+  return out;
+}
+
+CycloidId CycloidNetwork::IdOf(NodeAddr addr) const { return MustGet(addr).id; }
+
+NodeAddr CycloidNetwork::OwnerOf(CycloidId key) const {
+  const std::uint64_t a = OwnerClusterCubical(key.a % cluster_space_);
+  return OwnerInCluster(MustCluster(a), key.k % cfg_.dimension);
+}
+
+bool CycloidNetwork::ClusterOwnsLocal(const Node& n, std::uint64_t a) const {
+  if (n.outside_pred == kNoNode) return true;
+  std::uint64_t pred_a;
+  const auto pit = by_addr_.find(n.outside_pred);
+  if (pit == by_addr_.end()) {
+    // The preceding primary failed: adopt the live preceding cluster (the
+    // state the next self-organization round converges to).
+    ++maintenance_.dead_links_skipped;
+    pred_a = PrecedingClusterCubical(n.id.a);  // own cluster always exists
+  } else {
+    pred_a = pit->second.id.a;
+  }
+  if (pred_a == n.id.a) return true;  // only one cluster exists
+  return InOC(a, pred_a, n.id.a);
+}
+
+bool CycloidNetwork::Owns(NodeAddr addr, CycloidId key) const {
+  const Node& n = MustGet(addr);
+  if (!ClusterOwnsLocal(n, key.a % cluster_space_)) return false;
+  if (n.inside_pred == kNoNode || n.inside_pred == addr) return true;
+  unsigned pred_k;
+  const auto pit = by_addr_.find(n.inside_pred);
+  if (pit == by_addr_.end()) {
+    // The cyclic predecessor failed: adopt the live one.
+    ++maintenance_.dead_links_skipped;
+    const Cluster& c = MustCluster(n.id.a);
+    auto it = c.find(n.id.k);
+    LORM_CHECK(it != c.end());
+    pred_k = (it == c.begin()) ? c.rbegin()->first : std::prev(it)->first;
+    if (pred_k == n.id.k) return true;  // alone in the cluster
+  } else {
+    pred_k = pit->second.id.k;
+  }
+  return InOC(key.k % cfg_.dimension, pred_k, n.id.k);
+}
+
+std::vector<NodeAddr> CycloidNetwork::ClusterMembersOf(std::uint64_t a) const {
+  const std::uint64_t owner_a = OwnerClusterCubical(a % cluster_space_);
+  std::vector<NodeAddr> out;
+  for (const auto& [k, addr] : MustCluster(owner_a)) out.push_back(addr);
+  return out;
+}
+
+NodeAddr CycloidNetwork::InsideSuccessor(NodeAddr addr) const {
+  return MustGet(addr).inside_succ;
+}
+
+NodeAddr CycloidNetwork::InsidePredecessor(NodeAddr addr) const {
+  return MustGet(addr).inside_pred;
+}
+
+std::size_t CycloidNetwork::Outlinks(NodeAddr addr) const {
+  const Node& n = MustGet(addr);
+  std::vector<NodeAddr> distinct;
+  auto consider = [&](NodeAddr a) {
+    if (a == kNoNode || a == addr || !Alive(a)) return;
+    if (std::find(distinct.begin(), distinct.end(), a) == distinct.end()) {
+      distinct.push_back(a);
+    }
+  };
+  consider(n.inside_succ);
+  consider(n.inside_pred);
+  consider(n.outside_succ);
+  consider(n.outside_pred);
+  consider(n.cubical);
+  consider(n.cyclic_succ);
+  consider(n.cyclic_pred);
+  return distinct.size();
+}
+
+std::vector<NodeAddr> CycloidNetwork::NeighborsOf(NodeAddr addr) const {
+  const Node& n = MustGet(addr);
+  std::vector<NodeAddr> out;
+  auto consider = [&](NodeAddr a) {
+    if (a == kNoNode || a == addr) return;
+    if (std::find(out.begin(), out.end(), a) == out.end()) out.push_back(a);
+  };
+  consider(n.inside_succ);
+  consider(n.inside_pred);
+  consider(n.outside_succ);
+  consider(n.outside_pred);
+  consider(n.cubical);
+  consider(n.cyclic_succ);
+  consider(n.cyclic_pred);
+  return out;
+}
+
+void CycloidNetwork::BuildState(Node& n) {
+  const unsigned d = cfg_.dimension;
+  const Cluster& c = MustCluster(n.id.a);
+
+  // Inside leaf set: cyclic neighbors within the cluster (self when alone).
+  {
+    auto it = c.find(n.id.k);
+    LORM_CHECK(it != c.end());
+    auto next = std::next(it);
+    n.inside_succ = (next == c.end()) ? c.begin()->second : next->second;
+    n.inside_pred =
+        (it == c.begin()) ? c.rbegin()->second : std::prev(it)->second;
+  }
+
+  const unsigned kb = (n.id.k + d - 1) % d;  // bit flippable from this node
+
+  if (clusters_.size() == 1) {
+    const NodeAddr primary = PrimaryOf(c);
+    n.outside_succ = primary;
+    n.outside_pred = primary;
+    n.cyclic_succ = kNoNode;
+    n.cyclic_pred = kNoNode;
+    n.cubical = kNoNode;
+    return;
+  }
+
+  const std::uint64_t succ_a = SucceedingClusterCubical(n.id.a);
+  const std::uint64_t pred_a = PrecedingClusterCubical(n.id.a);
+  n.outside_succ = PrimaryOf(MustCluster(succ_a));
+  n.outside_pred = PrimaryOf(MustCluster(pred_a));
+  n.cyclic_succ = OwnerInCluster(MustCluster(succ_a), kb);
+  n.cyclic_pred = OwnerInCluster(MustCluster(pred_a), kb);
+
+  // Cubical neighbor: cluster with bit kb of the cubical index flipped,
+  // bits above kb unchanged, bits below kb don't-care (nearest existing).
+  const std::uint64_t flipped = n.id.a ^ (std::uint64_t{1} << kb);
+  const std::uint64_t prefix = flipped & ~((std::uint64_t{1} << kb) - 1);
+  auto cit = clusters_.find(flipped);
+  if (cit == clusters_.end()) {
+    cit = clusters_.lower_bound(prefix);
+    if (cit == clusters_.end() ||
+        cit->first >= prefix + (std::uint64_t{1} << kb)) {
+      n.cubical = kNoNode;
+      return;
+    }
+  }
+  n.cubical = OwnerInCluster(cit->second, kb);
+  if (n.cubical == n.addr) n.cubical = kNoNode;
+}
+
+void CycloidNetwork::RepairAround(std::uint64_t a) {
+  if (clusters_.empty()) return;
+  const std::uint64_t center = OwnerClusterCubical(a % cluster_space_);
+  std::vector<std::uint64_t> affected{center, PrecedingClusterCubical(center),
+                                      SucceedingClusterCubical(center)};
+  std::sort(affected.begin(), affected.end());
+  affected.erase(std::unique(affected.begin(), affected.end()),
+                 affected.end());
+  for (std::uint64_t cubical : affected) {
+    for (const auto& [k, addr] : MustCluster(cubical)) {
+      BuildState(MustGet(addr));
+      // One leaf-set update message per repaired neighbor. (The in-memory
+      // rebuild refreshes the whole 7-entry table for simplicity, but the
+      // protocol equivalent is a single notify carrying the change.)
+      maintenance_.stabilize_messages += 1;
+    }
+  }
+}
+
+NodeAddr CycloidNetwork::NextHop(const Node& n, CycloidId key,
+                                 bool force_walk) const {
+  const unsigned d = cfg_.dimension;
+  const std::uint64_t a_t = key.a % cluster_space_;
+
+  if (ClusterOwnsLocal(n, a_t)) {
+    if (n.inside_succ == n.addr) return kNoNode;
+    if (!Alive(n.inside_succ)) {
+      // The cyclic successor failed and self-organization has not healed the
+      // small cycle yet: the query cannot be forwarded reliably.
+      ++maintenance_.dead_links_skipped;
+      return kNoNode;
+    }
+    // Rotate along the small cycle toward the owner. When the neighborhood
+    // is locally contiguous (both cyclic neighbors exist at k +- 1), take
+    // the shorter direction. In a cluster with holes, nodes can disagree on
+    // direction and bounce; force_walk pins the rotation to successor-only,
+    // which is bounded by the cluster size and always reaches the owner.
+    const auto succ_it =
+        force_walk ? by_addr_.end() : by_addr_.find(n.inside_succ);
+    const auto pred_it =
+        force_walk ? by_addr_.end() : by_addr_.find(n.inside_pred);
+    if (succ_it != by_addr_.end() && pred_it != by_addr_.end()) {
+      const unsigned k = n.id.k;
+      const bool contiguous =
+          succ_it->second.id.k == (k + 1) % d &&
+          pred_it->second.id.k == (k + d - 1) % d;
+      if (contiguous) {
+        const unsigned fwd = (key.k + d - k) % d;
+        const unsigned bwd = (k + d - key.k) % d;
+        if (bwd < fwd) return n.inside_pred;
+      }
+    }
+    return n.inside_succ;
+  }
+
+  if (!force_walk) {
+    const std::uint64_t x = n.id.a ^ a_t;
+    const unsigned kb = (n.id.k + d - 1) % d;
+    // Flip the bit reachable from this cyclic position if it differs; the
+    // cubical XOR distance strictly decreases.
+    if (((x >> kb) & 1u) != 0 && n.cubical != kNoNode && Alive(n.cubical)) {
+      return n.cubical;
+    }
+    // Otherwise rotate downward (k-1) and try the next bit; one lap of the
+    // small cycle visits every bit position.
+    if (n.inside_pred != n.addr && Alive(n.inside_pred)) {
+      return n.inside_pred;
+    }
+    if (n.inside_pred != n.addr) ++maintenance_.dead_links_skipped;
+  }
+
+  // Guaranteed fallback: walk the large cycle one cluster per hop toward the
+  // target cluster, preferring the cyclic neighbor (already near the right
+  // cyclic position), then the outside leaf set.
+  const std::uint64_t fwd = (a_t - n.id.a) & (cluster_space_ - 1);
+  const std::uint64_t bwd = (n.id.a - a_t) & (cluster_space_ - 1);
+  const bool forward = fwd <= bwd;
+  const NodeAddr first = forward ? n.cyclic_succ : n.cyclic_pred;
+  const NodeAddr second = forward ? n.outside_succ : n.outside_pred;
+  if (first != kNoNode && first != n.addr && Alive(first)) return first;
+  if (second != kNoNode && second != n.addr && Alive(second)) return second;
+  // Last resort (heavy churn): any live neighbor that leaves the cluster.
+  const NodeAddr third = forward ? n.outside_pred : n.outside_succ;
+  if (third != kNoNode && third != n.addr && Alive(third)) return third;
+  if (n.inside_succ != n.addr && Alive(n.inside_succ)) return n.inside_succ;
+  ++maintenance_.dead_links_skipped;
+  return kNoNode;
+}
+
+LookupResult CycloidNetwork::Lookup(CycloidId key, NodeAddr origin) const {
+  LookupResult r;
+  r.key = CycloidId{key.k % cfg_.dimension, key.a % cluster_space_};
+  if (!Contains(origin)) return r;
+
+  const unsigned d = cfg_.dimension;
+  const std::size_t structured_cap = 4 * d + 8;
+  const std::size_t total_cap =
+      structured_cap + 2 * clusters_.size() + 2 * d + 16;
+
+  NodeAddr cur = origin;
+  r.path.push_back(cur);
+  // Sticky fallback mode: engaged when the structured budget is spent or an
+  // immediate backtrack is detected (stateless greedy steps returning to the
+  // previous node would cycle forever in a churn-degraded neighborhood).
+  bool walk_mode = false;
+  while (!Owns(cur, r.key)) {
+    const Node& n = MustGet(cur);
+    walk_mode = walk_mode || r.hops >= structured_cap;
+    NodeAddr next = NextHop(n, r.key, walk_mode);
+    if (!walk_mode && r.path.size() >= 2 &&
+        next == r.path[r.path.size() - 2]) {
+      walk_mode = true;
+      next = NextHop(n, r.key, /*force_walk=*/true);
+    }
+    if (next == kNoNode || next == cur) return r;  // routing dead end
+    cur = next;
+    ++r.hops;
+    r.path.push_back(cur);
+    if (r.hops > total_cap) return r;  // ok stays false
+  }
+  r.owner = cur;
+  r.ok = true;
+  return r;
+}
+
+void CycloidNetwork::FixNode(NodeAddr addr) {
+  BuildState(MustGet(addr));
+  maintenance_.stabilize_messages += 7;  // one refresh per routing entry
+}
+
+void CycloidNetwork::StabilizeAll() {
+  for (auto& [addr, node] : by_addr_) {
+    BuildState(node);
+    maintenance_.stabilize_messages += 7;
+  }
+}
+
+void CycloidNetwork::AddObserver(MembershipObserver* obs) {
+  observers_.push_back(obs);
+}
+
+void CycloidNetwork::RemoveObserver(MembershipObserver* obs) {
+  observers_.erase(std::remove(observers_.begin(), observers_.end(), obs),
+                   observers_.end());
+}
+
+CycloidNetwork MakeCycloid(std::size_t n, Config cfg, NodeAddr base_addr) {
+  CycloidNetwork net(cfg);
+  const std::uint64_t cap = net.capacity();
+  if (n > cap) throw ConfigError("more nodes than cycloid capacity");
+  if (n == 0) return net;
+  for (std::size_t i = 0; i < n; ++i) {
+    // Proportional placement over the d * 2^d positions (see MakeRing).
+    const auto pos = static_cast<std::uint64_t>(
+        static_cast<unsigned __int128>(i) * cap / n);
+    const CycloidId id{static_cast<unsigned>(pos % cfg.dimension),
+                       pos / cfg.dimension};
+    net.AddNodeWithId(static_cast<NodeAddr>(base_addr + i), id);
+  }
+  net.StabilizeAll();
+  return net;
+}
+
+unsigned DimensionFor(std::size_t n) {
+  for (unsigned d = 2; d <= 24; ++d) {
+    if (static_cast<std::uint64_t>(d) * (std::uint64_t{1} << d) >= n) return d;
+  }
+  throw ConfigError("network too large for cycloid dimensions <= 24");
+}
+
+}  // namespace lorm::cycloid

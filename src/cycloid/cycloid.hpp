@@ -1,0 +1,228 @@
+// Cycloid DHT simulator (Shen, Xu, Chen — Performance Evaluation 63(3), 2006).
+//
+// Cycloid is a constant-degree overlay emulating a cube-connected-cycles
+// graph. With dimension d it holds up to n = d * 2^d nodes. Every node is
+// named by a pair (k, a):
+//
+//   k — cyclic index in [0, d): the node's position on a small cycle;
+//   a — cubical index in [0, 2^d): which small cycle ("cluster") it is on.
+//
+// Nodes with equal cubical index form a cluster ordered by cyclic index; the
+// clusters themselves are ordered by cubical index on a large cycle. LORM
+// (§III of the reproduced paper) keys attributes to clusters and attribute
+// values to positions inside a cluster.
+//
+// Per the Cycloid design, a node's routing state has constant size (7
+// entries), independent of n:
+//
+//   * cubical neighbor   — a node in the cluster whose cubical index flips
+//                          bit (k-1) of `a` (lower bits don't-care), with
+//                          cyclic index near k-1; null when k == 0;
+//   * 2 cyclic neighbors — nodes with cyclic index near k-1 in the clusters
+//                          adjacent on the large cycle; null when k == 0;
+//   * inside leaf set    — cyclic predecessor/successor inside the cluster;
+//   * outside leaf set   — the primary node (largest cyclic index) of the
+//                          preceding and succeeding clusters.
+//
+// Routing is MSB-first: ascend/descend the small cycle to the cyclic index
+// just above the most significant differing cubical bit, flip it through the
+// cubical neighbor, repeat; once inside the target cluster, rotate along the
+// inside leaf set to the owner. Paths are O(d). When churn leaves a cluster
+// without the needed cyclic position, routing falls back to a directional
+// cluster walk over the outside leaf sets, which always terminates.
+//
+// Key assignment uses the successor convention on the lexicographic
+// (cubical, cyclic) order: the owner cluster of cubical value `a` is the
+// first existing cluster with cubical index >= a (wrapping), and the owner
+// node within it is the first member with cyclic index >= k (wrapping).
+// This realizes the paper's "a key is assigned to the node whose ID is
+// closest to its ID" with exact, locally testable sectors.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "common/maintenance.hpp"
+#include "common/types.hpp"
+
+namespace lorm::cycloid {
+
+using lorm::MaintenanceStats;
+
+/// A Cycloid identifier (k = cyclic index, a = cubical index).
+struct CycloidId {
+  unsigned k = 0;        ///< cyclic index, in [0, d)
+  std::uint64_t a = 0;   ///< cubical index, in [0, 2^d)
+
+  friend bool operator==(const CycloidId&, const CycloidId&) = default;
+};
+
+struct Config {
+  /// Cycloid dimension; capacity is d * 2^d nodes. The paper uses d = 8
+  /// (2048 nodes). Must be in [2, 24].
+  unsigned dimension = 8;
+  std::uint64_t seed = 0xC1C101Dull;
+};
+
+struct LookupResult {
+  bool ok = false;
+  CycloidId key;
+  NodeAddr owner = kNoNode;
+  HopCount hops = 0;
+  std::vector<NodeAddr> path;  ///< origin first, owner last
+};
+
+/// Observer of membership changes.
+///
+/// Unlike Chord, a Cycloid join can shrink the sectors of *several* nodes at
+/// once: a join that creates a new cluster takes over a cubical sector that
+/// was spread across every member of the succeeding cluster. OnJoin therefore
+/// reports the full candidate source set; stored objects whose owner became
+/// `node` are found among those sources.
+class MembershipObserver {
+ public:
+  virtual ~MembershipObserver() = default;
+  /// Called after `node` joined and the surrounding leaf sets were repaired.
+  virtual void OnJoin(NodeAddr node,
+                      const std::vector<NodeAddr>& possible_sources) = 0;
+  /// Called after `node` was removed from the ownership oracle (its objects
+  /// must be re-homed via OwnerOf) but while its state is still readable.
+  virtual void OnLeave(NodeAddr node) = 0;
+  /// Called when `node` fails abruptly: no handoff happened — everything it
+  /// stored is lost until providers re-advertise (soft state).
+  virtual void OnFail(NodeAddr node) { (void)node; }
+};
+
+class CycloidNetwork {
+ public:
+  explicit CycloidNetwork(Config cfg);
+
+  // ---- Membership -------------------------------------------------------
+
+  /// Joins with an ID derived by consistent hashing of the address (probing
+  /// to the next free position on collision). Returns the assigned ID.
+  CycloidId AddNode(NodeAddr addr);
+
+  /// Joins at an explicit position. Throws if occupied.
+  void AddNodeWithId(NodeAddr addr, CycloidId id);
+
+  /// Graceful departure.
+  void RemoveNode(NodeAddr addr);
+
+  /// Abrupt failure: the node vanishes without notifying its leaf sets.
+  /// Neighbors' entries go stale until routing skips them and
+  /// self-organization repairs them; its stored objects are lost.
+  void FailNode(NodeAddr addr);
+
+  std::size_t size() const { return by_addr_.size(); }
+  bool Contains(NodeAddr addr) const { return by_addr_.count(addr) != 0; }
+  std::vector<NodeAddr> Members() const;
+
+  // ---- Structure queries --------------------------------------------------
+
+  CycloidId IdOf(NodeAddr addr) const;
+  /// Oracle: the node currently owning `key`.
+  NodeAddr OwnerOf(CycloidId key) const;
+  /// True iff `key` is in the node's (cluster, cyclic) sector, judged from
+  /// the node's own leaf-set state.
+  bool Owns(NodeAddr addr, CycloidId key) const;
+
+  /// Members of the cluster owning cubical value `a`, in cyclic order.
+  std::vector<NodeAddr> ClusterMembersOf(std::uint64_t a) const;
+  std::size_t ClusterCount() const { return clusters_.size(); }
+
+  /// Inside-leaf-set pointers (the small cycle). Self when alone.
+  NodeAddr InsideSuccessor(NodeAddr addr) const;
+  NodeAddr InsidePredecessor(NodeAddr addr) const;
+
+  /// Distinct live remote nodes in the 7-entry routing state — the
+  /// constant-degree outlink count of Fig 3(a).
+  std::size_t Outlinks(NodeAddr addr) const;
+
+  /// Every distinct node the given node can reach in one hop through its
+  /// 7-entry routing state (live or stale). Exposed so tests can verify
+  /// that lookup paths only ever traverse real routing-table links.
+  std::vector<NodeAddr> NeighborsOf(NodeAddr addr) const;
+
+  // ---- Routing ------------------------------------------------------------
+
+  /// Routes from `origin` to the owner of `key` using only per-node state.
+  LookupResult Lookup(CycloidId key, NodeAddr origin) const;
+
+  // ---- Maintenance --------------------------------------------------------
+
+  /// Rebuilds one node's routing state to the converged value.
+  void FixNode(NodeAddr addr);
+  /// Maintenance round over every node (self-organization fixed point).
+  void StabilizeAll();
+
+  void AddObserver(MembershipObserver* obs);
+  void RemoveObserver(MembershipObserver* obs);
+
+  const MaintenanceStats& maintenance() const { return maintenance_; }
+  void ResetMaintenanceStats() { maintenance_ = {}; }
+
+  unsigned dimension() const { return cfg_.dimension; }
+  std::uint64_t cluster_space() const { return cluster_space_; }  ///< 2^d
+  std::uint64_t capacity() const { return cluster_space_ * cfg_.dimension; }
+  const Config& config() const { return cfg_; }
+
+ private:
+  struct Node {
+    CycloidId id;
+    NodeAddr addr = kNoNode;
+    NodeAddr inside_succ = kNoNode;
+    NodeAddr inside_pred = kNoNode;
+    NodeAddr outside_succ = kNoNode;  // primary of succeeding cluster
+    NodeAddr outside_pred = kNoNode;  // primary of preceding cluster
+    NodeAddr cubical = kNoNode;       // flips bit k-1 (null when k == 0)
+    NodeAddr cyclic_succ = kNoNode;   // ~k-1 in succeeding cluster
+    NodeAddr cyclic_pred = kNoNode;   // ~k-1 in preceding cluster
+  };
+
+  using Cluster = std::map<unsigned, NodeAddr>;  // cyclic index -> addr
+
+  Node& MustGet(NodeAddr addr);
+  const Node& MustGet(NodeAddr addr) const;
+  bool Alive(NodeAddr addr) const { return by_addr_.count(addr) != 0; }
+
+  /// Oracle helpers over the cluster index.
+  const Cluster& MustCluster(std::uint64_t a) const;
+  std::uint64_t OwnerClusterCubical(std::uint64_t a) const;
+  NodeAddr OwnerInCluster(const Cluster& c, unsigned k) const;
+  NodeAddr PrimaryOf(const Cluster& c) const;
+  std::uint64_t PrecedingClusterCubical(std::uint64_t a) const;
+  std::uint64_t SucceedingClusterCubical(std::uint64_t a) const;
+
+  void BuildState(Node& n);
+  /// Rebuilds the state of every node in the cluster at `a` and in both
+  /// adjacent clusters — the scope a graceful join/leave notifies.
+  void RepairAround(std::uint64_t a);
+
+  /// One local routing decision; returns kNoNode if the node believes it is
+  /// the owner. `force_walk` switches to the guaranteed cluster walk.
+  NodeAddr NextHop(const Node& n, CycloidId key, bool force_walk) const;
+
+  /// True iff the node's cluster owns cubical value `a`, judged from the
+  /// node's own outside leaf set.
+  bool ClusterOwnsLocal(const Node& n, std::uint64_t a) const;
+
+  Config cfg_;
+  std::uint64_t cluster_space_;
+  std::map<std::uint64_t, Cluster> clusters_;  // oracle index
+  std::unordered_map<NodeAddr, Node> by_addr_;
+  std::vector<MembershipObserver*> observers_;
+  mutable MaintenanceStats maintenance_;  // mutable: routing is const
+};
+
+/// Evenly populates a Cycloid with `n` nodes (addresses base..base+n-1) over
+/// its d * 2^d positions. With n == capacity this is the paper's fully
+/// populated overlay.
+CycloidNetwork MakeCycloid(std::size_t n, Config cfg, NodeAddr base_addr = 0);
+
+/// Smallest dimension whose capacity d * 2^d is >= n (for network-size sweeps).
+unsigned DimensionFor(std::size_t n);
+
+}  // namespace lorm::cycloid

@@ -1,0 +1,160 @@
+// Per-node resource directories.
+//
+// A directory node pools resource-information tuples and answers sub-queries
+// against them (paper §III: "the operation in resource discovery is to pool
+// together information of available resources in a number of directory
+// nodes"). Entries carry the DHT placement key they were stored under so
+// ownership changes under churn can re-home exactly the affected entries,
+// and the value's ordinal so range scans need no schema access.
+//
+// The template parameter is the overlay key type (chord::Key or
+// cycloid::CycloidId).
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "common/types.hpp"
+#include "resource/resource_info.hpp"
+
+namespace lorm::discovery {
+
+template <typename KeyT>
+class Directory {
+ public:
+  struct Entry {
+    resource::ResourceInfo info;
+    double ordinal = 0;  ///< schema ordinal of info.value
+    KeyT key{};          ///< DHT key the entry was placed under
+    /// Soft-state reporting period the entry was advertised in.
+    std::uint64_t epoch = 0;
+    /// Record kind for systems that store one tuple under several keys
+    /// (MAAN: 0 = value record, 1 = attribute record). Others leave it 0.
+    std::uint8_t tag = 0;
+    /// 0 = primary copy (lives on the key's owner and re-homes with it);
+    /// 1..r-1 = replica copies placed on the owner's successors for crash
+    /// resilience. Replicas stay where they were put and are rebuilt by the
+    /// next soft-state epoch.
+    std::uint8_t replica = 0;
+  };
+
+  void Insert(Entry e) {
+    const auto k = std::make_pair(e.info.attr, e.ordinal);
+    entries_.emplace(k, std::move(e));
+  }
+
+  std::size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+  /// All entries for `attr` whose ordinal lies in [lo, hi].
+  template <typename Fn>
+  void ForEachMatch(AttrId attr, double lo, double hi, Fn&& fn) const {
+    auto it = entries_.lower_bound(std::make_pair(attr, lo));
+    const auto end = entries_.upper_bound(std::make_pair(attr, hi));
+    for (; it != end; ++it) fn(it->second);
+  }
+
+  /// Removes and returns every entry satisfying `pred(entry)`.
+  template <typename Pred>
+  std::vector<Entry> TakeIf(Pred&& pred) {
+    std::vector<Entry> out;
+    for (auto it = entries_.begin(); it != entries_.end();) {
+      if (pred(it->second)) {
+        out.push_back(std::move(it->second));
+        it = entries_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    return out;
+  }
+
+  std::vector<Entry> TakeAll() {
+    return TakeIf([](const Entry&) { return true; });
+  }
+
+  /// Removes all entries advertised by `provider`; returns how many.
+  std::size_t EraseProvider(NodeAddr provider) {
+    return TakeIf([provider](const Entry& e) {
+             return e.info.provider == provider;
+           })
+        .size();
+  }
+
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (const auto& [k, e] : entries_) fn(e);
+  }
+
+ private:
+  // (attr, ordinal) -> entry; multimap: many entries share a value.
+  std::multimap<std::pair<AttrId, double>, Entry> entries_;
+};
+
+/// Map from directory node address to its directory, plus the bookkeeping
+/// shared by all four systems.
+template <typename KeyT>
+class DirectoryStore {
+ public:
+  using Dir = Directory<KeyT>;
+  using Entry = typename Dir::Entry;
+
+  Dir& At(NodeAddr owner) { return dirs_[owner]; }
+  const Dir* Find(NodeAddr owner) const {
+    const auto it = dirs_.find(owner);
+    return it == dirs_.end() ? nullptr : &it->second;
+  }
+
+  void Insert(NodeAddr owner, Entry e) { dirs_[owner].Insert(std::move(e)); }
+
+  std::vector<Entry> TakeAll(NodeAddr owner) {
+    const auto it = dirs_.find(owner);
+    if (it == dirs_.end()) return {};
+    auto out = it->second.TakeAll();
+    dirs_.erase(it);
+    return out;
+  }
+
+  template <typename Pred>
+  std::vector<Entry> TakeIf(NodeAddr owner, Pred&& pred) {
+    const auto it = dirs_.find(owner);
+    if (it == dirs_.end()) return {};
+    return it->second.TakeIf(std::forward<Pred>(pred));
+  }
+
+  void Drop(NodeAddr owner) { dirs_.erase(owner); }
+
+  std::size_t SizeAt(NodeAddr owner) const {
+    const Dir* d = Find(owner);
+    return d ? d->size() : 0;
+  }
+
+  std::size_t TotalEntries() const {
+    std::size_t total = 0;
+    for (const auto& [addr, d] : dirs_) total += d.size();
+    return total;
+  }
+
+  std::size_t EraseProviderEverywhere(NodeAddr provider) {
+    std::size_t n = 0;
+    for (auto& [addr, d] : dirs_) n += d.EraseProvider(provider);
+    return n;
+  }
+
+  /// Soft-state expiry: drops entries advertised before `cutoff`.
+  std::size_t ExpireBefore(std::uint64_t cutoff) {
+    std::size_t n = 0;
+    for (auto& [addr, d] : dirs_) {
+      n += d.TakeIf([cutoff](const Entry& e) { return e.epoch < cutoff; })
+               .size();
+    }
+    return n;
+  }
+
+ private:
+  std::map<NodeAddr, Dir> dirs_;
+};
+
+}  // namespace lorm::discovery

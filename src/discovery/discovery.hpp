@@ -1,0 +1,106 @@
+// The common interface of the four resource-discovery systems.
+//
+// Each implementation owns its DHT substrate(s) and its directory state:
+//
+//   LormService    — one Cycloid (the paper's contribution)
+//   MercuryService — m Chord rings, one per attribute
+//   SwordService   — one Chord ring, attribute-rooted directories
+//   MaanService    — one Chord ring, dual attribute/value placement
+//
+// All four expose identical advertise/query/membership operations so the
+// experiment harnesses and examples can drive them interchangeably.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "discovery/stats.hpp"
+#include "resource/query.hpp"
+
+namespace lorm::discovery {
+
+/// Result of a multi-attribute query.
+struct QueryResult {
+  /// Providers satisfying every sub-query (the database-like join);
+  /// sorted, deduplicated, and filtered to currently live providers.
+  std::vector<NodeAddr> providers;
+  /// Raw matches of each sub-query, in sub-query order.
+  std::vector<std::vector<resource::ResourceInfo>> per_sub;
+  QueryStats stats;
+};
+
+class DiscoveryService {
+ public:
+  virtual ~DiscoveryService() = default;
+
+  virtual std::string name() const = 0;
+
+  // ---- Membership (a grid node joins/leaves with its resources) ---------
+
+  /// Returns false if the overlay's identifier space is exhausted (a full
+  /// Cycloid holds at most d * 2^d nodes); the join is rejected.
+  virtual bool JoinNode(NodeAddr addr) = 0;
+  /// Graceful departure: directory entries re-home; the departing
+  /// provider's own advertisements are withdrawn.
+  virtual void LeaveNode(NodeAddr addr) = 0;
+  /// Abrupt failure: no handoff — the node's directory entries are lost
+  /// until their providers re-advertise (soft state), and its overlay
+  /// neighbors route around the stale links until Maintain() heals them.
+  virtual void FailNode(NodeAddr addr) = 0;
+  virtual bool HasNode(NodeAddr addr) const = 0;
+  virtual std::size_t NetworkSize() const = 0;
+  virtual std::vector<NodeAddr> Nodes() const = 0;
+
+  /// One maintenance round (stabilization / self-organization).
+  virtual void Maintain() = 0;
+
+  /// Total overlay maintenance messages spent so far (joins + leaves +
+  /// stabilization) — the structure-maintenance overhead behind Thm 4.1.
+  virtual std::uint64_t MaintenanceMessages() const = 0;
+
+  // ---- Resource information ---------------------------------------------
+
+  /// Routes one advertised tuple from its provider to the responsible
+  /// directory node. Returns the routing hops spent. The stored entry is
+  /// stamped with the current soft-state epoch.
+  virtual HopCount Advertise(const resource::ResourceInfo& info) = 0;
+
+  // ---- Soft state (periodic re-advertisement, paper §III) -----------------
+  //
+  // "A node reports its available resources to the system periodically."
+  // Each reporting period is an epoch: bump the epoch, have providers
+  // re-advertise, then expire everything older — entries of departed or
+  // failed providers age out instead of lingering forever.
+
+  virtual void SetEpoch(std::uint64_t epoch) = 0;
+  virtual std::uint64_t CurrentEpoch() const = 0;
+  /// Drops entries stamped with an epoch < `cutoff`; returns how many.
+  virtual std::size_t ExpireEntriesBefore(std::uint64_t cutoff) = 0;
+
+  // ---- Queries ------------------------------------------------------------
+
+  /// Resolves a multi-attribute (range) query from q.requester, which must
+  /// be a member node. Sub-queries are conceptually parallel; stats
+  /// aggregate over all of them.
+  virtual QueryResult Query(const resource::MultiQuery& q) const = 0;
+
+  // ---- Metrics for the experiment harnesses -------------------------------
+
+  /// Directory size of every member node (zeros included) — Fig. 3(b-d).
+  virtual std::vector<double> DirectorySizes() const = 0;
+  /// Query-processing load: how many times each member node was visited
+  /// (root or range-walk probe) by queries since the last reset. Order
+  /// matches Nodes(). Exposes who actually absorbs the query traffic —
+  /// the popularity-skew ablation's metric.
+  virtual std::vector<double> QueryLoadCounts() const = 0;
+  virtual void ResetQueryLoad() = 0;
+  /// Out-link count of every member node — Fig. 3(a). For Mercury this sums
+  /// over all m rings.
+  virtual std::vector<double> OutlinkCounts() const = 0;
+  /// Total stored resource-information pieces (Theorem 4.2: MAAN stores 2x).
+  virtual std::size_t TotalInfoPieces() const = 0;
+};
+
+}  // namespace lorm::discovery

@@ -1,0 +1,44 @@
+#include "discovery/join.hpp"
+
+#include <algorithm>
+
+namespace lorm::discovery {
+
+std::vector<NodeAddr> JoinProviders(
+    const std::vector<std::vector<resource::ResourceInfo>>& per_sub) {
+  if (per_sub.empty()) return {};
+
+  std::vector<NodeAddr> acc;
+  acc.reserve(per_sub.front().size());
+  for (const auto& info : per_sub.front()) acc.push_back(info.provider);
+  std::sort(acc.begin(), acc.end());
+  acc.erase(std::unique(acc.begin(), acc.end()), acc.end());
+
+  std::vector<NodeAddr> next;
+  for (std::size_t i = 1; i < per_sub.size() && !acc.empty(); ++i) {
+    std::vector<NodeAddr> cur;
+    cur.reserve(per_sub[i].size());
+    for (const auto& info : per_sub[i]) cur.push_back(info.provider);
+    std::sort(cur.begin(), cur.end());
+    cur.erase(std::unique(cur.begin(), cur.end()), cur.end());
+
+    next.clear();
+    std::set_intersection(acc.begin(), acc.end(), cur.begin(), cur.end(),
+                          std::back_inserter(next));
+    acc.swap(next);
+  }
+  return acc;
+}
+
+void DedupMatches(std::vector<resource::ResourceInfo>& matches) {
+  std::sort(matches.begin(), matches.end(),
+            [](const resource::ResourceInfo& a,
+               const resource::ResourceInfo& b) {
+              if (a.attr != b.attr) return a.attr < b.attr;
+              if (a.provider != b.provider) return a.provider < b.provider;
+              return a.value < b.value;
+            });
+  matches.erase(std::unique(matches.begin(), matches.end()), matches.end());
+}
+
+}  // namespace lorm::discovery

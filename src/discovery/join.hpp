@@ -1,0 +1,28 @@
+// The requester-side "join" of per-attribute sub-query results.
+//
+// Paper §III: "The requester node then concatenates the results in a
+// database-like 'join' operation based on ip_addr. The results are the nodes
+// that have desired resource by the requester." A provider satisfies the
+// multi-attribute query iff it appears in the result set of every sub-query.
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "resource/resource_info.hpp"
+
+namespace lorm::discovery {
+
+/// Intersects the provider sets of all sub-query results. Each inner vector
+/// holds the matches of one sub-query; the output is the sorted set of
+/// providers present in every one of them. An empty outer vector joins to an
+/// empty set.
+std::vector<NodeAddr> JoinProviders(
+    const std::vector<std::vector<resource::ResourceInfo>>& per_sub);
+
+/// Requester-side deduplication of one sub-query's matches: with directory
+/// replication a range walk can see the same tuple on several nodes; the
+/// requester keeps one copy of each ⟨attribute, value, provider⟩.
+void DedupMatches(std::vector<resource::ResourceInfo>& matches);
+
+}  // namespace lorm::discovery

@@ -1,0 +1,231 @@
+#include "discovery/lorm_service.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "discovery/join.hpp"
+
+namespace lorm::discovery {
+
+LormService::LormService(std::size_t n,
+                         const resource::AttributeRegistry& registry,
+                         Config cfg)
+    : registry_(registry),
+      cfg_(std::move(cfg)),
+      net_(cycloid::MakeCycloid(n, cfg_.overlay)) {
+  const ConsistentHash ch(cfg_.overlay.dimension);
+  attr_cubical_.reserve(registry_.size());
+  for (AttrId a = 0; a < registry_.size(); ++a) {
+    attr_cubical_.push_back(ch(registry_.Get(a).name()));
+  }
+  net_.AddObserver(this);
+}
+
+LormService::~LormService() { net_.RemoveObserver(this); }
+
+std::uint64_t LormService::CubicalOf(AttrId attr) const {
+  LORM_CHECK_MSG(attr < attr_cubical_.size(), "attribute id out of range");
+  return attr_cubical_[attr];
+}
+
+unsigned LormService::CyclicOf(AttrId attr, double ordinal) const {
+  const auto& schema = registry_.Get(attr);
+  double u;
+  if (cfg_.value_cdf) {
+    u = std::clamp(cfg_.value_cdf(ordinal), 0.0, 1.0);
+  } else {
+    u = std::clamp((ordinal - schema.ordinal_min()) /
+                       (schema.ordinal_max() - schema.ordinal_min()),
+                   0.0, 1.0);
+  }
+  const unsigned d = net_.dimension();
+  const auto k = static_cast<unsigned>(u * static_cast<double>(d));
+  return std::min(k, d - 1);
+}
+
+cycloid::CycloidId LormService::KeyFor(AttrId attr,
+                                       const resource::AttrValue& v) const {
+  const double ordinal = registry_.Get(attr).OrdinalOf(v);
+  return cycloid::CycloidId{CyclicOf(attr, ordinal), CubicalOf(attr)};
+}
+
+bool LormService::JoinNode(NodeAddr addr) {
+  if (net_.size() >= net_.capacity()) return false;  // id space exhausted
+  net_.AddNode(addr);
+  return true;
+}
+
+void LormService::LeaveNode(NodeAddr addr) { net_.RemoveNode(addr); }
+
+void LormService::FailNode(NodeAddr addr) { net_.FailNode(addr); }
+
+HopCount LormService::Advertise(const resource::ResourceInfo& info) {
+  LORM_CHECK_MSG(net_.Contains(info.provider),
+                 "provider is not a member of the overlay");
+  const auto key = KeyFor(info.attr, info.value);
+  const auto res = net_.Lookup(key, info.provider);
+  LORM_CHECK_MSG(res.ok, "LORM advertise lookup failed to route");
+  HopCount hops = res.hops;
+  NodeAddr target = res.owner;
+  for (std::size_t copy = 0; copy < cfg_.replicas; ++copy) {
+    if (copy > 0) {
+      // Replicas ride the small cycle to the owner's cyclic successors.
+      target = net_.InsideSuccessor(target);
+      if (target == res.owner) break;  // cluster smaller than the factor
+      hops += 1;
+    }
+    Store::Entry e;
+    e.info = info;
+    e.ordinal = registry_.Get(info.attr).OrdinalOf(info.value);
+    e.key = key;
+    e.epoch = epoch_;
+    e.replica = static_cast<std::uint8_t>(copy);
+    store_.Insert(target, std::move(e));
+  }
+  return hops;
+}
+
+QueryResult LormService::Query(const resource::MultiQuery& q) const {
+  QueryResult result;
+  LORM_CHECK_MSG(net_.Contains(q.requester),
+                 "requester is not a member of the overlay");
+
+  for (const auto& sub : q.subs) {
+    const HopCount cost_before =
+        result.stats.dht_hops + static_cast<HopCount>(result.stats.walk_steps);
+    const auto& schema = registry_.Get(sub.attr);
+    const double lo = schema.OrdinalOf(sub.range.lo);
+    const double hi = schema.OrdinalOf(sub.range.hi);
+    const auto key_lo = cycloid::CycloidId{CyclicOf(sub.attr, lo),
+                                           CubicalOf(sub.attr)};
+    const auto key_hi = cycloid::CycloidId{CyclicOf(sub.attr, hi),
+                                           CubicalOf(sub.attr)};
+
+    std::vector<resource::ResourceInfo> matches;
+    const auto res = net_.Lookup(key_lo, q.requester);
+    result.stats.lookups += 1;
+    result.stats.dht_hops += res.hops;
+    if (!res.ok) {
+      result.stats.failed = true;
+      result.per_sub.push_back(std::move(matches));
+      result.stats.sub_costs.push_back(
+          result.stats.dht_hops +
+          static_cast<HopCount>(result.stats.walk_steps) - cost_before);
+      continue;
+    }
+
+    // Visit the root, then walk the small cycle's successors until the
+    // cyclic segment [key_lo.k, key_hi.k] is covered (Prop. 3.1: every match
+    // lies on that arc). Coverage grows contiguously from key_lo.k, so the
+    // walk stops once the current node's cyclic index reaches key_hi.k in
+    // ring order measured from key_lo.k — or circles back to the root.
+    const unsigned d = net_.dimension();
+    const unsigned target = (key_hi.k + d - key_lo.k) % d;
+    NodeAddr cur = res.owner;
+    const std::size_t guard = d + 2;
+    for (std::size_t steps = 0;; ++steps) {
+      result.stats.visited_nodes += 1;
+      ++visit_counts_[cur];
+      if (const auto* dir = store_.Find(cur)) {
+        dir->ForEachMatch(sub.attr, lo, hi, [&](const Store::Entry& e) {
+          matches.push_back(e.info);
+        });
+      }
+      if ((net_.IdOf(cur).k + d - key_lo.k) % d >= target) break;
+      const NodeAddr next = net_.InsideSuccessor(cur);
+      if (next == res.owner) break;  // full circle around the cluster
+      if (!net_.Contains(next)) {
+        // The cyclic successor crashed and self-organization has not healed
+        // the small cycle yet: the remaining arc is unreachable this round.
+        result.stats.failed = true;
+        break;
+      }
+      LORM_CHECK_MSG(steps < guard, "LORM cluster walk failed to terminate");
+      cur = next;
+      result.stats.walk_steps += 1;
+    }
+    DedupMatches(matches);  // replicas may repeat tuples along the walk
+    result.per_sub.push_back(std::move(matches));
+    result.stats.sub_costs.push_back(
+        result.stats.dht_hops + static_cast<HopCount>(result.stats.walk_steps) -
+        cost_before);
+  }
+
+  result.providers = JoinProviders(result.per_sub);
+  // Soft-state filtering: drop providers that have departed since they
+  // advertised (their stale entries expire with periodic re-advertisement).
+  result.providers.erase(
+      std::remove_if(result.providers.begin(), result.providers.end(),
+                     [&](NodeAddr p) { return !net_.Contains(p); }),
+      result.providers.end());
+  return result;
+}
+
+std::vector<double> LormService::QueryLoadCounts() const {
+  std::vector<double> out;
+  out.reserve(net_.size());
+  for (NodeAddr addr : net_.Members()) {
+    const auto it = visit_counts_.find(addr);
+    out.push_back(it == visit_counts_.end()
+                      ? 0.0
+                      : static_cast<double>(it->second));
+  }
+  return out;
+}
+
+std::vector<double> LormService::DirectorySizes() const {
+  std::vector<double> out;
+  out.reserve(net_.size());
+  for (NodeAddr addr : net_.Members()) {
+    out.push_back(static_cast<double>(store_.SizeAt(addr)));
+  }
+  return out;
+}
+
+std::vector<double> LormService::OutlinkCounts() const {
+  std::vector<double> out;
+  out.reserve(net_.size());
+  for (NodeAddr addr : net_.Members()) {
+    out.push_back(static_cast<double>(net_.Outlinks(addr)));
+  }
+  return out;
+}
+
+std::size_t LormService::TotalInfoPieces() const {
+  return store_.TotalEntries();
+}
+
+std::size_t LormService::WithdrawProvider(NodeAddr provider) {
+  return store_.EraseProviderEverywhere(provider);
+}
+
+void LormService::OnJoin(NodeAddr node,
+                         const std::vector<NodeAddr>& possible_sources) {
+  for (NodeAddr src : possible_sources) {
+    auto moved = store_.TakeIf(src, [&](const Store::Entry& e) {
+      return e.replica == 0 && net_.OwnerOf(e.key) == node;
+    });
+    for (auto& e : moved) store_.Insert(node, std::move(e));
+  }
+}
+
+void LormService::OnFail(NodeAddr node) {
+  // No handoff: whatever the failed node stored is gone until providers
+  // re-advertise in a later epoch.
+  store_.TakeAll(node);
+  store_.Drop(node);
+}
+
+void LormService::OnLeave(NodeAddr node) {
+  auto orphaned = store_.TakeAll(node);
+  store_.Drop(node);
+  if (net_.ClusterCount() == 0) return;  // last node left: information is lost
+  for (auto& e : orphaned) {
+    // Primaries re-home with their key sector; replicas are dropped here and
+    // rebuilt by the next soft-state epoch.
+    if (e.replica != 0) continue;
+    store_.Insert(net_.OwnerOf(e.key), std::move(e));
+  }
+}
+
+}  // namespace lorm::discovery

@@ -1,0 +1,209 @@
+#include "discovery/maan_service.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "discovery/join.hpp"
+#include "discovery/ring_walk.hpp"
+
+namespace lorm::discovery {
+
+MaanService::MaanService(std::size_t n,
+                         const resource::AttributeRegistry& registry,
+                         Config cfg)
+    : registry_(registry),
+      cfg_(cfg),
+      ring_(chord::MakeRing(n, cfg.ring, cfg.deterministic_ids)) {
+  const ConsistentHash ch(cfg_.ring.bits);
+  attr_key_.reserve(registry_.size());
+  lph_.reserve(registry_.size());
+  for (AttrId a = 0; a < registry_.size(); ++a) {
+    const auto& schema = registry_.Get(a);
+    attr_key_.push_back(ch(schema.name()));
+    lph_.emplace_back(cfg_.ring.bits, schema.ordinal_min(),
+                      schema.ordinal_max());
+  }
+  ring_.AddObserver(this);
+}
+
+MaanService::~MaanService() { ring_.RemoveObserver(this); }
+
+chord::Key MaanService::AttributeKeyFor(AttrId attr) const {
+  LORM_CHECK_MSG(attr < attr_key_.size(), "attribute id out of range");
+  return attr_key_[attr];
+}
+
+chord::Key MaanService::ValueKeyFor(AttrId attr,
+                                    const resource::AttrValue& v) const {
+  return lph_[attr](registry_.Get(attr).OrdinalOf(v));
+}
+
+bool MaanService::JoinNode(NodeAddr addr) {
+  if (ring_.size() >= ring_.space()) return false;
+  ring_.AddNode(addr);
+  return true;
+}
+
+void MaanService::LeaveNode(NodeAddr addr) { ring_.RemoveNode(addr); }
+
+void MaanService::FailNode(NodeAddr addr) { ring_.FailNode(addr); }
+
+HopCount MaanService::Advertise(const resource::ResourceInfo& info) {
+  LORM_CHECK_MSG(ring_.Contains(info.provider),
+                 "provider is not a member of the overlay");
+  const double ordinal = registry_.Get(info.attr).OrdinalOf(info.value);
+  HopCount hops = 0;
+
+  const auto place = [&](chord::Key key, std::uint8_t tag,
+                         const char* what) {
+    const auto res = ring_.Lookup(key, info.provider);
+    LORM_CHECK_MSG(res.ok, what);
+    hops += res.hops;
+    NodeAddr target = res.owner;
+    for (std::size_t copy = 0; copy < cfg_.replicas; ++copy) {
+      if (copy > 0) {
+        target = ring_.Successor(target);
+        if (target == res.owner) break;
+        hops += 1;
+      }
+      Store::Entry e;
+      e.info = info;
+      e.ordinal = ordinal;
+      e.key = key;
+      e.epoch = epoch_;
+      e.tag = tag;
+      e.replica = static_cast<std::uint8_t>(copy);
+      store_.Insert(target, std::move(e));
+    }
+  };
+  place(AttributeKeyFor(info.attr), kAttributeRecord,
+        "MAAN attribute-record insert failed to route");
+  place(ValueKeyFor(info.attr, info.value), kValueRecord,
+        "MAAN value-record insert failed to route");
+  return hops;
+}
+
+QueryResult MaanService::Query(const resource::MultiQuery& q) const {
+  QueryResult result;
+  LORM_CHECK_MSG(ring_.Contains(q.requester),
+                 "requester is not a member of the overlay");
+
+  for (const auto& sub : q.subs) {
+    const HopCount cost_before =
+        result.stats.dht_hops + static_cast<HopCount>(result.stats.walk_steps);
+    const auto& schema = registry_.Get(sub.attr);
+    const double lo = schema.OrdinalOf(sub.range.lo);
+    const double hi = schema.OrdinalOf(sub.range.hi);
+
+    std::vector<resource::ResourceInfo> matches;
+
+    // Lookup 1: the attribute root (resolves the attribute name).
+    {
+      const auto res = ring_.Lookup(AttributeKeyFor(sub.attr), q.requester);
+      result.stats.lookups += 1;
+      result.stats.dht_hops += res.hops;
+      result.stats.visited_nodes += res.ok ? 1 : 0;
+      if (res.ok) ++visit_counts_[res.owner];
+      if (!res.ok) result.stats.failed = true;
+    }
+
+    // Lookup 2: the value root, then (for ranges) the system-wide value walk.
+    const chord::Key key_lo = lph_[sub.attr](lo);
+    const chord::Key key_hi = lph_[sub.attr](hi);
+    const auto res = ring_.Lookup(key_lo, q.requester);
+    result.stats.lookups += 1;
+    result.stats.dht_hops += res.hops;
+    if (!res.ok) {
+      result.stats.failed = true;
+      result.per_sub.push_back(std::move(matches));
+      result.stats.sub_costs.push_back(
+          result.stats.dht_hops +
+          static_cast<HopCount>(result.stats.walk_steps) - cost_before);
+      continue;
+    }
+    WalkSuccessors(ring_, res.owner, key_lo, key_hi, result.stats,
+                   [&](NodeAddr cur) {
+                     ++visit_counts_[cur];
+                     if (const auto* dir = store_.Find(cur)) {
+                       dir->ForEachMatch(sub.attr, lo, hi,
+                                         [&](const Store::Entry& e) {
+                                           if (e.tag == kValueRecord) {
+                                             matches.push_back(e.info);
+                                           }
+                                         });
+                     }
+                   });
+    DedupMatches(matches);  // replicas may repeat tuples along the walk
+    result.per_sub.push_back(std::move(matches));
+    result.stats.sub_costs.push_back(
+        result.stats.dht_hops + static_cast<HopCount>(result.stats.walk_steps) -
+        cost_before);
+  }
+
+  result.providers = JoinProviders(result.per_sub);
+  result.providers.erase(
+      std::remove_if(result.providers.begin(), result.providers.end(),
+                     [&](NodeAddr p) { return !ring_.Contains(p); }),
+      result.providers.end());
+  return result;
+}
+
+std::vector<double> MaanService::QueryLoadCounts() const {
+  std::vector<double> out;
+  for (NodeAddr addr : ring_.Members()) {
+    const auto it = visit_counts_.find(addr);
+    out.push_back(it == visit_counts_.end()
+                      ? 0.0
+                      : static_cast<double>(it->second));
+  }
+  return out;
+}
+
+std::vector<double> MaanService::DirectorySizes() const {
+  std::vector<double> out;
+  for (NodeAddr addr : ring_.Members()) {
+    out.push_back(static_cast<double>(store_.SizeAt(addr)));
+  }
+  return out;
+}
+
+std::vector<double> MaanService::OutlinkCounts() const {
+  std::vector<double> out;
+  for (NodeAddr addr : ring_.Members()) {
+    out.push_back(static_cast<double>(ring_.Outlinks(addr)));
+  }
+  return out;
+}
+
+std::size_t MaanService::TotalInfoPieces() const {
+  return store_.TotalEntries();
+}
+
+std::size_t MaanService::WithdrawProvider(NodeAddr provider) {
+  return store_.EraseProviderEverywhere(provider);
+}
+
+void MaanService::OnJoin(NodeAddr node, NodeAddr successor) {
+  if (node == successor) return;
+  auto moved = store_.TakeIf(successor, [&](const Store::Entry& e) {
+    return e.replica == 0 && ring_.Owns(node, e.key);
+  });
+  for (auto& e : moved) store_.Insert(node, std::move(e));
+}
+
+void MaanService::OnFail(NodeAddr node) {
+  store_.TakeAll(node);
+  store_.Drop(node);
+}
+
+void MaanService::OnLeave(NodeAddr node, NodeAddr successor) {
+  auto orphaned = store_.TakeAll(node);
+  store_.Drop(node);
+  if (successor == kNoNode) return;
+  for (auto& e : orphaned) {
+    if (e.replica != 0) continue;  // replicas are rebuilt by the next epoch
+    store_.Insert(successor, std::move(e));
+  }
+}
+
+}  // namespace lorm::discovery

@@ -1,0 +1,235 @@
+#include "discovery/mercury_service.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "discovery/join.hpp"
+#include "discovery/ring_walk.hpp"
+
+namespace lorm::discovery {
+
+MercuryService::MercuryService(std::size_t n,
+                               const resource::AttributeRegistry& registry,
+                               Config cfg)
+    : registry_(registry), cfg_(cfg) {
+  hubs_.reserve(registry_.size());
+  observers_.reserve(registry_.size());
+  lph_.reserve(registry_.size());
+  for (AttrId a = 0; a < registry_.size(); ++a) {
+    chord::Config ring_cfg = cfg_.ring;
+    // Distinct seed per hub: a node sits at independent positions in each.
+    ring_cfg.seed = MixHashes(cfg_.ring.seed, a);
+    auto hub = std::make_unique<chord::ChordRing>(
+        chord::MakeRing(n, ring_cfg, cfg_.deterministic_ids));
+    const auto& schema = registry_.Get(a);
+    lph_.emplace_back(cfg_.ring.bits, schema.ordinal_min(),
+                      schema.ordinal_max());
+    observers_.push_back(std::make_unique<HubObserver>(this, a));
+    hub->AddObserver(observers_.back().get());
+    hubs_.push_back(std::move(hub));
+  }
+  LORM_CHECK_MSG(!hubs_.empty(), "Mercury needs at least one attribute hub");
+}
+
+MercuryService::~MercuryService() {
+  for (AttrId a = 0; a < hubs_.size(); ++a) {
+    hubs_[a]->RemoveObserver(observers_[a].get());
+  }
+}
+
+const chord::ChordRing& MercuryService::hub(AttrId attr) const {
+  LORM_CHECK_MSG(attr < hubs_.size(), "attribute id out of range");
+  return *hubs_[attr];
+}
+
+chord::Key MercuryService::KeyFor(AttrId attr,
+                                  const resource::AttrValue& v) const {
+  return lph_[attr](registry_.Get(attr).OrdinalOf(v));
+}
+
+bool MercuryService::JoinNode(NodeAddr addr) {
+  if (hubs_.front()->size() >= hubs_.front()->space()) return false;
+  for (auto& hub : hubs_) hub->AddNode(addr);
+  return true;
+}
+
+void MercuryService::LeaveNode(NodeAddr addr) {
+  for (auto& hub : hubs_) hub->RemoveNode(addr);
+  store_.Drop(addr);  // per-hub handlers already moved everything out
+}
+
+bool MercuryService::HasNode(NodeAddr addr) const {
+  return hubs_.front()->Contains(addr);
+}
+
+std::size_t MercuryService::NetworkSize() const {
+  return hubs_.front()->size();
+}
+
+std::vector<NodeAddr> MercuryService::Nodes() const {
+  return hubs_.front()->Members();
+}
+
+void MercuryService::Maintain() {
+  for (auto& hub : hubs_) hub->StabilizeAll();
+}
+
+void MercuryService::FailNode(NodeAddr addr) {
+  for (auto& hub : hubs_) hub->FailNode(addr);
+}
+
+std::uint64_t MercuryService::MaintenanceMessages() const {
+  std::uint64_t total = 0;
+  for (const auto& hub : hubs_) total += hub->maintenance().Total();
+  return total;
+}
+
+HopCount MercuryService::Advertise(const resource::ResourceInfo& info) {
+  const auto& ring = hub(info.attr);
+  LORM_CHECK_MSG(ring.Contains(info.provider),
+                 "provider is not a member of the overlay");
+  const chord::Key key = KeyFor(info.attr, info.value);
+  const auto res = ring.Lookup(key, info.provider);
+  LORM_CHECK_MSG(res.ok, "Mercury advertise lookup failed to route");
+  HopCount hops = res.hops;
+  NodeAddr target = res.owner;
+  for (std::size_t copy = 0; copy < cfg_.replicas; ++copy) {
+    if (copy > 0) {
+      target = ring.Successor(target);
+      if (target == res.owner) break;
+      hops += 1;
+    }
+    Store::Entry e;
+    e.info = info;
+    e.ordinal = registry_.Get(info.attr).OrdinalOf(info.value);
+    e.key = key;
+    e.epoch = epoch_;
+    e.replica = static_cast<std::uint8_t>(copy);
+    store_.Insert(target, std::move(e));
+  }
+  return hops;
+}
+
+QueryResult MercuryService::Query(const resource::MultiQuery& q) const {
+  QueryResult result;
+  for (const auto& sub : q.subs) {
+    const HopCount cost_before =
+        result.stats.dht_hops + static_cast<HopCount>(result.stats.walk_steps);
+    const auto& ring = hub(sub.attr);
+    LORM_CHECK_MSG(ring.Contains(q.requester),
+                   "requester is not a member of the overlay");
+    const auto& schema = registry_.Get(sub.attr);
+    const double lo = schema.OrdinalOf(sub.range.lo);
+    const double hi = schema.OrdinalOf(sub.range.hi);
+    const chord::Key key_lo = lph_[sub.attr](lo);
+    const chord::Key key_hi = lph_[sub.attr](hi);
+
+    std::vector<resource::ResourceInfo> matches;
+    const auto res = ring.Lookup(key_lo, q.requester);
+    result.stats.lookups += 1;
+    result.stats.dht_hops += res.hops;
+    if (!res.ok) {
+      result.stats.failed = true;
+      result.per_sub.push_back(std::move(matches));
+      result.stats.sub_costs.push_back(
+          result.stats.dht_hops +
+          static_cast<HopCount>(result.stats.walk_steps) - cost_before);
+      continue;
+    }
+    WalkSuccessors(ring, res.owner, key_lo, key_hi, result.stats,
+                   [&](NodeAddr cur) {
+                     ++visit_counts_[cur];
+                     if (const auto* dir = store_.Find(cur)) {
+                       dir->ForEachMatch(sub.attr, lo, hi,
+                                         [&](const Store::Entry& e) {
+                                           matches.push_back(e.info);
+                                         });
+                     }
+                   });
+    DedupMatches(matches);  // replicas may repeat tuples along the walk
+    result.per_sub.push_back(std::move(matches));
+    result.stats.sub_costs.push_back(
+        result.stats.dht_hops + static_cast<HopCount>(result.stats.walk_steps) -
+        cost_before);
+  }
+
+  result.providers = JoinProviders(result.per_sub);
+  result.providers.erase(
+      std::remove_if(result.providers.begin(), result.providers.end(),
+                     [&](NodeAddr p) { return !HasNode(p); }),
+      result.providers.end());
+  return result;
+}
+
+std::vector<double> MercuryService::QueryLoadCounts() const {
+  std::vector<double> out;
+  for (NodeAddr addr : Nodes()) {
+    const auto it = visit_counts_.find(addr);
+    out.push_back(it == visit_counts_.end()
+                      ? 0.0
+                      : static_cast<double>(it->second));
+  }
+  return out;
+}
+
+std::vector<double> MercuryService::DirectorySizes() const {
+  std::vector<double> out;
+  for (NodeAddr addr : Nodes()) {
+    out.push_back(static_cast<double>(store_.SizeAt(addr)));
+  }
+  return out;
+}
+
+std::vector<double> MercuryService::OutlinkCounts() const {
+  std::vector<double> out;
+  for (NodeAddr addr : Nodes()) {
+    std::size_t links = 0;
+    for (const auto& hub : hubs_) links += hub->Outlinks(addr);
+    out.push_back(static_cast<double>(links));
+  }
+  return out;
+}
+
+std::size_t MercuryService::TotalInfoPieces() const {
+  return store_.TotalEntries();
+}
+
+std::size_t MercuryService::WithdrawProvider(NodeAddr provider) {
+  return store_.EraseProviderEverywhere(provider);
+}
+
+void MercuryService::HubObserver::OnFail(NodeAddr node) {
+  // Fired once per hub; dropping the directory is idempotent.
+  svc_->store_.TakeAll(node);
+  svc_->store_.Drop(node);
+}
+
+void MercuryService::HubObserver::OnJoin(NodeAddr node, NodeAddr successor) {
+  svc_->HubJoin(attr_, node, successor);
+}
+
+void MercuryService::HubObserver::OnLeave(NodeAddr node, NodeAddr successor) {
+  svc_->HubLeave(attr_, node, successor);
+}
+
+void MercuryService::HubJoin(AttrId attr, NodeAddr node, NodeAddr successor) {
+  if (node == successor) return;  // first node of the hub
+  const auto& ring = hub(attr);
+  auto moved = store_.TakeIf(successor, [&](const Store::Entry& e) {
+    return e.replica == 0 && e.info.attr == attr && ring.Owns(node, e.key);
+  });
+  for (auto& e : moved) store_.Insert(node, std::move(e));
+}
+
+void MercuryService::HubLeave(AttrId attr, NodeAddr node, NodeAddr successor) {
+  auto moved = store_.TakeIf(node, [&](const Store::Entry& e) {
+    return e.info.attr == attr;
+  });
+  if (successor == kNoNode) return;  // last node: information is lost
+  for (auto& e : moved) {
+    if (e.replica != 0) continue;  // replicas are rebuilt by the next epoch
+    store_.Insert(successor, std::move(e));
+  }
+}
+
+}  // namespace lorm::discovery

@@ -1,0 +1,51 @@
+// Shared successor-walk used by the Chord-based range-query systems.
+//
+// Mercury and MAAN resolve a range sub-query by routing to the root of the
+// range's lower endpoint and forwarding along ring successors until the
+// queried segment [key_lo, key_hi] is covered (paper §IV-B: "the node
+// forwards the query to its successor or predecessor according to their
+// closeness to the queried range"). Every checked node counts as a visited
+// node.
+//
+// Coverage grows contiguously from key_lo: after visiting a node with ID x,
+// all keys in [key_lo, x] are resolved. The walk therefore stops as soon as
+// the current node's ID has reached key_hi in ring order measured from
+// key_lo — or when it has circled back to the root (the segment spanned the
+// whole ring). Testing "does the current node own key_hi" instead is subtly
+// wrong: the root's own (possibly wrapped) sector can contain key_hi while
+// the middle of the segment is still uncovered.
+#pragma once
+
+#include "chord/chord.hpp"
+#include "common/error.hpp"
+#include "discovery/stats.hpp"
+
+namespace lorm::discovery {
+
+/// Walks from `root` (the owner of key_lo) along successors until the
+/// segment [key_lo, key_hi] is covered, calling `visit(addr)` for each node
+/// checked (including `root`). Updates stats.visited_nodes/walk_steps.
+/// Requires key_lo <= key_hi in the unwrapped ID order (locality-preserving
+/// hashes are monotone, so range endpoints never wrap).
+template <typename Visit>
+void WalkSuccessors(const chord::ChordRing& ring, NodeAddr root,
+                    chord::Key key_lo, chord::Key key_hi, QueryStats& stats,
+                    Visit&& visit) {
+  const std::uint64_t mask = ring.space() - 1;
+  const std::uint64_t target = (key_hi - key_lo) & mask;
+  NodeAddr cur = root;
+  const std::size_t guard = ring.size() + 2;
+  for (std::size_t steps = 0;; ++steps) {
+    stats.visited_nodes += 1;
+    visit(cur);
+    // Covered up to cur's ID: done once that reaches key_hi.
+    if (((ring.IdOf(cur) - key_lo) & mask) >= target) break;
+    const NodeAddr next = ring.Successor(cur);
+    if (next == root) break;  // full circle: every node checked
+    LORM_CHECK_MSG(steps < guard, "ring walk failed to terminate");
+    cur = next;
+    stats.walk_steps += 1;
+  }
+}
+
+}  // namespace lorm::discovery

@@ -1,0 +1,41 @@
+// Cost metrics of resource discovery operations.
+//
+// Conventions match the paper's §IV-B:
+//  * a "lookup" is one DHT routing operation from the requester to a root;
+//  * "hops" are the inter-node hops those lookups traverse (Fig. 4 metric);
+//  * "visited nodes" are the nodes that receive the query and check their
+//    directory: the root(s) of each sub-query plus every node probed during
+//    a range walk (Fig. 5/6(b) metric).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace lorm::discovery {
+
+struct QueryStats {
+  std::size_t lookups = 0;       ///< DHT lookups issued (LORM: m, MAAN: 2m)
+  HopCount dht_hops = 0;         ///< total routing hops across all lookups
+  std::size_t visited_nodes = 0; ///< directory-checking nodes (roots + walks)
+  std::size_t walk_steps = 0;    ///< range-walk forwards (visited minus roots)
+  bool failed = false;           ///< any sub-lookup failed to route
+  /// Message-path length of each sub-query (its lookup hops + walk
+  /// forwards). Sub-queries run in parallel, so a query's end-to-end
+  /// latency is governed by the slowest sub-path — see
+  /// harness::EstimateQueryLatency.
+  std::vector<HopCount> sub_costs;
+
+  QueryStats& operator+=(const QueryStats& o) {
+    lookups += o.lookups;
+    dht_hops += o.dht_hops;
+    visited_nodes += o.visited_nodes;
+    walk_steps += o.walk_steps;
+    failed = failed || o.failed;
+    sub_costs.insert(sub_costs.end(), o.sub_costs.begin(), o.sub_costs.end());
+    return *this;
+  }
+};
+
+}  // namespace lorm::discovery

@@ -1,0 +1,172 @@
+#include "discovery/sword_service.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "discovery/join.hpp"
+
+namespace lorm::discovery {
+
+SwordService::SwordService(std::size_t n,
+                           const resource::AttributeRegistry& registry,
+                           Config cfg)
+    : registry_(registry),
+      cfg_(cfg),
+      ring_(chord::MakeRing(n, cfg.ring, cfg.deterministic_ids)) {
+  const ConsistentHash ch(cfg_.ring.bits);
+  attr_key_.reserve(registry_.size());
+  for (AttrId a = 0; a < registry_.size(); ++a) {
+    attr_key_.push_back(ch(registry_.Get(a).name()));
+  }
+  ring_.AddObserver(this);
+}
+
+SwordService::~SwordService() { ring_.RemoveObserver(this); }
+
+chord::Key SwordService::KeyFor(AttrId attr) const {
+  LORM_CHECK_MSG(attr < attr_key_.size(), "attribute id out of range");
+  return attr_key_[attr];
+}
+
+bool SwordService::JoinNode(NodeAddr addr) {
+  if (ring_.size() >= ring_.space()) return false;
+  ring_.AddNode(addr);
+  return true;
+}
+
+void SwordService::LeaveNode(NodeAddr addr) { ring_.RemoveNode(addr); }
+
+void SwordService::FailNode(NodeAddr addr) { ring_.FailNode(addr); }
+
+HopCount SwordService::Advertise(const resource::ResourceInfo& info) {
+  LORM_CHECK_MSG(ring_.Contains(info.provider),
+                 "provider is not a member of the overlay");
+  const chord::Key key = KeyFor(info.attr);
+  const auto res = ring_.Lookup(key, info.provider);
+  LORM_CHECK_MSG(res.ok, "SWORD advertise lookup failed to route");
+  HopCount hops = res.hops;
+  NodeAddr target = res.owner;
+  for (std::size_t copy = 0; copy < cfg_.replicas; ++copy) {
+    if (copy > 0) {
+      target = ring_.Successor(target);
+      if (target == res.owner) break;  // ring smaller than the factor
+      hops += 1;
+    }
+    Store::Entry e;
+    e.info = info;
+    e.ordinal = registry_.Get(info.attr).OrdinalOf(info.value);
+    e.key = key;
+    e.epoch = epoch_;
+    e.replica = static_cast<std::uint8_t>(copy);
+    store_.Insert(target, std::move(e));
+  }
+  return hops;
+}
+
+QueryResult SwordService::Query(const resource::MultiQuery& q) const {
+  QueryResult result;
+  LORM_CHECK_MSG(ring_.Contains(q.requester),
+                 "requester is not a member of the overlay");
+
+  for (const auto& sub : q.subs) {
+    const HopCount cost_before =
+        result.stats.dht_hops + static_cast<HopCount>(result.stats.walk_steps);
+    const auto& schema = registry_.Get(sub.attr);
+    const double lo = schema.OrdinalOf(sub.range.lo);
+    const double hi = schema.OrdinalOf(sub.range.hi);
+
+    std::vector<resource::ResourceInfo> matches;
+    const auto res = ring_.Lookup(KeyFor(sub.attr), q.requester);
+    result.stats.lookups += 1;
+    result.stats.dht_hops += res.hops;
+    if (!res.ok) {
+      result.stats.failed = true;
+      result.per_sub.push_back(std::move(matches));
+      result.stats.sub_costs.push_back(
+          result.stats.dht_hops +
+          static_cast<HopCount>(result.stats.walk_steps) - cost_before);
+      continue;
+    }
+    // The attribute's entire directory is at the root: ranges resolve
+    // locally, no forwarding (Theorem 4.9's m visited nodes per query).
+    result.stats.visited_nodes += 1;
+    ++visit_counts_[res.owner];
+    if (const auto* dir = store_.Find(res.owner)) {
+      dir->ForEachMatch(sub.attr, lo, hi, [&](const Store::Entry& e) {
+        matches.push_back(e.info);
+      });
+    }
+    DedupMatches(matches);  // a replica can share the root after churn
+    result.per_sub.push_back(std::move(matches));
+    result.stats.sub_costs.push_back(
+        result.stats.dht_hops + static_cast<HopCount>(result.stats.walk_steps) -
+        cost_before);
+  }
+
+  result.providers = JoinProviders(result.per_sub);
+  result.providers.erase(
+      std::remove_if(result.providers.begin(), result.providers.end(),
+                     [&](NodeAddr p) { return !ring_.Contains(p); }),
+      result.providers.end());
+  return result;
+}
+
+std::vector<double> SwordService::QueryLoadCounts() const {
+  std::vector<double> out;
+  for (NodeAddr addr : ring_.Members()) {
+    const auto it = visit_counts_.find(addr);
+    out.push_back(it == visit_counts_.end()
+                      ? 0.0
+                      : static_cast<double>(it->second));
+  }
+  return out;
+}
+
+std::vector<double> SwordService::DirectorySizes() const {
+  std::vector<double> out;
+  for (NodeAddr addr : ring_.Members()) {
+    out.push_back(static_cast<double>(store_.SizeAt(addr)));
+  }
+  return out;
+}
+
+std::vector<double> SwordService::OutlinkCounts() const {
+  std::vector<double> out;
+  for (NodeAddr addr : ring_.Members()) {
+    out.push_back(static_cast<double>(ring_.Outlinks(addr)));
+  }
+  return out;
+}
+
+std::size_t SwordService::TotalInfoPieces() const {
+  return store_.TotalEntries();
+}
+
+std::size_t SwordService::WithdrawProvider(NodeAddr provider) {
+  return store_.EraseProviderEverywhere(provider);
+}
+
+void SwordService::OnJoin(NodeAddr node, NodeAddr successor) {
+  if (node == successor) return;
+  auto moved = store_.TakeIf(successor, [&](const Store::Entry& e) {
+    return e.replica == 0 && ring_.Owns(node, e.key);
+  });
+  for (auto& e : moved) store_.Insert(node, std::move(e));
+}
+
+void SwordService::OnFail(NodeAddr node) {
+  store_.TakeAll(node);
+  store_.Drop(node);
+}
+
+void SwordService::OnLeave(NodeAddr node, NodeAddr successor) {
+  auto orphaned = store_.TakeAll(node);
+  store_.Drop(node);
+  if (successor == kNoNode) return;  // last node: information is lost
+  for (auto& e : orphaned) {
+    if (e.replica != 0) continue;  // replicas are rebuilt by the next epoch
+    store_.Insert(successor, std::move(e));
+  }
+}
+
+}  // namespace lorm::discovery

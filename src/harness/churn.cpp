@@ -1,0 +1,108 @@
+#include "harness/churn.hpp"
+
+#include <functional>
+
+#include "common/error.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/poisson.hpp"
+
+namespace lorm::harness {
+
+ChurnResult RunChurn(discovery::DiscoveryService& service,
+                     const resource::Workload& workload, NodeAddr next_addr,
+                     const ChurnConfig& cfg) {
+  LORM_CHECK_MSG(cfg.rate > 0 && cfg.query_rate > 0, "rates must be positive");
+  ChurnResult result;
+  Rng rng(cfg.seed);
+  Rng join_rng = rng.Fork();
+  Rng depart_rng = rng.Fork();
+  Rng query_rng = rng.Fork();
+
+  sim::EventQueue queue;
+  sim::PoissonProcess joins(cfg.rate, rng.Fork());
+  sim::PoissonProcess departures(cfg.rate, rng.Fork());
+  sim::PoissonProcess queries(cfg.query_rate, rng.Fork());
+
+  // --- Join events: a new node arrives and advertises its resources. ------
+  std::function<void(sim::EventQueue&)> on_join = [&](sim::EventQueue& q) {
+    const NodeAddr addr = next_addr++;
+    if (!service.JoinNode(addr)) {
+      // Identifier space full (a Cycloid holds at most d * 2^d nodes); the
+      // network hovers at capacity until a departure opens a position.
+      ++result.rejected_joins;
+      q.ScheduleAt(joins.NextArrival(), on_join);
+      return;
+    }
+    ++result.joins;
+    for (std::size_t i = 0; i < cfg.adverts_per_join; ++i) {
+      resource::ResourceInfo info;
+      info.attr = static_cast<AttrId>(
+          join_rng.NextBelow(workload.registry().size()));
+      info.value = workload.SampleValue(info.attr, join_rng);
+      info.provider = addr;
+      service.Advertise(info);
+    }
+    q.ScheduleAt(joins.NextArrival(), on_join);
+  };
+
+  // --- Departure events: a random live node leaves gracefully. -----------
+  std::function<void(sim::EventQueue&)> on_depart = [&](sim::EventQueue& q) {
+    if (service.NetworkSize() > cfg.min_network) {
+      const auto nodes = service.Nodes();
+      service.LeaveNode(nodes[depart_rng.NextBelow(nodes.size())]);
+      ++result.departures;
+    }
+    q.ScheduleAt(departures.NextArrival(), on_depart);
+  };
+
+  // --- Query events. -------------------------------------------------------
+  std::function<void(sim::EventQueue&)> on_query = [&](sim::EventQueue& q) {
+    if (result.queries >= cfg.total_queries) return;
+    const auto nodes = service.Nodes();
+    const NodeAddr requester = nodes[query_rng.NextBelow(nodes.size())];
+    const resource::MultiQuery mq =
+        cfg.range ? workload.MakeRangeQuery(cfg.attrs_per_query, requester,
+                                            cfg.style, query_rng)
+                  : workload.MakePointQuery(cfg.attrs_per_query, requester,
+                                            query_rng);
+    const auto res = service.Query(mq);
+    ++result.queries;
+    if (res.stats.failed) ++result.failures;
+    result.avg_hops += res.stats.dht_hops;        // accumulate; divide later
+    result.avg_visited += res.stats.visited_nodes;
+    if (result.queries < cfg.total_queries) {
+      q.ScheduleAt(queries.NextArrival(), on_query);
+    }
+  };
+
+  // --- Periodic maintenance. ----------------------------------------------
+  std::function<void(sim::EventQueue&)> on_maintain =
+      [&](sim::EventQueue& q) {
+        service.Maintain();
+        if (result.queries < cfg.total_queries) {
+          q.ScheduleAfter(cfg.maintain_interval, on_maintain);
+        }
+      };
+
+  queue.ScheduleAt(joins.NextArrival(), on_join);
+  queue.ScheduleAt(departures.NextArrival(), on_depart);
+  queue.ScheduleAt(queries.NextArrival(), on_query);
+  if (cfg.maintain_interval > 0) {
+    queue.ScheduleAfter(cfg.maintain_interval, on_maintain);
+  }
+
+  // Run until the query budget is spent; churn events beyond the last query
+  // are irrelevant to the measurement.
+  while (result.queries < cfg.total_queries && !queue.empty()) {
+    queue.RunUntil(queue.now() + 60.0);
+  }
+  result.sim_duration = queue.now();
+
+  if (result.queries > 0) {
+    result.avg_hops /= static_cast<double>(result.queries);
+    result.avg_visited /= static_cast<double>(result.queries);
+  }
+  return result;
+}
+
+}  // namespace lorm::harness

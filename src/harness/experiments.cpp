@@ -1,0 +1,138 @@
+#include "harness/experiments.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace lorm::harness {
+
+DirectoryMeasurement MeasureDirectories(
+    const discovery::DiscoveryService& service) {
+  DirectoryMeasurement m;
+  const auto sizes = service.DirectorySizes();
+  m.per_node = Summarize(sizes);
+  m.total_pieces = service.TotalInfoPieces();
+  m.fairness = JainFairness(sizes);
+  return m;
+}
+
+Summary MeasureOutlinks(const discovery::DiscoveryService& service) {
+  return Summarize(service.OutlinkCounts());
+}
+
+QueryExperimentResult RunQueries(const discovery::DiscoveryService& service,
+                                 const resource::Workload& workload,
+                                 const QueryExperimentConfig& cfg) {
+  QueryExperimentResult r;
+  Rng rng(cfg.seed);
+  const auto nodes = service.Nodes();
+  LORM_CHECK_MSG(!nodes.empty(), "query experiment on empty network");
+
+  // The paper randomly chooses `requesters` nodes, each sending
+  // `queries_per_requester` queries.
+  std::vector<NodeAddr> requesters;
+  const std::size_t want = std::min(cfg.requesters, nodes.size());
+  for (std::uint64_t idx : rng.SampleWithoutReplacement(nodes.size(), want)) {
+    requesters.push_back(nodes[idx]);
+  }
+
+  double matches = 0;
+  double lookups = 0;
+  for (NodeAddr requester : requesters) {
+    for (std::size_t i = 0; i < cfg.queries_per_requester; ++i) {
+      const resource::MultiQuery q =
+          cfg.range ? workload.MakeRangeQuery(cfg.attrs_per_query, requester,
+                                              cfg.style, rng)
+                    : workload.MakePointQuery(cfg.attrs_per_query, requester,
+                                              rng);
+      const auto res = service.Query(q);
+      ++r.queries;
+      if (res.stats.failed) ++r.failures;
+      r.total_hops += res.stats.dht_hops;
+      r.total_visited += res.stats.visited_nodes;
+      lookups += static_cast<double>(res.stats.lookups);
+      matches += static_cast<double>(res.providers.size());
+    }
+  }
+  if (r.queries > 0) {
+    const auto q = static_cast<double>(r.queries);
+    r.avg_hops = r.total_hops / q;
+    r.avg_visited = r.total_visited / q;
+    r.avg_lookups = lookups / q;
+    r.avg_matches = matches / q;
+  }
+  return r;
+}
+
+SimTime EstimateQueryLatency(const discovery::QueryStats& stats,
+                             const sim::LatencyModel& model, Rng& rng) {
+  SimTime slowest = 0;
+  for (const HopCount cost : stats.sub_costs) {
+    SimTime t = 0;
+    for (HopCount h = 0; h < cost + 1; ++h) {  // +1: the reply message
+      t += model.SampleHop(rng);
+    }
+    slowest = std::max(slowest, t);
+  }
+  return slowest;
+}
+
+LatencyMeasurement MeasureQueryLatency(
+    const discovery::DiscoveryService& service,
+    const resource::Workload& workload, const QueryExperimentConfig& cfg,
+    const sim::LatencyModel& model) {
+  Rng rng(cfg.seed);
+  Rng lat_rng = rng.Fork();
+  const auto nodes = service.Nodes();
+  LORM_CHECK_MSG(!nodes.empty(), "latency experiment on empty network");
+
+  std::vector<double> samples;
+  for (std::size_t r = 0; r < cfg.requesters; ++r) {
+    const NodeAddr requester = nodes[rng.NextBelow(nodes.size())];
+    for (std::size_t i = 0; i < cfg.queries_per_requester; ++i) {
+      const resource::MultiQuery q =
+          cfg.range ? workload.MakeRangeQuery(cfg.attrs_per_query, requester,
+                                              cfg.style, rng)
+                    : workload.MakePointQuery(cfg.attrs_per_query, requester,
+                                              rng);
+      const auto res = service.Query(q);
+      samples.push_back(EstimateQueryLatency(res.stats, model, lat_rng));
+    }
+  }
+  const Summary s = Summarize(std::move(samples));
+  LatencyMeasurement out;
+  out.queries = s.count;
+  out.mean = s.mean;
+  out.p50 = s.p50;
+  out.p99 = s.p99;
+  return out;
+}
+
+std::vector<NodeAddr> BruteForceProviders(
+    const std::vector<resource::ResourceInfo>& infos,
+    const resource::MultiQuery& q,
+    const discovery::DiscoveryService& service) {
+  std::vector<NodeAddr> result;
+  for (const auto& sub : q.subs) {
+    std::vector<NodeAddr> matches;
+    for (const auto& info : infos) {
+      if (sub.Matches(info)) matches.push_back(info.provider);
+    }
+    std::sort(matches.begin(), matches.end());
+    matches.erase(std::unique(matches.begin(), matches.end()), matches.end());
+    if (&sub == &q.subs.front()) {
+      result = std::move(matches);
+    } else {
+      std::vector<NodeAddr> tmp;
+      std::set_intersection(result.begin(), result.end(), matches.begin(),
+                            matches.end(), std::back_inserter(tmp));
+      result.swap(tmp);
+    }
+  }
+  result.erase(std::remove_if(result.begin(), result.end(),
+                              [&](NodeAddr p) { return !service.HasNode(p); }),
+               result.end());
+  return result;
+}
+
+}  // namespace lorm::harness

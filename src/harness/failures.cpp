@@ -1,0 +1,95 @@
+#include "harness/failures.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "harness/experiments.hpp"
+
+namespace lorm::harness {
+namespace {
+
+FailurePhase MeasurePhase(const discovery::DiscoveryService& service,
+                          const resource::Workload& workload,
+                          const std::vector<resource::ResourceInfo>& infos,
+                          const FailureConfig& cfg, Rng rng) {
+  FailurePhase phase;
+  const auto nodes = service.Nodes();
+  double found = 0, expected = 0;
+  for (std::size_t i = 0; i < cfg.queries; ++i) {
+    const NodeAddr requester = nodes[rng.NextBelow(nodes.size())];
+    const auto q = workload.MakeRangeQuery(cfg.attrs_per_query, requester,
+                                           cfg.style, rng);
+    const auto res = service.Query(q);
+    ++phase.queries;
+    if (res.stats.failed) ++phase.routing_failures;
+    // Recall is measured per sub-query (the multi-attribute join often
+    // intersects to the empty set, which would hide lost directories).
+    for (std::size_t sub = 0; sub < q.subs.size(); ++sub) {
+      resource::MultiQuery single;
+      single.requester = requester;
+      single.subs = {q.subs[sub]};
+      const auto truth = BruteForceProviders(infos, single, service);
+      expected += static_cast<double>(truth.size());
+      std::vector<NodeAddr> got;
+      for (const auto& info : res.per_sub[sub]) got.push_back(info.provider);
+      std::sort(got.begin(), got.end());
+      got.erase(std::unique(got.begin(), got.end()), got.end());
+      for (const NodeAddr p : truth) {
+        if (std::binary_search(got.begin(), got.end(), p)) found += 1;
+      }
+    }
+  }
+  phase.recall = expected > 0 ? found / expected : 1.0;
+  return phase;
+}
+
+}  // namespace
+
+FailureResult RunFailureExperiment(
+    discovery::DiscoveryService& service, const resource::Workload& workload,
+    const std::vector<resource::ResourceInfo>& infos,
+    const FailureConfig& cfg) {
+  LORM_CHECK_MSG(cfg.fail_fraction >= 0.0 && cfg.fail_fraction < 1.0,
+                 "fail fraction must be in [0, 1)");
+  FailureResult result;
+  Rng rng(cfg.seed);
+
+  // 1. Crash a random fraction of the nodes.
+  const auto nodes = service.Nodes();
+  const auto kill_count =
+      static_cast<std::size_t>(cfg.fail_fraction *
+                               static_cast<double>(nodes.size()));
+  const std::size_t before_pieces = service.TotalInfoPieces();
+  for (std::uint64_t idx : rng.SampleWithoutReplacement(nodes.size(),
+                                                        kill_count)) {
+    service.FailNode(nodes[idx]);
+    ++result.failed_nodes;
+  }
+  result.lost_entries = before_pieces - service.TotalInfoPieces();
+
+  // 2. Degraded service: stale links, lost directory entries.
+  result.degraded =
+      MeasurePhase(service, workload, infos, cfg, rng.Fork());
+
+  // 3. Routing repair: one self-organization round. Still-missing answers
+  //    now reflect lost data only (replicas, if configured, fill the gap).
+  service.Maintain();
+  result.repaired = MeasurePhase(service, workload, infos, cfg, rng.Fork());
+
+  // 4. Data repair: a fresh soft-state epoch — every surviving provider
+  //    re-reports its resources and the stale epoch is expired (paper §III:
+  //    nodes report periodically).
+  const std::uint64_t epoch = service.CurrentEpoch() + 1;
+  service.SetEpoch(epoch);
+  for (const auto& info : infos) {
+    if (service.HasNode(info.provider)) service.Advertise(info);
+  }
+  service.ExpireEntriesBefore(epoch);
+
+  // 5. Fully recovered service.
+  result.recovered =
+      MeasurePhase(service, workload, infos, cfg, rng.Fork());
+  return result;
+}
+
+}  // namespace lorm::harness

@@ -1,0 +1,58 @@
+// Failure-injection experiment (extension of the paper's §V-C).
+//
+// The paper's dynamic experiment uses *graceful* departures: nodes hand
+// their directory entries over and nothing is ever lost. This harness
+// measures what each architecture loses when nodes crash instead — and how
+// completely one maintenance round plus one soft-state re-advertisement
+// epoch restores service:
+//
+//   1. fail an abrupt fraction of the nodes (no handoff, stale links);
+//   2. measure query success and recall against brute-force ground truth
+//      restricted to surviving providers;
+//   3. stabilize, bump the epoch, have every surviving provider
+//      re-advertise, expire the stale epoch;
+//   4. measure again (expected: zero routing failures, full recall).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "discovery/discovery.hpp"
+#include "resource/workload.hpp"
+
+namespace lorm::harness {
+
+struct FailureConfig {
+  double fail_fraction = 0.1;    ///< fraction of nodes crashed at once
+  std::size_t queries = 200;
+  std::size_t attrs_per_query = 2;
+  resource::RangeStyle style = resource::RangeStyle::kBounded;
+  std::uint64_t seed = 0xFA11ull;
+};
+
+struct FailurePhase {
+  std::size_t queries = 0;
+  std::size_t routing_failures = 0;  ///< queries with a failed sub-lookup
+  double recall = 1.0;  ///< found / expected providers (live ground truth)
+};
+
+struct FailureResult {
+  std::size_t failed_nodes = 0;
+  std::size_t lost_entries = 0;      ///< directory entries on crashed nodes
+  FailurePhase degraded;             ///< right after the crashes
+  /// After one maintenance round but before any re-advertisement: routing is
+  /// healed, so what is still missing is genuinely lost data — the phase
+  /// where replication (robustness_replication bench) earns its storage.
+  FailurePhase repaired;
+  FailurePhase recovered;            ///< after repair + re-advertisement
+};
+
+/// Runs the crash/recover experiment. `infos` is the advertised ground
+/// truth (as produced by Workload::GenerateInfos and already advertised
+/// through `service`).
+FailureResult RunFailureExperiment(discovery::DiscoveryService& service,
+                                   const resource::Workload& workload,
+                                   const std::vector<resource::ResourceInfo>& infos,
+                                   const FailureConfig& cfg);
+
+}  // namespace lorm::harness

@@ -1,0 +1,116 @@
+#include "harness/setup.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "cycloid/cycloid.hpp"
+#include "discovery/lorm_service.hpp"
+#include "discovery/maan_service.hpp"
+#include "discovery/mercury_service.hpp"
+#include "discovery/sword_service.hpp"
+
+namespace lorm::harness {
+
+const char* SystemName(SystemKind kind) {
+  switch (kind) {
+    case SystemKind::kLorm:
+      return "LORM";
+    case SystemKind::kMercury:
+      return "Mercury";
+    case SystemKind::kSword:
+      return "SWORD";
+    case SystemKind::kMaan:
+      return "MAAN";
+  }
+  return "?";
+}
+
+std::vector<SystemKind> AllSystems() {
+  return {SystemKind::kLorm, SystemKind::kMercury, SystemKind::kSword,
+          SystemKind::kMaan};
+}
+
+Setup Setup::Small() {
+  Setup s;
+  s.nodes = 384;    // 6 * 2^6: a fully populated d=6 Cycloid
+  s.dimension = 6;
+  s.chord_bits = 9;
+  s.attributes = 20;
+  s.infos_per_attribute = 50;
+  // Harsh skew (three decades) so tests exercise the imbalanced regime the
+  // lph ablation studies.
+  s.pareto_shape = 1.5;
+  s.value_min = 1.0;
+  s.value_max = 1000.0;
+  return s;
+}
+
+Setup Setup::WithNodes(std::size_t n) const {
+  Setup s = *this;
+  s.nodes = n;
+  s.dimension = cycloid::DimensionFor(n);
+  unsigned bits = 1;
+  while ((std::uint64_t{1} << bits) < n) ++bits;
+  s.chord_bits = std::max(bits, 4u);
+  return s;
+}
+
+resource::WorkloadConfig Setup::MakeWorkloadConfig() const {
+  resource::WorkloadConfig cfg;
+  cfg.attributes = attributes;
+  cfg.infos_per_attribute = infos_per_attribute;
+  cfg.pareto_shape = pareto_shape;
+  cfg.value_min = value_min;
+  cfg.value_max = value_max;
+  cfg.seed = seed;
+  return cfg;
+}
+
+std::unique_ptr<discovery::DiscoveryService> MakeService(
+    SystemKind kind, const Setup& setup,
+    const resource::AttributeRegistry& registry) {
+  switch (kind) {
+    case SystemKind::kLorm: {
+      discovery::LormService::Config cfg;
+      cfg.overlay.dimension = setup.dimension;
+      cfg.overlay.seed = setup.seed;
+      cfg.replicas = setup.replicas;
+      return std::make_unique<discovery::LormService>(setup.nodes, registry,
+                                                      std::move(cfg));
+    }
+    case SystemKind::kMercury: {
+      discovery::MercuryService::Config cfg;
+      cfg.ring.bits = setup.chord_bits;
+      cfg.ring.seed = setup.seed;
+      cfg.replicas = setup.replicas;
+      return std::make_unique<discovery::MercuryService>(setup.nodes, registry,
+                                                         cfg);
+    }
+    case SystemKind::kSword: {
+      discovery::SwordService::Config cfg;
+      cfg.ring.bits = setup.chord_bits;
+      cfg.ring.seed = setup.seed;
+      cfg.replicas = setup.replicas;
+      return std::make_unique<discovery::SwordService>(setup.nodes, registry,
+                                                       cfg);
+    }
+    case SystemKind::kMaan: {
+      discovery::MaanService::Config cfg;
+      cfg.ring.bits = setup.chord_bits;
+      cfg.ring.seed = setup.seed;
+      cfg.replicas = setup.replicas;
+      return std::make_unique<discovery::MaanService>(setup.nodes, registry,
+                                                      cfg);
+    }
+  }
+  throw ConfigError("unknown system kind");
+}
+
+HopCount AdvertiseAll(discovery::DiscoveryService& service,
+                      const std::vector<resource::ResourceInfo>& infos) {
+  HopCount total = 0;
+  for (const auto& info : infos) total += service.Advertise(info);
+  return total;
+}
+
+}  // namespace lorm::harness

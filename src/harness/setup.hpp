@@ -1,0 +1,65 @@
+// Experiment setup shared by the figure benches, examples and tests.
+//
+// Encapsulates the paper's §V configuration (n = 2048 nodes, Cycloid d = 8,
+// Chord 11 bits, m = 200 attributes, k = 500 pieces per attribute, Bounded
+// Pareto values) and builds any of the four systems against a common
+// workload.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "discovery/discovery.hpp"
+#include "resource/workload.hpp"
+
+namespace lorm::harness {
+
+enum class SystemKind { kLorm, kMercury, kSword, kMaan };
+
+const char* SystemName(SystemKind kind);
+std::vector<SystemKind> AllSystems();
+
+struct Setup {
+  std::size_t nodes = 2048;        ///< n
+  unsigned dimension = 8;          ///< Cycloid d (n = d * 2^d when full)
+  unsigned chord_bits = 11;        ///< Chord ID bits (2^bits >= n)
+  std::size_t attributes = 200;    ///< m
+  std::size_t infos_per_attribute = 500;  ///< k
+  /// Bounded Pareto over one octave: visibly skewed but close enough to the
+  /// theorems' uniform assumption that the paper's "slightly higher than
+  /// analysis" percentile behaviour reproduces (DESIGN.md §5.2; the
+  /// lph-ablation bench explores harsher skews).
+  double pareto_shape = 1.0;
+  double value_min = 500.0;
+  double value_max = 1000.0;
+  std::uint64_t seed = 0x5C1E17CEull;
+  /// Directory replication factor (1 = paper behaviour, no replicas).
+  std::size_t replicas = 1;
+
+  /// The paper's exact §V setup.
+  static Setup Paper() { return Setup{}; }
+
+  /// A smaller configuration with the same proportions, for unit and
+  /// integration tests (fast to build) and for the churn experiments where
+  /// Mercury would otherwise dominate runtime.
+  static Setup Small();
+
+  /// Derives a consistent setup for a different network size: picks the
+  /// smallest Cycloid dimension and Chord bit-count that fit `n`.
+  Setup WithNodes(std::size_t n) const;
+
+  resource::WorkloadConfig MakeWorkloadConfig() const;
+};
+
+/// Builds one discovery system of `setup.nodes` nodes (addresses 0..n-1).
+std::unique_ptr<discovery::DiscoveryService> MakeService(
+    SystemKind kind, const Setup& setup,
+    const resource::AttributeRegistry& registry);
+
+/// Advertises every tuple through the service (from its provider node).
+/// Returns the total routing hops spent.
+HopCount AdvertiseAll(discovery::DiscoveryService& service,
+                      const std::vector<resource::ResourceInfo>& infos);
+
+}  // namespace lorm::harness

@@ -1,0 +1,66 @@
+#include "harness/table.hpp"
+
+#include <cstdio>
+#include <ostream>
+
+namespace lorm::harness {
+namespace {
+bool g_csv_mode = false;
+}  // namespace
+
+void TablePrinter::SetCsvMode(bool csv) { g_csv_mode = csv; }
+bool TablePrinter::csv_mode() { return g_csv_mode; }
+
+TablePrinter::TablePrinter(std::ostream& os, std::vector<std::string> headers,
+                           std::size_t column_width)
+    : os_(os), headers_(std::move(headers)), width_(column_width) {}
+
+void TablePrinter::PrintHeader() {
+  Row(headers_);
+  if (g_csv_mode) return;
+  std::string rule;
+  for (std::size_t i = 0; i < headers_.size(); ++i) {
+    rule += std::string(width_, '-');
+    if (i + 1 < headers_.size()) rule += "-+-";
+  }
+  os_ << rule << "\n";
+}
+
+void TablePrinter::Row(const std::vector<std::string>& cells) {
+  if (g_csv_mode) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      os_ << cells[i];
+      if (i + 1 < cells.size()) os_ << ",";
+    }
+    os_ << "\n";
+    return;
+  }
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    std::string c = cells[i];
+    if (c.size() < width_) c.insert(0, width_ - c.size(), ' ');
+    os_ << c;
+    if (i + 1 < cells.size()) os_ << " | ";
+  }
+  os_ << "\n";
+}
+
+std::string TablePrinter::Num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+std::string TablePrinter::Int(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.0f", v);
+  return buf;
+}
+
+void PrintBanner(std::ostream& os, const std::string& title,
+                 const std::string& subtitle) {
+  os << "== " << title << " ==\n";
+  if (!subtitle.empty()) os << subtitle << "\n";
+  os << "\n";
+}
+
+}  // namespace lorm::harness

@@ -1,0 +1,40 @@
+// Fixed-width table printing for the figure benches: each bench prints the
+// same rows/series its figure plots, aligned for terminal reading and
+// trivially machine-parseable (also emitted as CSV when requested).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace lorm::harness {
+
+class TablePrinter {
+ public:
+  TablePrinter(std::ostream& os, std::vector<std::string> headers,
+               std::size_t column_width = 14);
+
+  void PrintHeader();
+  void Row(const std::vector<std::string>& cells);
+
+  /// Formats a double with `precision` digits after the point.
+  static std::string Num(double v, int precision = 2);
+  static std::string Int(double v);
+
+  /// Switches every TablePrinter in the process to CSV output (used by the
+  /// bench binaries' --csv flag so figure data can be piped into plotting
+  /// tools).
+  static void SetCsvMode(bool csv);
+  static bool csv_mode();
+
+ private:
+  std::ostream& os_;
+  std::vector<std::string> headers_;
+  std::size_t width_;
+};
+
+/// Prints a "title" banner shared by all bench binaries.
+void PrintBanner(std::ostream& os, const std::string& title,
+                 const std::string& subtitle);
+
+}  // namespace lorm::harness

@@ -1,0 +1,50 @@
+// A realistic grid machine model for the example applications.
+//
+// The paper's motivating scenario is a computational grid in which machines
+// advertise CPU speed, memory, disk, network bandwidth and operating system,
+// and jobs ask for multi-attribute ranges ("CPU >= 1.8 GHz and memory >=
+// 2 GB", §III). This module provides that concrete schema plus a generator
+// of plausible machines.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/random.hpp"
+#include "common/types.hpp"
+#include "resource/resource_info.hpp"
+
+namespace lorm::resource {
+
+/// Attribute names of the grid schema.
+inline constexpr const char* kAttrCpuMhz = "cpu_mhz";
+inline constexpr const char* kAttrMemMb = "mem_mb";
+inline constexpr const char* kAttrDiskGb = "disk_gb";
+inline constexpr const char* kAttrNetMbps = "net_mbps";
+inline constexpr const char* kAttrOs = "os";
+
+/// Registers the five grid attributes; returns their ids in the order
+/// {cpu, mem, disk, net, os}.
+std::vector<AttrId> RegisterGridSchema(AttributeRegistry& registry);
+
+/// One grid machine's advertised capabilities.
+struct Machine {
+  NodeAddr addr = kNoNode;
+  double cpu_mhz = 0;
+  double mem_mb = 0;
+  double disk_gb = 0;
+  double net_mbps = 0;
+  std::string os;
+
+  /// The machine's resource-information tuples, one per attribute.
+  std::vector<ResourceInfo> Advertise(const AttributeRegistry& registry) const;
+
+  std::string ToString() const;
+};
+
+/// Generates a plausible machine: CPU/memory/disk/bandwidth from heavy-tailed
+/// distributions (grids mix commodity nodes with a few large ones), OS from
+/// a weighted choice.
+Machine RandomMachine(NodeAddr addr, Rng& rng);
+
+}  // namespace lorm::resource

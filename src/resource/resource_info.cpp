@@ -1,0 +1,31 @@
+#include "resource/resource_info.hpp"
+
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace lorm::resource {
+
+std::string ResourceInfo::ToString(const AttributeRegistry& registry) const {
+  std::ostringstream os;
+  os << "<" << registry.Get(attr).name() << ", " << value.ToString() << ", "
+     << FormatNodeAddr(provider) << ">";
+  return os.str();
+}
+
+ValueRange ValueRange::Point(AttrValue v) { return ValueRange{v, v}; }
+
+ValueRange ValueRange::Between(AttrValue lo, AttrValue hi) {
+  if (hi < lo) throw ConfigError("ValueRange with hi < lo");
+  return ValueRange{std::move(lo), std::move(hi)};
+}
+
+ValueRange ValueRange::AtLeast(const AttributeSchema& schema, AttrValue v) {
+  return Between(std::move(v), schema.ValueAt(schema.ordinal_max()));
+}
+
+ValueRange ValueRange::AtMost(const AttributeSchema& schema, AttrValue v) {
+  return Between(schema.ValueAt(schema.ordinal_min()), std::move(v));
+}
+
+}  // namespace lorm::resource

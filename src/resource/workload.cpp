@@ -1,0 +1,119 @@
+#include "resource/workload.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/error.hpp"
+
+namespace lorm::resource {
+namespace {
+
+std::string AttrName(std::size_t i) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "attr%03u", static_cast<unsigned>(i));
+  return std::string(buf);
+}
+
+}  // namespace
+
+Workload::Workload(const WorkloadConfig& cfg)
+    : cfg_(cfg), pareto_(cfg.pareto_shape, cfg.value_min, cfg.value_max) {
+  if (cfg_.attributes == 0) throw ConfigError("workload needs >= 1 attribute");
+  for (std::size_t i = 0; i < cfg_.attributes; ++i) {
+    registry_.RegisterNumeric(AttrName(i), cfg_.value_min, cfg_.value_max);
+  }
+  if (cfg_.attr_zipf_exponent > 0.0) {
+    attr_popularity_.emplace(cfg_.attributes, cfg_.attr_zipf_exponent);
+  }
+}
+
+std::vector<AttrId> Workload::PickAttrs(std::size_t num_attrs,
+                                        Rng& rng) const {
+  LORM_CHECK_MSG(num_attrs >= 1 && num_attrs <= cfg_.attributes,
+                 "query attribute count out of range");
+  if (!attr_popularity_) {
+    std::vector<AttrId> out;
+    for (std::uint64_t idx :
+         rng.SampleWithoutReplacement(cfg_.attributes, num_attrs)) {
+      out.push_back(static_cast<AttrId>(idx));
+    }
+    return out;
+  }
+  // Zipf over attribute ranks; rejection keeps the query's attrs distinct.
+  std::vector<AttrId> out;
+  while (out.size() < num_attrs) {
+    const auto attr = static_cast<AttrId>(attr_popularity_->Sample(rng) - 1);
+    if (std::find(out.begin(), out.end(), attr) == out.end()) {
+      out.push_back(attr);
+    }
+  }
+  return out;
+}
+
+AttrValue Workload::SampleValue(AttrId /*attr*/, Rng& rng) const {
+  return AttrValue::Number(pareto_.Sample(rng));
+}
+
+std::vector<ResourceInfo> Workload::GenerateInfos(
+    const std::vector<NodeAddr>& providers, Rng& rng) const {
+  LORM_CHECK_MSG(!providers.empty(), "workload needs provider nodes");
+  std::vector<ResourceInfo> out;
+  out.reserve(cfg_.attributes * cfg_.infos_per_attribute);
+  for (std::size_t a = 0; a < cfg_.attributes; ++a) {
+    for (std::size_t i = 0; i < cfg_.infos_per_attribute; ++i) {
+      ResourceInfo info;
+      info.attr = static_cast<AttrId>(a);
+      info.value = SampleValue(info.attr, rng);
+      info.provider = providers[rng.NextBelow(providers.size())];
+      out.push_back(std::move(info));
+    }
+  }
+  return out;
+}
+
+MultiQuery Workload::MakePointQuery(std::size_t num_attrs, NodeAddr requester,
+                                    Rng& rng) const {
+  MultiQuery q;
+  q.requester = requester;
+  for (const AttrId attr : PickAttrs(num_attrs, rng)) {
+    q.subs.push_back(SubQuery{attr, ValueRange::Point(SampleValue(attr, rng))});
+  }
+  return q;
+}
+
+MultiQuery Workload::MakeRangeQuery(std::size_t num_attrs, NodeAddr requester,
+                                    RangeStyle style, Rng& rng) const {
+  MultiQuery q;
+  q.requester = requester;
+  const double lo = cfg_.value_min;
+  const double hi = cfg_.value_max;
+  const double domain = hi - lo;
+  for (const AttrId attr : PickAttrs(num_attrs, rng)) {
+    ValueRange range = ValueRange::Point(AttrValue::Number(lo));
+    switch (style) {
+      case RangeStyle::kBounded: {
+        const double width = rng.NextDouble(0.0, domain / 2.0);
+        const double start = rng.NextDouble(lo, hi - width);
+        range = ValueRange::Between(AttrValue::Number(start),
+                                    AttrValue::Number(start + width));
+        break;
+      }
+      case RangeStyle::kLowerBounded:
+        range = ValueRange::Between(SampleValue(attr, rng),
+                                    AttrValue::Number(hi));
+        break;
+      case RangeStyle::kUpperBounded:
+        range = ValueRange::Between(AttrValue::Number(lo),
+                                    SampleValue(attr, rng));
+        break;
+      case RangeStyle::kFullSpan:
+        range = ValueRange::Between(AttrValue::Number(lo),
+                                    AttrValue::Number(hi));
+        break;
+    }
+    q.subs.push_back(SubQuery{attr, range});
+  }
+  return q;
+}
+
+}  // namespace lorm::resource

@@ -1,0 +1,85 @@
+// Synthetic workloads reproducing the paper's §V setup.
+//
+// "We assumed there were m = 200 resource attributes, and each attribute had
+//  k = 500 values. We used Bounded Pareto distribution function to generate
+//  resource values owned by a node and requested by a node. The resource
+//  attributes in a node resource request were randomly generated."
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "common/random.hpp"
+#include "common/types.hpp"
+#include "resource/query.hpp"
+
+namespace lorm::resource {
+
+struct WorkloadConfig {
+  /// m: number of globally known resource attributes.
+  std::size_t attributes = 200;
+  /// k: advertised resource-information pieces per attribute.
+  std::size_t infos_per_attribute = 500;
+  /// Bounded Pareto parameters for attribute values (shared ordinal domain).
+  double pareto_shape = 1.5;
+  double value_min = 1.0;
+  double value_max = 1000.0;
+  /// Attribute popularity in queries: 0 = uniform (the paper's "randomly
+  /// generated" attributes); > 0 = Zipf with this exponent over attribute
+  /// ranks (attr000 most popular) — the popularity-skew ablation's knob.
+  double attr_zipf_exponent = 0.0;
+  std::uint64_t seed = 0x10AD5EEDull;
+};
+
+/// How range sub-queries are generated.
+enum class RangeStyle {
+  /// [x, x + w] with width w ~ U(0, domain/2) and uniform start — the
+  /// paper's average case: value-spread systems walk ~n/4 nodes (Thm 4.9).
+  kBounded,
+  /// "attribute >= x" with x drawn from the value distribution.
+  kLowerBounded,
+  /// "attribute <= x" with x drawn from the value distribution.
+  kUpperBounded,
+  /// The full value domain — Theorem 4.10's worst case (system-wide probe).
+  kFullSpan,
+};
+
+/// Generates attribute schemas, advertised resource information and query
+/// mixes. All randomness flows through explicitly seeded streams so every
+/// figure regenerates deterministically.
+class Workload {
+ public:
+  explicit Workload(const WorkloadConfig& cfg);
+
+  const WorkloadConfig& config() const { return cfg_; }
+  const AttributeRegistry& registry() const { return registry_; }
+  const BoundedPareto& value_distribution() const { return pareto_; }
+
+  /// k pieces per attribute (m*k total), providers drawn uniformly from
+  /// `providers`. Order is attribute-major and deterministic given `rng`.
+  std::vector<ResourceInfo> GenerateInfos(const std::vector<NodeAddr>& providers,
+                                          Rng& rng) const;
+
+  /// A single advertised value for `attr` (Bounded Pareto over the domain).
+  AttrValue SampleValue(AttrId attr, Rng& rng) const;
+
+  /// Non-range query over `num_attrs` distinct randomly chosen attributes,
+  /// values drawn like advertised values (paper Figs. 4, 6(a)).
+  MultiQuery MakePointQuery(std::size_t num_attrs, NodeAddr requester,
+                            Rng& rng) const;
+
+  /// Range query over `num_attrs` distinct attributes (paper Figs. 5, 6(b)).
+  MultiQuery MakeRangeQuery(std::size_t num_attrs, NodeAddr requester,
+                            RangeStyle style, Rng& rng) const;
+
+ private:
+  /// Distinct attribute ids for one query, honoring the popularity model.
+  std::vector<AttrId> PickAttrs(std::size_t num_attrs, Rng& rng) const;
+
+  WorkloadConfig cfg_;
+  AttributeRegistry registry_;
+  BoundedPareto pareto_;
+  std::optional<Zipf> attr_popularity_;
+};
+
+}  // namespace lorm::resource

@@ -1,0 +1,43 @@
+// A ready-made grid ontology over the standard machine schema — the
+// concrete instance examples and tests resolve against.
+//
+//   platform                    tier
+//   ├── unix                    ├── workstation   (modest cpu/mem)
+//   │   ├── linux               └── server        (cpu >= 1500)
+//   │   ├── solaris                 ├── hpc       (cpu >= 2000, mem >= 4 GB)
+//   │   ├── freebsd                 └── storage   (disk >= 2 TB)
+//   │   └── aix
+//   └── windows
+#pragma once
+
+#include "resource/attribute.hpp"
+#include "semantic/resolver.hpp"
+#include "semantic/taxonomy.hpp"
+
+namespace lorm::semantic {
+
+/// The concept handles of the built ontology.
+struct GridOntology {
+  Taxonomy taxonomy;
+  Bindings bindings;
+
+  ConceptId platform = kNoConcept;
+  ConceptId unix_like = kNoConcept;
+  ConceptId os_linux = kNoConcept;
+  ConceptId os_solaris = kNoConcept;
+  ConceptId os_freebsd = kNoConcept;
+  ConceptId os_aix = kNoConcept;
+  ConceptId os_windows = kNoConcept;
+
+  ConceptId tier = kNoConcept;
+  ConceptId workstation = kNoConcept;
+  ConceptId server = kNoConcept;
+  ConceptId hpc = kNoConcept;
+  ConceptId storage = kNoConcept;
+};
+
+/// Builds the ontology against a registry that already carries the grid
+/// schema (resource::RegisterGridSchema).
+GridOntology MakeGridOntology(const resource::AttributeRegistry& registry);
+
+}  // namespace lorm::semantic

@@ -1,0 +1,101 @@
+#include "semantic/resolver.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace lorm::semantic {
+
+void Bindings::Bind(ConceptId concept_id,
+                    std::vector<resource::SubQuery> predicates) {
+  auto& slot = bound_[concept_id];
+  slot.insert(slot.end(), predicates.begin(), predicates.end());
+}
+
+const std::vector<resource::SubQuery>* Bindings::Get(
+    ConceptId concept_id) const {
+  const auto it = bound_.find(concept_id);
+  return it == bound_.end() ? nullptr : &it->second;
+}
+
+std::vector<resource::SubQuery> Bindings::EffectiveFor(
+    const Taxonomy& taxonomy, ConceptId concept_id) const {
+  std::vector<resource::SubQuery> out;
+  for (const ConceptId step : taxonomy.PathTo(concept_id)) {
+    if (const auto* preds = Get(step)) {
+      out.insert(out.end(), preds->begin(), preds->end());
+    }
+  }
+  return out;
+}
+
+bool Bindings::AnyBoundIn(const Taxonomy& taxonomy,
+                          ConceptId concept_id) const {
+  for (const ConceptId c : taxonomy.SubtreeOf(concept_id)) {
+    if (Get(c) != nullptr) return true;
+  }
+  // Bindings on ancestors also make the concept resolvable.
+  return !EffectiveFor(taxonomy, concept_id).empty();
+}
+
+Resolver::Resolver(const Taxonomy& taxonomy, const Bindings& bindings)
+    : taxonomy_(taxonomy), bindings_(bindings) {}
+
+std::vector<resource::MultiQuery> Resolver::Expand(
+    const SemanticRequest& request) const {
+  if (request.concept_id == kNoConcept) {
+    throw ConfigError("semantic request names no concept");
+  }
+
+  // Expansion targets: concepts in the subtree that carry their own binding
+  // (leaves of meaning). If none do, the request itself must inherit
+  // predicates from its ancestors.
+  std::vector<ConceptId> targets;
+  for (const ConceptId c : taxonomy_.SubtreeOf(request.concept_id)) {
+    if (bindings_.Get(c) != nullptr) targets.push_back(c);
+  }
+  if (targets.empty()) targets.push_back(request.concept_id);
+
+  std::vector<resource::MultiQuery> queries;
+  for (const ConceptId target : targets) {
+    resource::MultiQuery q;
+    q.requester = request.requester;
+    q.subs = bindings_.EffectiveFor(taxonomy_, target);
+    q.subs.insert(q.subs.end(), request.extra.begin(), request.extra.end());
+    if (q.subs.empty()) {
+      throw ConfigError("concept '" + taxonomy_.NameOf(target) +
+                        "' resolves to no predicates");
+    }
+    queries.push_back(std::move(q));
+  }
+  return queries;
+}
+
+SemanticResult Resolver::Resolve(
+    const SemanticRequest& request,
+    const discovery::DiscoveryService& service) const {
+  SemanticResult result;
+
+  std::vector<ConceptId> targets;
+  for (const ConceptId c : taxonomy_.SubtreeOf(request.concept_id)) {
+    if (bindings_.Get(c) != nullptr) targets.push_back(c);
+  }
+  if (targets.empty()) targets.push_back(request.concept_id);
+
+  const auto queries = Expand(request);
+  LORM_CHECK(queries.size() == targets.size());
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    const auto res = service.Query(queries[i]);
+    result.stats += res.stats;
+    result.expanded_concepts.push_back(taxonomy_.NameOf(targets[i]));
+    result.providers.insert(result.providers.end(), res.providers.begin(),
+                            res.providers.end());
+  }
+  std::sort(result.providers.begin(), result.providers.end());
+  result.providers.erase(
+      std::unique(result.providers.begin(), result.providers.end()),
+      result.providers.end());
+  return result;
+}
+
+}  // namespace lorm::semantic

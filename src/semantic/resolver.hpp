@@ -1,0 +1,83 @@
+// Semantic query resolution over a DiscoveryService.
+//
+// Concepts are *bound* to attribute predicates ("hpc" means cpu_mhz >= 2000
+// and mem_mb >= 8192; "linux" means os = Linux). A semantic request names a
+// concept plus optional extra constraints; the resolver expands it into
+// concrete multi-attribute queries:
+//
+//   * predicates inherit down the taxonomy (a request's effective predicate
+//     set is the union of the bindings along its path from the root);
+//   * a request for an *inner* concept fans out over the bound concepts in
+//     its subtree and unions the providers — "any unix machine" becomes the
+//     union of the linux/solaris/freebsd/aix queries, resolved through the
+//     same parallel-lookup machinery the paper describes for attributes.
+//
+// This realizes the paper's "discover resources based on semantic
+// information" future-work direction on top of the unmodified LORM (or any
+// other) discovery system.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "discovery/discovery.hpp"
+#include "semantic/taxonomy.hpp"
+
+namespace lorm::semantic {
+
+/// Attribute predicates attached to taxonomy concepts.
+class Bindings {
+ public:
+  /// Attaches predicates to a concept (merged with any existing ones).
+  void Bind(ConceptId concept_id, std::vector<resource::SubQuery> predicates);
+
+  const std::vector<resource::SubQuery>* Get(ConceptId concept_id) const;
+
+  /// Effective predicates of `concept_id`: everything bound on its root
+  /// path, nearest-ancestor-last.
+  std::vector<resource::SubQuery> EffectiveFor(const Taxonomy& taxonomy,
+                                               ConceptId concept_id) const;
+
+  /// True iff the concept or anything beneath it carries a binding.
+  bool AnyBoundIn(const Taxonomy& taxonomy, ConceptId concept_id) const;
+
+ private:
+  std::map<ConceptId, std::vector<resource::SubQuery>> bound_;
+};
+
+/// A semantic resource request.
+struct SemanticRequest {
+  ConceptId concept_id = kNoConcept;
+  /// Extra ad-hoc constraints AND-ed onto every expanded query.
+  std::vector<resource::SubQuery> extra;
+  NodeAddr requester = kNoNode;
+};
+
+struct SemanticResult {
+  /// Union of providers over the expanded queries; sorted, deduplicated.
+  std::vector<NodeAddr> providers;
+  /// Names of the bound concepts the request expanded into.
+  std::vector<std::string> expanded_concepts;
+  discovery::QueryStats stats;  ///< summed over the expanded queries
+};
+
+class Resolver {
+ public:
+  Resolver(const Taxonomy& taxonomy, const Bindings& bindings);
+
+  /// Expands the request into one concrete MultiQuery per bound concept in
+  /// the requested subtree and resolves them through `service`.
+  /// Throws ConfigError if nothing under the concept is bound.
+  SemanticResult Resolve(const SemanticRequest& request,
+                         const discovery::DiscoveryService& service) const;
+
+  /// The concrete queries Resolve would issue (exposed for tests/examples).
+  std::vector<resource::MultiQuery> Expand(const SemanticRequest& request) const;
+
+ private:
+  const Taxonomy& taxonomy_;
+  const Bindings& bindings_;
+};
+
+}  // namespace lorm::semantic

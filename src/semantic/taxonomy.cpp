@@ -1,0 +1,82 @@
+#include "semantic/taxonomy.hpp"
+
+#include "common/error.hpp"
+
+namespace lorm::semantic {
+
+ConceptId Taxonomy::Add(std::string name, ConceptId parent) {
+  if (Find(name).has_value()) {
+    throw ConfigError("duplicate concept name: " + name);
+  }
+  Node node;
+  node.name = std::move(name);
+  node.parent = parent;
+  nodes_.push_back(std::move(node));
+  const auto id = static_cast<ConceptId>(nodes_.size() - 1);
+  if (parent != kNoConcept) {
+    LORM_CHECK_MSG(parent < nodes_.size(), "unknown parent concept");
+    nodes_[parent].children.push_back(id);
+  }
+  return id;
+}
+
+ConceptId Taxonomy::AddRoot(std::string name) {
+  return Add(std::move(name), kNoConcept);
+}
+
+ConceptId Taxonomy::AddChild(ConceptId parent, std::string name) {
+  LORM_CHECK_MSG(parent < nodes_.size(), "unknown parent concept");
+  return Add(std::move(name), parent);
+}
+
+std::optional<ConceptId> Taxonomy::Find(std::string_view name) const {
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].name == name) return static_cast<ConceptId>(i);
+  }
+  return std::nullopt;
+}
+
+const Taxonomy::Node& Taxonomy::MustGet(ConceptId id) const {
+  LORM_CHECK_MSG(id < nodes_.size(), "unknown concept id");
+  return nodes_[id];
+}
+
+const std::string& Taxonomy::NameOf(ConceptId id) const {
+  return MustGet(id).name;
+}
+
+ConceptId Taxonomy::ParentOf(ConceptId id) const { return MustGet(id).parent; }
+
+bool Taxonomy::IsA(ConceptId id, ConceptId ancestor) const {
+  ConceptId cur = id;
+  while (cur != kNoConcept) {
+    if (cur == ancestor) return true;
+    cur = MustGet(cur).parent;
+  }
+  return false;
+}
+
+std::vector<ConceptId> Taxonomy::SubtreeOf(ConceptId id) const {
+  std::vector<ConceptId> out;
+  std::vector<ConceptId> stack{id};
+  while (!stack.empty()) {
+    const ConceptId cur = stack.back();
+    stack.pop_back();
+    out.push_back(cur);
+    const auto& children = MustGet(cur).children;
+    for (auto it = children.rbegin(); it != children.rend(); ++it) {
+      stack.push_back(*it);
+    }
+  }
+  return out;
+}
+
+std::vector<ConceptId> Taxonomy::PathTo(ConceptId id) const {
+  std::vector<ConceptId> path;
+  for (ConceptId cur = id; cur != kNoConcept; cur = MustGet(cur).parent) {
+    path.push_back(cur);
+  }
+  return {path.rbegin(), path.rend()};
+}
+
+}  // namespace lorm::semantic

@@ -1,0 +1,59 @@
+// Concept taxonomy for semantic resource discovery.
+//
+// The paper closes with: "We plan to further explore and elaborate upon the
+// LORM design to discover resources based on semantic information." This
+// module implements that direction as a layer above the attribute model: a
+// rooted taxonomy of resource concepts ("os/unix/linux", "tier/server/hpc")
+// whose nodes can be bound to attribute predicates, letting requesters ask
+// for *kinds* of resources instead of raw attribute ranges.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lorm::semantic {
+
+using ConceptId = std::uint32_t;
+inline constexpr ConceptId kNoConcept = 0xffffffffu;
+
+/// A rooted forest of named concepts. Names are unique; hierarchy is by
+/// explicit parent links ("linux is-a unix is-a os").
+class Taxonomy {
+ public:
+  /// Adds a root concept (no parent).
+  ConceptId AddRoot(std::string name);
+  /// Adds a child of `parent`.
+  ConceptId AddChild(ConceptId parent, std::string name);
+
+  std::optional<ConceptId> Find(std::string_view name) const;
+  const std::string& NameOf(ConceptId id) const;
+  ConceptId ParentOf(ConceptId id) const;  ///< kNoConcept for roots
+
+  /// True iff `id` equals `ancestor` or lies beneath it.
+  bool IsA(ConceptId id, ConceptId ancestor) const;
+
+  /// `id` plus all concepts beneath it, in preorder.
+  std::vector<ConceptId> SubtreeOf(ConceptId id) const;
+
+  /// Path from the root down to `id`, e.g. {"os", "unix", "linux"}.
+  std::vector<ConceptId> PathTo(ConceptId id) const;
+
+  std::size_t size() const { return nodes_.size(); }
+
+ private:
+  struct Node {
+    std::string name;
+    ConceptId parent = kNoConcept;
+    std::vector<ConceptId> children;
+  };
+
+  ConceptId Add(std::string name, ConceptId parent);
+  const Node& MustGet(ConceptId id) const;
+
+  std::vector<Node> nodes_;
+};
+
+}  // namespace lorm::semantic

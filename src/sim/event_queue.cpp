@@ -1,0 +1,40 @@
+#include "sim/event_queue.hpp"
+
+#include <cmath>
+#include <limits>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace lorm::sim {
+
+void EventQueue::ScheduleAt(SimTime at, EventFn fn) {
+  LORM_CHECK_MSG(at >= now_, "cannot schedule event in the past");
+  heap_.push(Entry{at, next_seq_++, std::move(fn)});
+}
+
+void EventQueue::ScheduleAfter(SimTime delay, EventFn fn) {
+  LORM_CHECK_MSG(delay >= 0.0, "negative delay");
+  ScheduleAt(now_ + delay, std::move(fn));
+}
+
+std::size_t EventQueue::RunUntil(SimTime until) {
+  std::size_t executed = 0;
+  while (!heap_.empty() && heap_.top().at <= until) {
+    // Copy out before pop: the handler may schedule new events.
+    Entry e = heap_.top();
+    heap_.pop();
+    now_ = e.at;
+    e.fn(*this);
+    ++executed;
+  }
+  // Advance the clock to the deadline (but never to RunAll's +infinity).
+  if (std::isfinite(until) && now_ < until) now_ = until;
+  return executed;
+}
+
+std::size_t EventQueue::RunAll() {
+  return RunUntil(std::numeric_limits<SimTime>::infinity());
+}
+
+}  // namespace lorm::sim

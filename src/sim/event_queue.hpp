@@ -1,0 +1,60 @@
+// Discrete-event simulation core.
+//
+// The churn experiments (paper §V-C) interleave node joins/departures,
+// periodic stabilization and query arrivals on a simulated clock. Events are
+// closures ordered by (time, insertion sequence) — the sequence number makes
+// simultaneous events deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace lorm::sim {
+
+/// Event closure; receives the queue so handlers can schedule follow-ups.
+class EventQueue;
+using EventFn = std::function<void(EventQueue&)>;
+
+class EventQueue {
+ public:
+  /// Schedules `fn` at absolute simulated time `at` (must be >= now()).
+  void ScheduleAt(SimTime at, EventFn fn);
+
+  /// Schedules `fn` after `delay` seconds of simulated time.
+  void ScheduleAfter(SimTime delay, EventFn fn);
+
+  /// Runs events in order until the queue is empty or the next event is
+  /// after `until`. Returns the number of events executed.
+  std::size_t RunUntil(SimTime until);
+
+  /// Runs everything currently scheduled (including events scheduled by
+  /// handlers). Returns the number of events executed.
+  std::size_t RunAll();
+
+  SimTime now() const { return now_; }
+  bool empty() const { return heap_.empty(); }
+  std::size_t pending() const { return heap_.size(); }
+
+ private:
+  struct Entry {
+    SimTime at;
+    std::uint64_t seq;
+    EventFn fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  SimTime now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace lorm::sim

@@ -1,0 +1,33 @@
+#include "sim/latency.hpp"
+
+#include "common/error.hpp"
+
+namespace lorm::sim {
+
+FixedLatency::FixedLatency(SimTime per_hop) : per_hop_(per_hop) {
+  if (per_hop < 0) throw ConfigError("negative latency");
+}
+
+SimTime FixedLatency::SampleHop(Rng&) const { return per_hop_; }
+
+UniformLatency::UniformLatency(SimTime lo, SimTime hi) : lo_(lo), hi_(hi) {
+  if (lo < 0 || hi < lo) throw ConfigError("bad uniform latency bounds");
+}
+
+SimTime UniformLatency::SampleHop(Rng& rng) const {
+  return rng.NextDouble(lo_, hi_);
+}
+
+ShiftedExponentialLatency::ShiftedExponentialLatency(SimTime base,
+                                                     SimTime tail_mean)
+    : base_(base), tail_mean_(tail_mean) {
+  if (base < 0 || tail_mean <= 0) {
+    throw ConfigError("bad shifted-exponential latency parameters");
+  }
+}
+
+SimTime ShiftedExponentialLatency::SampleHop(Rng& rng) const {
+  return base_ + SampleExponential(rng, 1.0 / tail_mean_);
+}
+
+}  // namespace lorm::sim

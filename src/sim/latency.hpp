@@ -1,0 +1,54 @@
+// Per-hop network latency models.
+//
+// The paper's metrics are hop counts, which are latency-independent; the
+// latency model exists so that examples and microbenchmarks can also report
+// end-to-end times for a query, and so the event-driven churn experiments
+// have physically plausible interleavings.
+#pragma once
+
+#include "common/random.hpp"
+#include "common/types.hpp"
+
+namespace lorm::sim {
+
+/// Strategy interface for sampling one overlay-hop latency in seconds.
+class LatencyModel {
+ public:
+  virtual ~LatencyModel() = default;
+  virtual SimTime SampleHop(Rng& rng) const = 0;
+};
+
+/// Constant latency per hop.
+class FixedLatency final : public LatencyModel {
+ public:
+  explicit FixedLatency(SimTime per_hop);
+  SimTime SampleHop(Rng& rng) const override;
+
+ private:
+  SimTime per_hop_;
+};
+
+/// Uniform latency in [lo, hi] — a crude but standard WAN stand-in.
+class UniformLatency final : public LatencyModel {
+ public:
+  UniformLatency(SimTime lo, SimTime hi);
+  SimTime SampleHop(Rng& rng) const override;
+
+ private:
+  SimTime lo_;
+  SimTime hi_;
+};
+
+/// Shifted-exponential latency: base propagation delay plus an exponential
+/// queueing tail with the given mean.
+class ShiftedExponentialLatency final : public LatencyModel {
+ public:
+  ShiftedExponentialLatency(SimTime base, SimTime tail_mean);
+  SimTime SampleHop(Rng& rng) const override;
+
+ private:
+  SimTime base_;
+  SimTime tail_mean_;
+};
+
+}  // namespace lorm::sim

@@ -1,0 +1,17 @@
+#include "sim/poisson.hpp"
+
+#include "common/error.hpp"
+
+namespace lorm::sim {
+
+PoissonProcess::PoissonProcess(double rate, Rng rng)
+    : rate_(rate), rng_(rng) {
+  if (!(rate > 0.0)) throw ConfigError("PoissonProcess rate must be positive");
+}
+
+SimTime PoissonProcess::NextArrival() {
+  last_ += SampleExponential(rng_, rate_);
+  return last_;
+}
+
+}  // namespace lorm::sim

@@ -1,0 +1,32 @@
+// Poisson arrival process.
+//
+// Paper §V-C: "the resource join/departure rate R was modelled as a Poisson
+// process as in [Chord]. For example, there is one resource join and one
+// resource departure every 2.5 seconds with R=0.4."  I.e. joins arrive as a
+// Poisson process of rate R per second, and departures likewise.
+#pragma once
+
+#include "common/random.hpp"
+#include "common/types.hpp"
+
+namespace lorm::sim {
+
+/// Generates successive arrival times of a homogeneous Poisson process.
+class PoissonProcess {
+ public:
+  /// `rate` is in events per simulated second; must be positive.
+  PoissonProcess(double rate, Rng rng);
+
+  /// Absolute time of the next arrival (monotonically increasing).
+  SimTime NextArrival();
+
+  double rate() const { return rate_; }
+  SimTime last() const { return last_; }
+
+ private:
+  double rate_;
+  Rng rng_;
+  SimTime last_ = 0.0;
+};
+
+}  // namespace lorm::sim

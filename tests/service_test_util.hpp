@@ -1,0 +1,50 @@
+// Shared helpers for the per-system discovery tests.
+#pragma once
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "discovery/discovery.hpp"
+#include "harness/experiments.hpp"
+#include "harness/setup.hpp"
+#include "resource/workload.hpp"
+
+namespace lorm::testutil {
+
+struct Bed {
+  harness::Setup setup;
+  std::unique_ptr<resource::Workload> workload;
+  std::unique_ptr<discovery::DiscoveryService> service;
+  std::vector<resource::ResourceInfo> infos;
+};
+
+/// Builds a populated small system: every node 0..n-1 is a member; the
+/// workload's m*k tuples are advertised from their providers.
+inline Bed MakeBed(harness::SystemKind kind,
+                   harness::Setup setup = harness::Setup::Small()) {
+  Bed bed;
+  bed.setup = setup;
+  bed.workload = std::make_unique<resource::Workload>(setup.MakeWorkloadConfig());
+  bed.service = harness::MakeService(kind, setup, bed.workload->registry());
+
+  std::vector<NodeAddr> providers;
+  for (std::size_t i = 0; i < setup.nodes; ++i) {
+    providers.push_back(static_cast<NodeAddr>(i));
+  }
+  Rng rng(setup.seed ^ 0xBEEF);
+  bed.infos = bed.workload->GenerateInfos(providers, rng);
+  harness::AdvertiseAll(*bed.service, bed.infos);
+  return bed;
+}
+
+/// Ground truth: providers matching every sub-query, computed by brute force
+/// over the advertised tuples, restricted to live members.
+inline std::vector<NodeAddr> BruteForceProviders(
+    const std::vector<resource::ResourceInfo>& infos,
+    const resource::MultiQuery& q,
+    const discovery::DiscoveryService& service) {
+  return harness::BruteForceProviders(infos, q, service);
+}
+
+}  // namespace lorm::testutil

@@ -1,0 +1,105 @@
+// Analysis-module tests: the closed forms must reproduce the constants the
+// paper derives in §V for its 2048-node / m=200 / k=500 / d=8 setup.
+#include "analysis/theorems.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lorm::analysis {
+namespace {
+
+SystemModel Paper() { return SystemModel{2048, 200, 500, 8}; }
+
+TEST(Theorem41, StructureOverheadRatioAtLeastM) {
+  const auto s = Paper();
+  // m*log(n)/d = 200 * 11 / 8 = 275 >= m = 200.
+  EXPECT_DOUBLE_EQ(T41StructureOverheadRatio(s), 275.0);
+  EXPECT_GE(T41StructureOverheadRatio(s), static_cast<double>(s.m));
+  EXPECT_DOUBLE_EQ(MercuryOutlinks(s), 2200.0);  // m * log2(n)
+  EXPECT_DOUBLE_EQ(ChordOutlinks(s), 11.0);
+  EXPECT_DOUBLE_EQ(CycloidOutlinks(), 7.0);
+}
+
+TEST(Theorem42, MaanDoublesStorage) {
+  EXPECT_DOUBLE_EQ(T42MaanStorageFactor(), 2.0);
+  const auto s = Paper();
+  EXPECT_DOUBLE_EQ(AvgDirectorySizeMaan(s), 2.0 * AvgDirectorySizeLorm(s));
+  // Average = m*k/n = 200*500/2048.
+  EXPECT_NEAR(AvgDirectorySizeLorm(s), 48.83, 0.01);
+}
+
+TEST(Theorem43, MaanDirectoryReductionIs878) {
+  // The paper computes d(1 + m/n) = 8 * (1 + 200/2048) = 8.78.
+  EXPECT_NEAR(T43MaanDirectoryReduction(Paper()), 8.78, 0.005);
+}
+
+TEST(Theorem44, SwordReductionIsD) {
+  EXPECT_DOUBLE_EQ(T44SwordDirectoryReduction(Paper()), 8.0);
+}
+
+TEST(Theorem45, MercuryBalanceFactorIs128) {
+  // n / (d m) = 2048 / 1600 = 1.28.
+  EXPECT_DOUBLE_EQ(T45MercuryBalanceFactor(Paper()), 1.28);
+}
+
+TEST(Theorem47, LormVsMaanFactorIsLogNOverD) {
+  // log(n)/d = 11/8 = 1.375.
+  EXPECT_DOUBLE_EQ(T47LormVsMaanFactor(Paper()), 11.0 / 8.0);
+  EXPECT_DOUBLE_EQ(T48MercurySwordVsMaanFactor(), 2.0);
+}
+
+TEST(Figure4Curves, HopsPerQuery) {
+  const auto s = Paper();
+  for (std::size_t mq : {1u, 5u, 10u}) {
+    const double mqd = static_cast<double>(mq);
+    EXPECT_DOUBLE_EQ(NonRangeHopsMercury(s, mq), mqd * 5.5);
+    EXPECT_DOUBLE_EQ(NonRangeHopsSword(s, mq), mqd * 5.5);
+    EXPECT_DOUBLE_EQ(NonRangeHopsMaan(s, mq), mqd * 11.0);
+    EXPECT_DOUBLE_EQ(NonRangeHopsLorm(s, mq), mqd * 8.0);
+    // Consistency between factors and curves.
+    EXPECT_DOUBLE_EQ(NonRangeHopsMaan(s, mq) / NonRangeHopsLorm(s, mq),
+                     T47LormVsMaanFactor(s));
+    EXPECT_DOUBLE_EQ(NonRangeHopsMaan(s, mq) / NonRangeHopsMercury(s, mq),
+                     2.0);
+  }
+}
+
+TEST(Theorem49, VisitedNodesPerRangeQuery) {
+  // §V-B quotes: 513m Mercury, 514m MAAN, 3m LORM, m SWORD.
+  const auto s = Paper();
+  EXPECT_DOUBLE_EQ(RangeVisitedMercury(s, 1), 513.0);
+  EXPECT_DOUBLE_EQ(RangeVisitedMaan(s, 1), 514.0);
+  EXPECT_DOUBLE_EQ(RangeVisitedLorm(s, 1), 3.0);
+  EXPECT_DOUBLE_EQ(RangeVisitedSword(s, 1), 1.0);
+  EXPECT_DOUBLE_EQ(RangeVisitedMercury(s, 10), 5130.0);
+  // Savings: m(n-d)/4 and m*d/4.
+  EXPECT_DOUBLE_EQ(T49LormSavingsVsSystemWide(s, 1), (2048.0 - 8.0) / 4.0);
+  EXPECT_DOUBLE_EQ(T49SwordSavingsVsLorm(s, 1), 2.0);
+  EXPECT_DOUBLE_EQ(RangeVisitedMercury(s, 1) - RangeVisitedLorm(s, 1),
+                   T49LormSavingsVsSystemWide(s, 1));
+}
+
+TEST(Theorem410, WorstCaseContactedNodes) {
+  const auto s = Paper();
+  EXPECT_DOUBLE_EQ(T410WorstCaseMercury(s, 1), 11.0 + 2048.0);
+  EXPECT_DOUBLE_EQ(T410WorstCaseMaan(s, 1), 22.0 + 2048.0);
+  EXPECT_DOUBLE_EQ(T410WorstCaseLorm(s, 1), 8.0);
+  EXPECT_DOUBLE_EQ(T410LormSavings(s, 1), 2048.0);
+  // LORM saves at least m*n (the theorem's statement).
+  EXPECT_GE(T410WorstCaseMercury(s, 3) - T410WorstCaseLorm(s, 3),
+            T410LormSavings(s, 3));
+  EXPECT_GE(T410WorstCaseMaan(s, 3), T410WorstCaseMercury(s, 3));
+}
+
+TEST(ModelScaling, FactorsScaleWithParameters) {
+  SystemModel s = Paper();
+  const double base = T41StructureOverheadRatio(s);
+  s.m = 400;
+  EXPECT_DOUBLE_EQ(T41StructureOverheadRatio(s), 2 * base);
+  s = Paper();
+  s.d = 16;
+  EXPECT_DOUBLE_EQ(T44SwordDirectoryReduction(s), 16.0);
+  EXPECT_DOUBLE_EQ(T45MercuryBalanceFactor(s), 2048.0 / (16.0 * 200.0));
+}
+
+}  // namespace
+}  // namespace lorm::analysis

@@ -1,0 +1,88 @@
+// Dynamic-environment tests (paper §V-C): the churn harness drives Poisson
+// joins/departures against each system; queries must keep resolving with
+// zero failures and near-static costs.
+#include "harness/churn.hpp"
+
+#include <gtest/gtest.h>
+
+#include "harness/experiments.hpp"
+#include "service_test_util.hpp"
+
+namespace lorm::harness {
+namespace {
+
+ChurnConfig FastChurn(double rate, bool range) {
+  ChurnConfig cfg;
+  cfg.rate = rate;
+  cfg.total_queries = 150;
+  cfg.query_rate = 5.0;
+  cfg.attrs_per_query = 2;
+  cfg.range = range;
+  cfg.adverts_per_join = 2;
+  cfg.maintain_interval = 10.0;
+  return cfg;
+}
+
+class ChurnPerSystem : public ::testing::TestWithParam<SystemKind> {};
+
+TEST_P(ChurnPerSystem, NoFailuresUnderChurn) {
+  auto bed = testutil::MakeBed(GetParam());
+  const auto result =
+      RunChurn(*bed.service, *bed.workload,
+               static_cast<NodeAddr>(bed.setup.nodes) + 100,
+               FastChurn(0.4, /*range=*/false));
+  EXPECT_EQ(result.queries, 150u);
+  EXPECT_EQ(result.failures, 0u);  // "no failures in all test cases"
+  EXPECT_GT(result.joins, 0u);
+  EXPECT_GT(result.departures, 0u);
+  EXPECT_GT(result.avg_hops, 0.0);
+}
+
+TEST_P(ChurnPerSystem, RangeQueriesSurviveChurn) {
+  auto bed = testutil::MakeBed(GetParam());
+  const auto result =
+      RunChurn(*bed.service, *bed.workload,
+               static_cast<NodeAddr>(bed.setup.nodes) + 100,
+               FastChurn(0.3, /*range=*/true));
+  EXPECT_EQ(result.failures, 0u);
+  EXPECT_GT(result.avg_visited, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Systems, ChurnPerSystem,
+    ::testing::Values(SystemKind::kLorm, SystemKind::kMercury,
+                      SystemKind::kSword, SystemKind::kMaan),
+    [](const auto& info) { return std::string(SystemName(info.param)); });
+
+TEST(ChurnInvariance, HopsStayNearStaticAcrossRates) {
+  // Fig. 6(a)'s claim: the measured hop count barely moves with R.
+  auto static_bed = testutil::MakeBed(SystemKind::kLorm);
+  QueryExperimentConfig qcfg;
+  qcfg.requesters = 50;
+  qcfg.queries_per_requester = 4;
+  qcfg.attrs_per_query = 2;
+  const auto static_result =
+      RunQueries(*static_bed.service, *static_bed.workload, qcfg);
+
+  for (double rate : {0.1, 0.5}) {
+    auto bed = testutil::MakeBed(SystemKind::kLorm);
+    const auto churned =
+        RunChurn(*bed.service, *bed.workload,
+                 static_cast<NodeAddr>(bed.setup.nodes) + 100,
+                 FastChurn(rate, false));
+    EXPECT_NEAR(churned.avg_hops, static_result.avg_hops,
+                0.35 * static_result.avg_hops)
+        << "rate " << rate;
+  }
+}
+
+TEST(ChurnConfigValidation, RejectsBadRates) {
+  auto bed = testutil::MakeBed(SystemKind::kSword);
+  ChurnConfig cfg;
+  cfg.rate = 0.0;
+  EXPECT_THROW(RunChurn(*bed.service, *bed.workload, 10000, cfg),
+               InvariantError);
+}
+
+}  // namespace
+}  // namespace lorm::harness

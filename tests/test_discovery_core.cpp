@@ -1,0 +1,170 @@
+// Discovery-core tests: per-node directories and the provider join.
+#include <gtest/gtest.h>
+
+#include "discovery/directory.hpp"
+#include "discovery/join.hpp"
+
+namespace lorm::discovery {
+namespace {
+
+using resource::AttrValue;
+using resource::ResourceInfo;
+
+Directory<std::uint64_t>::Entry E(AttrId attr, double ordinal,
+                                  NodeAddr provider, std::uint64_t key = 0) {
+  Directory<std::uint64_t>::Entry e;
+  e.info = ResourceInfo{attr, AttrValue::Number(ordinal), provider};
+  e.ordinal = ordinal;
+  e.key = key;
+  return e;
+}
+
+TEST(DirectoryTest, InsertAndRangeMatch) {
+  Directory<std::uint64_t> dir;
+  dir.Insert(E(0, 1.0, 10));
+  dir.Insert(E(0, 2.0, 11));
+  dir.Insert(E(0, 3.0, 12));
+  dir.Insert(E(1, 2.0, 13));  // other attribute, same ordinal
+  EXPECT_EQ(dir.size(), 4u);
+
+  std::vector<NodeAddr> hits;
+  dir.ForEachMatch(0, 1.5, 3.0, [&](const auto& e) {
+    hits.push_back(e.info.provider);
+  });
+  EXPECT_EQ(hits, (std::vector<NodeAddr>{11, 12}));
+
+  hits.clear();
+  dir.ForEachMatch(1, 0.0, 10.0, [&](const auto& e) {
+    hits.push_back(e.info.provider);
+  });
+  EXPECT_EQ(hits, (std::vector<NodeAddr>{13}));
+}
+
+TEST(DirectoryTest, PointMatchIsInclusive) {
+  Directory<std::uint64_t> dir;
+  dir.Insert(E(0, 2.0, 11));
+  int hits = 0;
+  dir.ForEachMatch(0, 2.0, 2.0, [&](const auto&) { ++hits; });
+  EXPECT_EQ(hits, 1);
+  dir.ForEachMatch(0, 2.1, 2.2, [&](const auto&) { ++hits; });
+  EXPECT_EQ(hits, 1);
+}
+
+TEST(DirectoryTest, DuplicateValuesCoexist) {
+  Directory<std::uint64_t> dir;
+  dir.Insert(E(0, 2.0, 11));
+  dir.Insert(E(0, 2.0, 12));
+  dir.Insert(E(0, 2.0, 11));  // same provider re-advertises
+  EXPECT_EQ(dir.size(), 3u);
+  int hits = 0;
+  dir.ForEachMatch(0, 2.0, 2.0, [&](const auto&) { ++hits; });
+  EXPECT_EQ(hits, 3);
+}
+
+TEST(DirectoryTest, TakeIfRemovesAndReturns) {
+  Directory<std::uint64_t> dir;
+  dir.Insert(E(0, 1.0, 10, 100));
+  dir.Insert(E(0, 2.0, 11, 200));
+  dir.Insert(E(0, 3.0, 12, 300));
+  const auto taken =
+      dir.TakeIf([](const auto& e) { return e.key >= 200; });
+  EXPECT_EQ(taken.size(), 2u);
+  EXPECT_EQ(dir.size(), 1u);
+  const auto all = dir.TakeAll();
+  EXPECT_EQ(all.size(), 1u);
+  EXPECT_TRUE(dir.empty());
+}
+
+TEST(DirectoryTest, EraseProvider) {
+  Directory<std::uint64_t> dir;
+  dir.Insert(E(0, 1.0, 10));
+  dir.Insert(E(1, 2.0, 10));
+  dir.Insert(E(0, 3.0, 11));
+  EXPECT_EQ(dir.EraseProvider(10), 2u);
+  EXPECT_EQ(dir.size(), 1u);
+  EXPECT_EQ(dir.EraseProvider(99), 0u);
+}
+
+TEST(DirectoryStoreTest, PerOwnerBookkeeping) {
+  DirectoryStore<std::uint64_t> store;
+  store.Insert(1, E(0, 1.0, 10));
+  store.Insert(1, E(0, 2.0, 11));
+  store.Insert(2, E(0, 3.0, 12));
+  EXPECT_EQ(store.SizeAt(1), 2u);
+  EXPECT_EQ(store.SizeAt(2), 1u);
+  EXPECT_EQ(store.SizeAt(99), 0u);
+  EXPECT_EQ(store.TotalEntries(), 3u);
+  ASSERT_NE(store.Find(1), nullptr);
+  EXPECT_EQ(store.Find(99), nullptr);
+
+  const auto moved = store.TakeAll(1);
+  EXPECT_EQ(moved.size(), 2u);
+  EXPECT_EQ(store.TotalEntries(), 1u);
+  EXPECT_EQ(store.EraseProviderEverywhere(12), 1u);
+  EXPECT_EQ(store.TotalEntries(), 0u);
+}
+
+TEST(JoinTest, IntersectsProviderSets) {
+  using V = std::vector<ResourceInfo>;
+  const V a{{0, AttrValue::Number(1), 10},
+            {0, AttrValue::Number(2), 11},
+            {0, AttrValue::Number(3), 12}};
+  const V b{{1, AttrValue::Number(1), 11},
+            {1, AttrValue::Number(2), 12},
+            {1, AttrValue::Number(9), 13}};
+  const V c{{2, AttrValue::Number(1), 12},
+            {2, AttrValue::Number(1), 11}};
+  EXPECT_EQ(JoinProviders({a, b, c}), (std::vector<NodeAddr>{11, 12}));
+}
+
+TEST(JoinTest, DuplicateProvidersCountOnce) {
+  using V = std::vector<ResourceInfo>;
+  const V a{{0, AttrValue::Number(1), 10}, {0, AttrValue::Number(2), 10}};
+  const V b{{1, AttrValue::Number(1), 10}};
+  EXPECT_EQ(JoinProviders({a, b}), (std::vector<NodeAddr>{10}));
+}
+
+TEST(JoinTest, EmptySubResultYieldsEmptyJoin) {
+  using V = std::vector<ResourceInfo>;
+  const V a{{0, AttrValue::Number(1), 10}};
+  const V none{};
+  EXPECT_TRUE(JoinProviders({a, none}).empty());
+  EXPECT_TRUE(JoinProviders({}).empty());
+  EXPECT_EQ(JoinProviders({a}), (std::vector<NodeAddr>{10}));
+}
+
+TEST(DedupTest, RemovesExactDuplicatesOnly) {
+  using V = std::vector<ResourceInfo>;
+  V matches{{0, AttrValue::Number(1), 10},
+            {0, AttrValue::Number(1), 10},   // replica duplicate
+            {0, AttrValue::Number(1), 11},   // same value, other provider
+            {0, AttrValue::Number(2), 10},   // same provider, other value
+            {1, AttrValue::Number(1), 10}};  // other attribute
+  DedupMatches(matches);
+  EXPECT_EQ(matches.size(), 4u);
+}
+
+TEST(DedupTest, EmptyAndSingleton) {
+  std::vector<ResourceInfo> none;
+  DedupMatches(none);
+  EXPECT_TRUE(none.empty());
+  std::vector<ResourceInfo> one{{0, AttrValue::Number(1), 10}};
+  DedupMatches(one);
+  EXPECT_EQ(one.size(), 1u);
+}
+
+TEST(DirectoryTest, ExpireBeforeDropsOldEpochsOnly) {
+  DirectoryStore<std::uint64_t> store;
+  auto e0 = E(0, 1.0, 10);
+  e0.epoch = 0;
+  auto e1 = E(0, 2.0, 11);
+  e1.epoch = 1;
+  store.Insert(1, e0);
+  store.Insert(1, e1);
+  EXPECT_EQ(store.ExpireBefore(1), 1u);
+  EXPECT_EQ(store.TotalEntries(), 1u);
+  EXPECT_EQ(store.ExpireBefore(0), 0u);
+}
+
+}  // namespace
+}  // namespace lorm::discovery

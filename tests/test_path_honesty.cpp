@@ -1,0 +1,161 @@
+// Path-honesty audit: every figure in this repository rests on the claim
+// that hop counts come from real routing-table traversals. These properties
+// verify it directly: every consecutive pair of nodes in every lookup path
+// must be an actual one-hop link of the earlier node's routing state at the
+// moment of the lookup — in converged networks, under graceful churn, and
+// under unrepaired failures.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "chord/chord.hpp"
+#include "common/random.hpp"
+#include "cycloid/cycloid.hpp"
+
+namespace lorm {
+namespace {
+
+template <typename Net, typename Res>
+void ExpectPathUsesRealLinks(const Net& net, const Res& res) {
+  for (std::size_t i = 0; i + 1 < res.path.size(); ++i) {
+    const auto neighbors = net.NeighborsOf(res.path[i]);
+    EXPECT_TRUE(std::find(neighbors.begin(), neighbors.end(),
+                          res.path[i + 1]) != neighbors.end())
+        << "hop " << i << " (" << res.path[i] << " -> " << res.path[i + 1]
+        << ") is not a routing-table link";
+  }
+}
+
+class ChordPathHonesty : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ChordPathHonesty, EveryHopIsARealLink) {
+  const std::size_t n = GetParam();
+  chord::Config cfg;
+  cfg.bits = 12;
+  auto ring = chord::MakeRing(n, cfg, /*deterministic_ids=*/false);
+  Rng rng(n);
+  const auto members = ring.Members();
+  for (int i = 0; i < 150; ++i) {
+    const auto res = ring.Lookup(rng.NextBelow(ring.space()),
+                                 members[rng.NextBelow(members.size())]);
+    ASSERT_TRUE(res.ok);
+    ExpectPathUsesRealLinks(ring, res);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ChordPathHonesty,
+                         ::testing::Values(2, 16, 128, 1024));
+
+TEST(ChordPathHonesty, HoldsUnderGracefulChurn) {
+  chord::Config cfg;
+  cfg.bits = 12;
+  auto ring = chord::MakeRing(128, cfg, false);
+  Rng rng(5);
+  NodeAddr next = 9000;
+  for (int round = 0; round < 40; ++round) {
+    if (rng.NextBool() && ring.size() > 8) {
+      const auto members = ring.Members();
+      ring.RemoveNode(members[rng.NextBelow(members.size())]);
+    } else {
+      ring.AddNode(next++);
+    }
+    const auto members = ring.Members();
+    const auto res = ring.Lookup(rng.NextBelow(ring.space()),
+                                 members[rng.NextBelow(members.size())]);
+    ASSERT_TRUE(res.ok);
+    ExpectPathUsesRealLinks(ring, res);
+  }
+}
+
+TEST(ChordPathHonesty, HoldsUnderUnrepairedFailures) {
+  chord::Config cfg;
+  cfg.bits = 12;
+  auto ring = chord::MakeRing(256, cfg, false);
+  Rng rng(6);
+  for (int i = 0; i < 50; ++i) {
+    const auto members = ring.Members();
+    ring.FailNode(members[rng.NextBelow(members.size())]);
+  }
+  const auto members = ring.Members();
+  for (int i = 0; i < 150; ++i) {
+    const auto res = ring.Lookup(rng.NextBelow(ring.space()),
+                                 members[rng.NextBelow(members.size())]);
+    if (!res.ok) continue;
+    ExpectPathUsesRealLinks(ring, res);
+  }
+}
+
+class CycloidPathHonesty : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(CycloidPathHonesty, EveryHopIsARealLink) {
+  const std::size_t n = GetParam();
+  auto net = cycloid::MakeCycloid(n, cycloid::Config{6, 1});
+  Rng rng(n);
+  const auto members = net.Members();
+  for (int i = 0; i < 150; ++i) {
+    const cycloid::CycloidId key{static_cast<unsigned>(rng.NextBelow(6)),
+                                 rng.NextBelow(64)};
+    const auto res = net.Lookup(key, members[rng.NextBelow(members.size())]);
+    ASSERT_TRUE(res.ok);
+    ExpectPathUsesRealLinks(net, res);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Populations, CycloidPathHonesty,
+                         ::testing::Values(2, 48, 200, 384));
+
+TEST(CycloidPathHonesty, HoldsUnderGracefulChurn) {
+  auto net = cycloid::MakeCycloid(150, cycloid::Config{6, 1});
+  Rng rng(7);
+  NodeAddr next = 9000;
+  for (int round = 0; round < 40; ++round) {
+    if (rng.NextBool() && net.size() > 8) {
+      const auto members = net.Members();
+      net.RemoveNode(members[rng.NextBelow(members.size())]);
+    } else {
+      net.AddNode(next++);
+    }
+    const auto members = net.Members();
+    const cycloid::CycloidId key{static_cast<unsigned>(rng.NextBelow(6)),
+                                 rng.NextBelow(64)};
+    const auto res = net.Lookup(key, members[rng.NextBelow(members.size())]);
+    ASSERT_TRUE(res.ok);
+    ExpectPathUsesRealLinks(net, res);
+  }
+}
+
+TEST(CycloidPathHonesty, HoldsUnderUnrepairedFailures) {
+  auto net = cycloid::MakeCycloid(384, cycloid::Config{6, 1});
+  Rng rng(8);
+  for (int i = 0; i < 60; ++i) {
+    const auto members = net.Members();
+    net.FailNode(members[rng.NextBelow(members.size())]);
+  }
+  const auto members = net.Members();
+  for (int i = 0; i < 150; ++i) {
+    const cycloid::CycloidId key{static_cast<unsigned>(rng.NextBelow(6)),
+                                 rng.NextBelow(64)};
+    const auto res = net.Lookup(key, members[rng.NextBelow(members.size())]);
+    if (!res.ok) continue;  // acceptable before self-organization heals
+    ExpectPathUsesRealLinks(net, res);
+  }
+}
+
+TEST(NeighborsOf, MatchesOutlinkBound) {
+  auto net = cycloid::MakeCycloid(384, cycloid::Config{6, 1});
+  for (const NodeAddr addr : net.Members()) {
+    EXPECT_LE(net.NeighborsOf(addr).size(), 7u);
+  }
+  chord::Config cfg;
+  cfg.bits = 11;
+  auto ring = chord::MakeRing(2048, cfg, true);
+  for (const NodeAddr addr : {NodeAddr{0}, NodeAddr{1000}, NodeAddr{2047}}) {
+    const auto neighbors = ring.NeighborsOf(addr);
+    EXPECT_GE(neighbors.size(), 11u);  // distinct fingers in a full ring
+    EXPECT_LE(neighbors.size(),
+              11u + ring.config().successor_list + 1u);
+  }
+}
+
+}  // namespace
+}  // namespace lorm

@@ -1,0 +1,145 @@
+// Directory-replication tests: placement counts, answer invariance, crash
+// resilience without re-advertisement, and churn hygiene.
+#include <gtest/gtest.h>
+
+#include "harness/failures.hpp"
+#include "service_test_util.hpp"
+
+namespace lorm::harness {
+namespace {
+
+using resource::RangeStyle;
+using testutil::Bed;
+using testutil::MakeBed;
+
+Bed MakeReplicated(SystemKind kind, std::size_t replicas) {
+  auto setup = Setup::Small();
+  setup.replicas = replicas;
+  return MakeBed(kind, setup);
+}
+
+class ReplicationPerSystem : public ::testing::TestWithParam<SystemKind> {};
+
+TEST_P(ReplicationPerSystem, StoresFactorTimesTheEntries) {
+  for (const std::size_t r : {1u, 2u, 3u}) {
+    auto bed = MakeReplicated(GetParam(), r);
+    const std::size_t per_tuple = GetParam() == SystemKind::kMaan ? 2 : 1;
+    EXPECT_EQ(bed.service->TotalInfoPieces(), r * per_tuple * bed.infos.size())
+        << bed.service->name() << " r=" << r;
+  }
+}
+
+TEST_P(ReplicationPerSystem, AnswersAreIdenticalToUnreplicated) {
+  auto base = MakeReplicated(GetParam(), 1);
+  auto repl = MakeReplicated(GetParam(), 3);
+  Rng rng(21);
+  for (int i = 0; i < 20; ++i) {
+    const NodeAddr req =
+        static_cast<NodeAddr>(rng.NextBelow(base.setup.nodes));
+    const auto q = base.workload->MakeRangeQuery(2, req, RangeStyle::kBounded,
+                                                 rng);
+    const auto a = base.service->Query(q);
+    const auto b = repl.service->Query(q);
+    EXPECT_EQ(a.providers, b.providers) << base.service->name();
+    // Replication must not inflate per-sub match lists either.
+    ASSERT_EQ(a.per_sub.size(), b.per_sub.size());
+    for (std::size_t s = 0; s < a.per_sub.size(); ++s) {
+      EXPECT_EQ(a.per_sub[s].size(), b.per_sub[s].size());
+    }
+  }
+}
+
+TEST_P(ReplicationPerSystem, SurvivesCrashesWithoutReadvertisement) {
+  // With r=3, a modest crash wave should cost (almost) nothing even before
+  // any provider re-advertises: the new owner of a failed sector is its
+  // successor, which holds the replicas.
+  auto bed = MakeReplicated(GetParam(), 3);
+  Rng rng(22);
+  const auto nodes = bed.service->Nodes();
+  for (std::uint64_t idx : rng.SampleWithoutReplacement(nodes.size(),
+                                                        nodes.size() / 20)) {
+    bed.service->FailNode(nodes[idx]);
+  }
+  bed.service->Maintain();
+
+  double found = 0, expected = 0;
+  for (int i = 0; i < 40; ++i) {
+    const auto live = bed.service->Nodes();
+    const auto q = bed.workload->MakeRangeQuery(
+        2, live[rng.NextBelow(live.size())], RangeStyle::kBounded, rng);
+    const auto res = bed.service->Query(q);
+    const auto truth = BruteForceProviders(bed.infos, q, *bed.service);
+    expected += static_cast<double>(truth.size());
+    for (const NodeAddr p : truth) {
+      found += std::binary_search(res.providers.begin(), res.providers.end(),
+                                  p)
+                   ? 1
+                   : 0;
+    }
+  }
+  const double recall = expected > 0 ? found / expected : 1.0;
+  EXPECT_GT(recall, 0.95) << bed.service->name()
+                          << " r=3 recall after 5% crashes: " << recall;
+}
+
+TEST_P(ReplicationPerSystem, GracefulChurnDoesNotDuplicateAnswers) {
+  auto bed = MakeReplicated(GetParam(), 2);
+  Rng rng(23);
+  NodeAddr next = static_cast<NodeAddr>(bed.setup.nodes) + 500;
+  for (int round = 0; round < 10; ++round) {
+    if (round % 2 && bed.service->NetworkSize() > 32) {
+      const auto nodes = bed.service->Nodes();
+      bed.service->LeaveNode(nodes[rng.NextBelow(nodes.size())]);
+    } else {
+      bed.service->JoinNode(next++);
+    }
+  }
+  for (int i = 0; i < 15; ++i) {
+    const auto nodes = bed.service->Nodes();
+    const auto q = bed.workload->MakeRangeQuery(
+        2, nodes[rng.NextBelow(nodes.size())], RangeStyle::kBounded, rng);
+    const auto res = bed.service->Query(q);
+    EXPECT_FALSE(res.stats.failed);
+    // Providers are the brute-force set (primaries re-homed correctly,
+    // replicas never surfaced twice).
+    EXPECT_EQ(res.providers, BruteForceProviders(bed.infos, q, *bed.service))
+        << bed.service->name();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Systems, ReplicationPerSystem,
+    ::testing::Values(SystemKind::kLorm, SystemKind::kMercury,
+                      SystemKind::kSword, SystemKind::kMaan),
+    [](const auto& info) { return std::string(SystemName(info.param)); });
+
+TEST(ReplicationRecovery, HigherFactorRaisesDegradedRecall) {
+  // The headline property: recall right after crashes (before any epoch
+  // refresh) improves monotonically-ish with the replication factor.
+  double recall_by_factor[4] = {0, 0, 0, 0};
+  for (const std::size_t r : {1u, 3u}) {
+    auto bed = MakeReplicated(SystemKind::kSword, r);
+    FailureConfig cfg;
+    cfg.fail_fraction = 0.25;  // virtually guarantees dead attribute roots
+    cfg.queries = 60;
+    cfg.attrs_per_query = 2;
+    cfg.seed = 0xF00D;
+    const auto result =
+        RunFailureExperiment(*bed.service, *bed.workload, bed.infos, cfg);
+    recall_by_factor[r] = result.degraded.recall;
+    EXPECT_DOUBLE_EQ(result.recovered.recall, 1.0);
+  }
+  EXPECT_GT(recall_by_factor[3], recall_by_factor[1] + 0.1);
+}
+
+TEST(ReplicationEpochs, ExpiryAppliesToReplicasToo) {
+  auto bed = MakeReplicated(SystemKind::kLorm, 2);
+  EXPECT_EQ(bed.service->TotalInfoPieces(), 2 * bed.infos.size());
+  bed.service->SetEpoch(1);
+  bed.service->Advertise(bed.infos.front());
+  EXPECT_EQ(bed.service->ExpireEntriesBefore(1), 2 * bed.infos.size());
+  EXPECT_EQ(bed.service->TotalInfoPieces(), 2u);  // fresh primary + replica
+}
+
+}  // namespace
+}  // namespace lorm::harness

@@ -1,0 +1,200 @@
+// Semantic-discovery extension tests: taxonomy structure, binding
+// inheritance, request expansion, and end-to-end resolution against LORM.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/random.hpp"
+#include "discovery/lorm_service.hpp"
+#include "resource/machine.hpp"
+#include "semantic/grid_ontology.hpp"
+
+namespace lorm::semantic {
+namespace {
+
+using resource::AttrValue;
+using resource::Machine;
+
+TEST(TaxonomyTest, StructureAndLookup) {
+  Taxonomy t;
+  const auto os = t.AddRoot("os");
+  const auto nix = t.AddChild(os, "unix");
+  const auto lin = t.AddChild(nix, "linux");
+  EXPECT_EQ(t.size(), 3u);
+  EXPECT_EQ(t.Find("unix"), std::optional<ConceptId>(nix));
+  EXPECT_EQ(t.Find("bsd"), std::nullopt);
+  EXPECT_EQ(t.NameOf(lin), "linux");
+  EXPECT_EQ(t.ParentOf(lin), nix);
+  EXPECT_EQ(t.ParentOf(os), kNoConcept);
+  EXPECT_THROW(t.AddRoot("os"), ConfigError);
+}
+
+TEST(TaxonomyTest, IsAFollowsAncestry) {
+  Taxonomy t;
+  const auto os = t.AddRoot("os");
+  const auto nix = t.AddChild(os, "unix");
+  const auto lin = t.AddChild(nix, "linux");
+  const auto win = t.AddChild(os, "windows");
+  EXPECT_TRUE(t.IsA(lin, nix));
+  EXPECT_TRUE(t.IsA(lin, os));
+  EXPECT_TRUE(t.IsA(lin, lin));
+  EXPECT_FALSE(t.IsA(lin, win));
+  EXPECT_FALSE(t.IsA(nix, lin));
+}
+
+TEST(TaxonomyTest, SubtreeAndPath) {
+  Taxonomy t;
+  const auto os = t.AddRoot("os");
+  const auto nix = t.AddChild(os, "unix");
+  const auto lin = t.AddChild(nix, "linux");
+  const auto sol = t.AddChild(nix, "solaris");
+  const auto win = t.AddChild(os, "windows");
+  const auto sub = t.SubtreeOf(nix);
+  EXPECT_EQ(sub, (std::vector<ConceptId>{nix, lin, sol}));
+  EXPECT_EQ(t.SubtreeOf(os).size(), 5u);
+  EXPECT_EQ(t.PathTo(lin), (std::vector<ConceptId>{os, nix, lin}));
+  EXPECT_EQ(t.PathTo(win), (std::vector<ConceptId>{os, win}));
+}
+
+TEST(BindingsTest, InheritanceAlongPath) {
+  resource::AttributeRegistry registry;
+  resource::RegisterGridSchema(registry);
+  const auto g = MakeGridOntology(registry);
+  // hpc inherits "server" (cpu >= 1500) and adds its own two predicates.
+  const auto effective = g.bindings.EffectiveFor(g.taxonomy, g.hpc);
+  EXPECT_EQ(effective.size(), 3u);
+  // workstation: only its own binding.
+  EXPECT_EQ(g.bindings.EffectiveFor(g.taxonomy, g.workstation).size(), 1u);
+  // The unbound inner concept inherits nothing on its path.
+  EXPECT_TRUE(g.bindings.EffectiveFor(g.taxonomy, g.unix_like).empty());
+  EXPECT_TRUE(g.bindings.AnyBoundIn(g.taxonomy, g.unix_like));
+}
+
+TEST(ResolverTest, InnerConceptFansOutOverBoundSubtree) {
+  resource::AttributeRegistry registry;
+  resource::RegisterGridSchema(registry);
+  const auto g = MakeGridOntology(registry);
+  const Resolver resolver(g.taxonomy, g.bindings);
+  SemanticRequest req;
+  req.concept_id = g.unix_like;
+  req.requester = 1;
+  const auto queries = resolver.Expand(req);
+  EXPECT_EQ(queries.size(), 4u);  // linux, solaris, freebsd, aix
+  for (const auto& q : queries) {
+    EXPECT_EQ(q.subs.size(), 1u);
+    EXPECT_TRUE(q.subs[0].IsPoint());
+  }
+}
+
+TEST(ResolverTest, ExtraConstraintsAppendToEveryExpansion) {
+  resource::AttributeRegistry registry;
+  resource::RegisterGridSchema(registry);
+  const auto g = MakeGridOntology(registry);
+  const Resolver resolver(g.taxonomy, g.bindings);
+  SemanticRequest req;
+  req.concept_id = g.server;
+  req.requester = 1;
+  const AttrId net = *registry.Find(resource::kAttrNetMbps);
+  req.extra.push_back({net, resource::ValueRange::AtLeast(
+                                registry.Get(net), AttrValue::Number(1000))});
+  // server expands over {server, hpc, storage} (each carries a binding).
+  const auto queries = resolver.Expand(req);
+  EXPECT_EQ(queries.size(), 3u);
+  for (const auto& q : queries) {
+    EXPECT_EQ(q.subs.back().attr, net);
+  }
+}
+
+TEST(ResolverTest, UnboundConceptThrows) {
+  resource::AttributeRegistry registry;
+  resource::RegisterGridSchema(registry);
+  GridOntology g = MakeGridOntology(registry);
+  const auto orphan = g.taxonomy.AddRoot("orphan");
+  const Resolver resolver(g.taxonomy, g.bindings);
+  SemanticRequest req;
+  req.concept_id = orphan;
+  req.requester = 1;
+  EXPECT_THROW(resolver.Expand(req), ConfigError);
+}
+
+class SemanticEndToEnd : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    resource::RegisterGridSchema(registry_);
+    discovery::LormService::Config cfg;
+    cfg.overlay.dimension = 5;
+    service_ = std::make_unique<discovery::LormService>(5 * 32, registry_,
+                                                        std::move(cfg));
+    Rng rng(77);
+    for (NodeAddr addr = 0; addr < 5 * 32; ++addr) {
+      machines_.push_back(resource::RandomMachine(addr, rng));
+      for (const auto& info : machines_.back().Advertise(registry_)) {
+        service_->Advertise(info);
+      }
+    }
+    ontology_ = MakeGridOntology(registry_);
+  }
+
+  resource::AttributeRegistry registry_;
+  std::unique_ptr<discovery::LormService> service_;
+  std::vector<Machine> machines_;
+  GridOntology ontology_;
+};
+
+TEST_F(SemanticEndToEnd, UnixIsTheUnionOfItsLeaves) {
+  const Resolver resolver(ontology_.taxonomy, ontology_.bindings);
+  SemanticRequest req;
+  req.concept_id = ontology_.unix_like;
+  req.requester = 0;
+  const auto result = resolver.Resolve(req, *service_);
+  EXPECT_EQ(result.expanded_concepts.size(), 4u);
+
+  std::set<NodeAddr> expected;
+  for (const auto& m : machines_) {
+    if (m.os != "Windows") expected.insert(m.addr);
+  }
+  EXPECT_EQ(std::set<NodeAddr>(result.providers.begin(),
+                               result.providers.end()),
+            expected);
+  // Union must not double-count across expanded concepts.
+  EXPECT_EQ(result.providers.size(), expected.size());
+}
+
+TEST_F(SemanticEndToEnd, HpcInheritsServerPredicate) {
+  const Resolver resolver(ontology_.taxonomy, ontology_.bindings);
+  SemanticRequest req;
+  req.concept_id = ontology_.hpc;
+  req.requester = 3;
+  const auto result = resolver.Resolve(req, *service_);
+  for (const NodeAddr p : result.providers) {
+    EXPECT_GE(machines_[p].cpu_mhz, 2000.0);  // hpc's own bound
+    EXPECT_GE(machines_[p].mem_mb, 4096.0);
+  }
+  // Ground truth by brute force.
+  std::size_t expected = 0;
+  for (const auto& m : machines_) {
+    if (m.cpu_mhz >= 2000.0 && m.mem_mb >= 4096.0) ++expected;
+  }
+  EXPECT_EQ(result.providers.size(), expected);
+}
+
+TEST_F(SemanticEndToEnd, SemanticPlusExtraConstraint) {
+  const Resolver resolver(ontology_.taxonomy, ontology_.bindings);
+  SemanticRequest req;
+  req.concept_id = ontology_.os_linux;
+  req.requester = 5;
+  const AttrId mem = *registry_.Find(resource::kAttrMemMb);
+  req.extra.push_back({mem, resource::ValueRange::AtLeast(
+                                registry_.Get(mem), AttrValue::Number(4096))});
+  const auto result = resolver.Resolve(req, *service_);
+  std::size_t expected = 0;
+  for (const auto& m : machines_) {
+    if (m.os == "Linux" && m.mem_mb >= 4096.0) ++expected;
+  }
+  EXPECT_EQ(result.providers.size(), expected);
+  EXPECT_GT(result.stats.lookups, 0u);
+}
+
+}  // namespace
+}  // namespace lorm::semantic

@@ -1,0 +1,107 @@
+// Simulation-core tests: event queue ordering, Poisson processes, latency.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/latency.hpp"
+#include "sim/poisson.hpp"
+
+namespace lorm::sim {
+namespace {
+
+TEST(EventQueue, ExecutesInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.ScheduleAt(3.0, [&](EventQueue&) { order.push_back(3); });
+  q.ScheduleAt(1.0, [&](EventQueue&) { order.push_back(1); });
+  q.ScheduleAt(2.0, [&](EventQueue&) { order.push_back(2); });
+  EXPECT_EQ(q.RunAll(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(q.now(), 3.0);
+}
+
+TEST(EventQueue, SimultaneousEventsKeepInsertionOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    q.ScheduleAt(1.0, [&order, i](EventQueue&) { order.push_back(i); });
+  }
+  q.RunAll();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, HandlersCanScheduleFollowUps) {
+  EventQueue q;
+  int fired = 0;
+  std::function<void(EventQueue&)> tick = [&](EventQueue& qq) {
+    if (++fired < 10) qq.ScheduleAfter(1.0, tick);
+  };
+  q.ScheduleAt(0.0, tick);
+  q.RunAll();
+  EXPECT_EQ(fired, 10);
+  EXPECT_DOUBLE_EQ(q.now(), 9.0);
+}
+
+TEST(EventQueue, RunUntilStopsAtDeadline) {
+  EventQueue q;
+  int fired = 0;
+  q.ScheduleAt(1.0, [&](EventQueue&) { ++fired; });
+  q.ScheduleAt(5.0, [&](EventQueue&) { ++fired; });
+  EXPECT_EQ(q.RunUntil(2.0), 1u);
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(q.now(), 2.0);
+  EXPECT_EQ(q.pending(), 1u);
+  q.RunAll();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, RejectsPastScheduling) {
+  EventQueue q;
+  q.ScheduleAt(5.0, [](EventQueue&) {});
+  q.RunAll();
+  EXPECT_THROW(q.ScheduleAt(1.0, [](EventQueue&) {}), InvariantError);
+  EXPECT_THROW(q.ScheduleAfter(-1.0, [](EventQueue&) {}), InvariantError);
+}
+
+TEST(PoissonProcessTest, InterArrivalMeanMatchesRate) {
+  PoissonProcess p(0.4, Rng(77));
+  SimTime prev = 0;
+  OnlineStats gaps;
+  for (int i = 0; i < 20000; ++i) {
+    const SimTime t = p.NextArrival();
+    EXPECT_GT(t, prev);
+    gaps.Add(t - prev);
+    prev = t;
+  }
+  EXPECT_NEAR(gaps.mean(), 2.5, 0.1);
+  EXPECT_THROW(PoissonProcess(0.0, Rng(1)), ConfigError);
+}
+
+TEST(LatencyModels, FixedAndBounds) {
+  Rng rng(1);
+  FixedLatency f(0.05);
+  EXPECT_DOUBLE_EQ(f.SampleHop(rng), 0.05);
+
+  UniformLatency u(0.01, 0.09);
+  for (int i = 0; i < 1000; ++i) {
+    const SimTime t = u.SampleHop(rng);
+    EXPECT_GE(t, 0.01);
+    EXPECT_LE(t, 0.09);
+  }
+
+  ShiftedExponentialLatency se(0.02, 0.03);
+  OnlineStats s;
+  for (int i = 0; i < 20000; ++i) s.Add(se.SampleHop(rng));
+  EXPECT_GE(s.min(), 0.02);
+  EXPECT_NEAR(s.mean(), 0.05, 0.005);
+
+  EXPECT_THROW(FixedLatency(-1), ConfigError);
+  EXPECT_THROW(UniformLatency(0.5, 0.1), ConfigError);
+  EXPECT_THROW(ShiftedExponentialLatency(0.1, 0.0), ConfigError);
+}
+
+}  // namespace
+}  // namespace lorm::sim
