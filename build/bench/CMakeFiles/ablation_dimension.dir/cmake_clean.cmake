@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_dimension.dir/ablation_dimension.cpp.o"
+  "CMakeFiles/ablation_dimension.dir/ablation_dimension.cpp.o.d"
+  "ablation_dimension"
+  "ablation_dimension.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_dimension.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_lph.dir/ablation_lph.cpp.o"
+  "CMakeFiles/ablation_lph.dir/ablation_lph.cpp.o.d"
+  "ablation_lph"
+  "ablation_lph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_lph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

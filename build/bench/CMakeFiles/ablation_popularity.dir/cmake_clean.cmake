@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_popularity.dir/ablation_popularity.cpp.o"
+  "CMakeFiles/ablation_popularity.dir/ablation_popularity.cpp.o.d"
+  "ablation_popularity"
+  "ablation_popularity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_popularity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

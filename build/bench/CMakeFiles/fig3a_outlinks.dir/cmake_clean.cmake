@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3a_outlinks.dir/fig3a_outlinks.cpp.o"
+  "CMakeFiles/fig3a_outlinks.dir/fig3a_outlinks.cpp.o.d"
+  "fig3a_outlinks"
+  "fig3a_outlinks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3a_outlinks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

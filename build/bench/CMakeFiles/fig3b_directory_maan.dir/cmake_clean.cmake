@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3b_directory_maan.dir/fig3b_directory_maan.cpp.o"
+  "CMakeFiles/fig3b_directory_maan.dir/fig3b_directory_maan.cpp.o.d"
+  "fig3b_directory_maan"
+  "fig3b_directory_maan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3b_directory_maan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

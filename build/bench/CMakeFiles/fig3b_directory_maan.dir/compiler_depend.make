@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig3b_directory_maan.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3c_directory_sword.dir/fig3c_directory_sword.cpp.o"
+  "CMakeFiles/fig3c_directory_sword.dir/fig3c_directory_sword.cpp.o.d"
+  "fig3c_directory_sword"
+  "fig3c_directory_sword.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3c_directory_sword.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

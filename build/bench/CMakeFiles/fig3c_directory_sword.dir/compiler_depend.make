@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig3c_directory_sword.
+# This may be replaced when dependencies are built.

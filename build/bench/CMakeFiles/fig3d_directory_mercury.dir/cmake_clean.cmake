@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3d_directory_mercury.dir/fig3d_directory_mercury.cpp.o"
+  "CMakeFiles/fig3d_directory_mercury.dir/fig3d_directory_mercury.cpp.o.d"
+  "fig3d_directory_mercury"
+  "fig3d_directory_mercury.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3d_directory_mercury.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

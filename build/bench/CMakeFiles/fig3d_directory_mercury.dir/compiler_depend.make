@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig3d_directory_mercury.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig3d_directory_mercury.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4a_hops_avg.dir/fig4a_hops_avg.cpp.o"
+  "CMakeFiles/fig4a_hops_avg.dir/fig4a_hops_avg.cpp.o.d"
+  "fig4a_hops_avg"
+  "fig4a_hops_avg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4a_hops_avg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

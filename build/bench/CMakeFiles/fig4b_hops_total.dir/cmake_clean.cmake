@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4b_hops_total.dir/fig4b_hops_total.cpp.o"
+  "CMakeFiles/fig4b_hops_total.dir/fig4b_hops_total.cpp.o.d"
+  "fig4b_hops_total"
+  "fig4b_hops_total.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4b_hops_total.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

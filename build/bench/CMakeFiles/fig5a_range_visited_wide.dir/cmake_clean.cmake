@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5a_range_visited_wide.dir/fig5a_range_visited_wide.cpp.o"
+  "CMakeFiles/fig5a_range_visited_wide.dir/fig5a_range_visited_wide.cpp.o.d"
+  "fig5a_range_visited_wide"
+  "fig5a_range_visited_wide.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5a_range_visited_wide.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig5a_range_visited_wide.
+# This may be replaced when dependencies are built.

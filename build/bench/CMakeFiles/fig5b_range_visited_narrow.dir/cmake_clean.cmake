@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5b_range_visited_narrow.dir/fig5b_range_visited_narrow.cpp.o"
+  "CMakeFiles/fig5b_range_visited_narrow.dir/fig5b_range_visited_narrow.cpp.o.d"
+  "fig5b_range_visited_narrow"
+  "fig5b_range_visited_narrow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5b_range_visited_narrow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6a_churn_hops.dir/fig6a_churn_hops.cpp.o"
+  "CMakeFiles/fig6a_churn_hops.dir/fig6a_churn_hops.cpp.o.d"
+  "fig6a_churn_hops"
+  "fig6a_churn_hops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6a_churn_hops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig6a_churn_hops.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6b_churn_visited.dir/fig6b_churn_visited.cpp.o"
+  "CMakeFiles/fig6b_churn_visited.dir/fig6b_churn_visited.cpp.o.d"
+  "fig6b_churn_visited"
+  "fig6b_churn_visited.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6b_churn_visited.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig6b_churn_visited.
+# This may be replaced when dependencies are built.

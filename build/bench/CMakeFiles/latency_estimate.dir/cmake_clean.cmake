@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/latency_estimate.dir/latency_estimate.cpp.o"
+  "CMakeFiles/latency_estimate.dir/latency_estimate.cpp.o.d"
+  "latency_estimate"
+  "latency_estimate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/latency_estimate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

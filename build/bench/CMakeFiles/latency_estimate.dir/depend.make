@@ -1,0 +1,2 @@
+# Empty dependencies file for latency_estimate.
+# This may be replaced when dependencies are built.

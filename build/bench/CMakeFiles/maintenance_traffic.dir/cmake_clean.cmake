@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maintenance_traffic.dir/maintenance_traffic.cpp.o"
+  "CMakeFiles/maintenance_traffic.dir/maintenance_traffic.cpp.o.d"
+  "maintenance_traffic"
+  "maintenance_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maintenance_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

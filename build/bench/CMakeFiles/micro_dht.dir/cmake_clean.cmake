@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_dht.dir/micro_dht.cpp.o"
+  "CMakeFiles/micro_dht.dir/micro_dht.cpp.o.d"
+  "micro_dht"
+  "micro_dht.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_dht.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_discovery.dir/micro_discovery.cpp.o"
+  "CMakeFiles/micro_discovery.dir/micro_discovery.cpp.o.d"
+  "micro_discovery"
+  "micro_discovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_discovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/robustness_failures.dir/robustness_failures.cpp.o"
+  "CMakeFiles/robustness_failures.dir/robustness_failures.cpp.o.d"
+  "robustness_failures"
+  "robustness_failures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/robustness_failures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

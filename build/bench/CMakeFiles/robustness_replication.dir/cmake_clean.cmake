@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/robustness_replication.dir/robustness_replication.cpp.o"
+  "CMakeFiles/robustness_replication.dir/robustness_replication.cpp.o.d"
+  "robustness_replication"
+  "robustness_replication.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/robustness_replication.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

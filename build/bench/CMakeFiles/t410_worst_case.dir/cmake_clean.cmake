@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/t410_worst_case.dir/t410_worst_case.cpp.o"
+  "CMakeFiles/t410_worst_case.dir/t410_worst_case.cpp.o.d"
+  "t410_worst_case"
+  "t410_worst_case.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/t410_worst_case.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grid_console.dir/grid_console.cpp.o"
+  "CMakeFiles/grid_console.dir/grid_console.cpp.o.d"
+  "grid_console"
+  "grid_console.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grid_console.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

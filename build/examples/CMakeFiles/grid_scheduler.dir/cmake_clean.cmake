@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grid_scheduler.dir/grid_scheduler.cpp.o"
+  "CMakeFiles/grid_scheduler.dir/grid_scheduler.cpp.o.d"
+  "grid_scheduler"
+  "grid_scheduler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grid_scheduler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

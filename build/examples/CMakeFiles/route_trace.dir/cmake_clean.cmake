@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/route_trace.dir/route_trace.cpp.o"
+  "CMakeFiles/route_trace.dir/route_trace.cpp.o.d"
+  "route_trace"
+  "route_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/route_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/semantic_search.dir/semantic_search.cpp.o"
+  "CMakeFiles/semantic_search.dir/semantic_search.cpp.o.d"
+  "semantic_search"
+  "semantic_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/semantic_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

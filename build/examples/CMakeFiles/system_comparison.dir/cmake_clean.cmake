@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/system_comparison.dir/system_comparison.cpp.o"
+  "CMakeFiles/system_comparison.dir/system_comparison.cpp.o.d"
+  "system_comparison"
+  "system_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/system_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lorm_analysis.dir/theorems.cpp.o"
+  "CMakeFiles/lorm_analysis.dir/theorems.cpp.o.d"
+  "liblorm_analysis.a"
+  "liblorm_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lorm_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

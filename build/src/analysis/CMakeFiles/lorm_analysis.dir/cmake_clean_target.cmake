@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblorm_analysis.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lorm_chord.dir/chord.cpp.o"
+  "CMakeFiles/lorm_chord.dir/chord.cpp.o.d"
+  "liblorm_chord.a"
+  "liblorm_chord.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lorm_chord.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/error.cpp" "src/common/CMakeFiles/lorm_common.dir/error.cpp.o" "gcc" "src/common/CMakeFiles/lorm_common.dir/error.cpp.o.d"
+  "/root/repo/src/common/hashing.cpp" "src/common/CMakeFiles/lorm_common.dir/hashing.cpp.o" "gcc" "src/common/CMakeFiles/lorm_common.dir/hashing.cpp.o.d"
+  "/root/repo/src/common/random.cpp" "src/common/CMakeFiles/lorm_common.dir/random.cpp.o" "gcc" "src/common/CMakeFiles/lorm_common.dir/random.cpp.o.d"
+  "/root/repo/src/common/sha1.cpp" "src/common/CMakeFiles/lorm_common.dir/sha1.cpp.o" "gcc" "src/common/CMakeFiles/lorm_common.dir/sha1.cpp.o.d"
+  "/root/repo/src/common/stats.cpp" "src/common/CMakeFiles/lorm_common.dir/stats.cpp.o" "gcc" "src/common/CMakeFiles/lorm_common.dir/stats.cpp.o.d"
+  "/root/repo/src/common/types.cpp" "src/common/CMakeFiles/lorm_common.dir/types.cpp.o" "gcc" "src/common/CMakeFiles/lorm_common.dir/types.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

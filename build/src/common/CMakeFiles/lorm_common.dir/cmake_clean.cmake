@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lorm_common.dir/error.cpp.o"
+  "CMakeFiles/lorm_common.dir/error.cpp.o.d"
+  "CMakeFiles/lorm_common.dir/hashing.cpp.o"
+  "CMakeFiles/lorm_common.dir/hashing.cpp.o.d"
+  "CMakeFiles/lorm_common.dir/random.cpp.o"
+  "CMakeFiles/lorm_common.dir/random.cpp.o.d"
+  "CMakeFiles/lorm_common.dir/sha1.cpp.o"
+  "CMakeFiles/lorm_common.dir/sha1.cpp.o.d"
+  "CMakeFiles/lorm_common.dir/stats.cpp.o"
+  "CMakeFiles/lorm_common.dir/stats.cpp.o.d"
+  "CMakeFiles/lorm_common.dir/types.cpp.o"
+  "CMakeFiles/lorm_common.dir/types.cpp.o.d"
+  "liblorm_common.a"
+  "liblorm_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lorm_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

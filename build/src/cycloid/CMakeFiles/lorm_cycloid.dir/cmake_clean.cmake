@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lorm_cycloid.dir/cycloid.cpp.o"
+  "CMakeFiles/lorm_cycloid.dir/cycloid.cpp.o.d"
+  "liblorm_cycloid.a"
+  "liblorm_cycloid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lorm_cycloid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for lorm_cycloid.
+# This may be replaced when dependencies are built.

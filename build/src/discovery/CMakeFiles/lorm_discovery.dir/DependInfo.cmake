@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/discovery/join.cpp" "src/discovery/CMakeFiles/lorm_discovery.dir/join.cpp.o" "gcc" "src/discovery/CMakeFiles/lorm_discovery.dir/join.cpp.o.d"
+  "/root/repo/src/discovery/lorm_service.cpp" "src/discovery/CMakeFiles/lorm_discovery.dir/lorm_service.cpp.o" "gcc" "src/discovery/CMakeFiles/lorm_discovery.dir/lorm_service.cpp.o.d"
+  "/root/repo/src/discovery/maan_service.cpp" "src/discovery/CMakeFiles/lorm_discovery.dir/maan_service.cpp.o" "gcc" "src/discovery/CMakeFiles/lorm_discovery.dir/maan_service.cpp.o.d"
+  "/root/repo/src/discovery/mercury_service.cpp" "src/discovery/CMakeFiles/lorm_discovery.dir/mercury_service.cpp.o" "gcc" "src/discovery/CMakeFiles/lorm_discovery.dir/mercury_service.cpp.o.d"
+  "/root/repo/src/discovery/sword_service.cpp" "src/discovery/CMakeFiles/lorm_discovery.dir/sword_service.cpp.o" "gcc" "src/discovery/CMakeFiles/lorm_discovery.dir/sword_service.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/lorm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/chord/CMakeFiles/lorm_chord.dir/DependInfo.cmake"
+  "/root/repo/build/src/cycloid/CMakeFiles/lorm_cycloid.dir/DependInfo.cmake"
+  "/root/repo/build/src/resource/CMakeFiles/lorm_resource.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lorm_discovery.dir/join.cpp.o"
+  "CMakeFiles/lorm_discovery.dir/join.cpp.o.d"
+  "CMakeFiles/lorm_discovery.dir/lorm_service.cpp.o"
+  "CMakeFiles/lorm_discovery.dir/lorm_service.cpp.o.d"
+  "CMakeFiles/lorm_discovery.dir/maan_service.cpp.o"
+  "CMakeFiles/lorm_discovery.dir/maan_service.cpp.o.d"
+  "CMakeFiles/lorm_discovery.dir/mercury_service.cpp.o"
+  "CMakeFiles/lorm_discovery.dir/mercury_service.cpp.o.d"
+  "CMakeFiles/lorm_discovery.dir/sword_service.cpp.o"
+  "CMakeFiles/lorm_discovery.dir/sword_service.cpp.o.d"
+  "liblorm_discovery.a"
+  "liblorm_discovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lorm_discovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lorm_harness.dir/churn.cpp.o"
+  "CMakeFiles/lorm_harness.dir/churn.cpp.o.d"
+  "CMakeFiles/lorm_harness.dir/experiments.cpp.o"
+  "CMakeFiles/lorm_harness.dir/experiments.cpp.o.d"
+  "CMakeFiles/lorm_harness.dir/failures.cpp.o"
+  "CMakeFiles/lorm_harness.dir/failures.cpp.o.d"
+  "CMakeFiles/lorm_harness.dir/setup.cpp.o"
+  "CMakeFiles/lorm_harness.dir/setup.cpp.o.d"
+  "CMakeFiles/lorm_harness.dir/table.cpp.o"
+  "CMakeFiles/lorm_harness.dir/table.cpp.o.d"
+  "liblorm_harness.a"
+  "liblorm_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lorm_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/resource/attribute.cpp" "src/resource/CMakeFiles/lorm_resource.dir/attribute.cpp.o" "gcc" "src/resource/CMakeFiles/lorm_resource.dir/attribute.cpp.o.d"
+  "/root/repo/src/resource/machine.cpp" "src/resource/CMakeFiles/lorm_resource.dir/machine.cpp.o" "gcc" "src/resource/CMakeFiles/lorm_resource.dir/machine.cpp.o.d"
+  "/root/repo/src/resource/query.cpp" "src/resource/CMakeFiles/lorm_resource.dir/query.cpp.o" "gcc" "src/resource/CMakeFiles/lorm_resource.dir/query.cpp.o.d"
+  "/root/repo/src/resource/resource_info.cpp" "src/resource/CMakeFiles/lorm_resource.dir/resource_info.cpp.o" "gcc" "src/resource/CMakeFiles/lorm_resource.dir/resource_info.cpp.o.d"
+  "/root/repo/src/resource/workload.cpp" "src/resource/CMakeFiles/lorm_resource.dir/workload.cpp.o" "gcc" "src/resource/CMakeFiles/lorm_resource.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/lorm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

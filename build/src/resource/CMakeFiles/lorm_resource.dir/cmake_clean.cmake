@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lorm_resource.dir/attribute.cpp.o"
+  "CMakeFiles/lorm_resource.dir/attribute.cpp.o.d"
+  "CMakeFiles/lorm_resource.dir/machine.cpp.o"
+  "CMakeFiles/lorm_resource.dir/machine.cpp.o.d"
+  "CMakeFiles/lorm_resource.dir/query.cpp.o"
+  "CMakeFiles/lorm_resource.dir/query.cpp.o.d"
+  "CMakeFiles/lorm_resource.dir/resource_info.cpp.o"
+  "CMakeFiles/lorm_resource.dir/resource_info.cpp.o.d"
+  "CMakeFiles/lorm_resource.dir/workload.cpp.o"
+  "CMakeFiles/lorm_resource.dir/workload.cpp.o.d"
+  "liblorm_resource.a"
+  "liblorm_resource.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lorm_resource.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/semantic/grid_ontology.cpp" "src/semantic/CMakeFiles/lorm_semantic.dir/grid_ontology.cpp.o" "gcc" "src/semantic/CMakeFiles/lorm_semantic.dir/grid_ontology.cpp.o.d"
+  "/root/repo/src/semantic/resolver.cpp" "src/semantic/CMakeFiles/lorm_semantic.dir/resolver.cpp.o" "gcc" "src/semantic/CMakeFiles/lorm_semantic.dir/resolver.cpp.o.d"
+  "/root/repo/src/semantic/taxonomy.cpp" "src/semantic/CMakeFiles/lorm_semantic.dir/taxonomy.cpp.o" "gcc" "src/semantic/CMakeFiles/lorm_semantic.dir/taxonomy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/lorm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/resource/CMakeFiles/lorm_resource.dir/DependInfo.cmake"
+  "/root/repo/build/src/discovery/CMakeFiles/lorm_discovery.dir/DependInfo.cmake"
+  "/root/repo/build/src/chord/CMakeFiles/lorm_chord.dir/DependInfo.cmake"
+  "/root/repo/build/src/cycloid/CMakeFiles/lorm_cycloid.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lorm_semantic.dir/grid_ontology.cpp.o"
+  "CMakeFiles/lorm_semantic.dir/grid_ontology.cpp.o.d"
+  "CMakeFiles/lorm_semantic.dir/resolver.cpp.o"
+  "CMakeFiles/lorm_semantic.dir/resolver.cpp.o.d"
+  "CMakeFiles/lorm_semantic.dir/taxonomy.cpp.o"
+  "CMakeFiles/lorm_semantic.dir/taxonomy.cpp.o.d"
+  "liblorm_semantic.a"
+  "liblorm_semantic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lorm_semantic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for lorm_semantic.
+# This may be replaced when dependencies are built.

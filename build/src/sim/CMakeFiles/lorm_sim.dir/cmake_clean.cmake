@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lorm_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/lorm_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/lorm_sim.dir/latency.cpp.o"
+  "CMakeFiles/lorm_sim.dir/latency.cpp.o.d"
+  "CMakeFiles/lorm_sim.dir/poisson.cpp.o"
+  "CMakeFiles/lorm_sim.dir/poisson.cpp.o.d"
+  "liblorm_sim.a"
+  "liblorm_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lorm_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

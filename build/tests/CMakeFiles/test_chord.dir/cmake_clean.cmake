@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_chord.dir/test_chord.cpp.o"
+  "CMakeFiles/test_chord.dir/test_chord.cpp.o.d"
+  "test_chord"
+  "test_chord.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_chord.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

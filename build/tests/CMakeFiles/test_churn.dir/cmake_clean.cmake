@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_churn.dir/test_churn.cpp.o"
+  "CMakeFiles/test_churn.dir/test_churn.cpp.o.d"
+  "test_churn"
+  "test_churn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_churn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

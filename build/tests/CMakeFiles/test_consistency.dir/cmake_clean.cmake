@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_consistency.dir/test_consistency.cpp.o"
+  "CMakeFiles/test_consistency.dir/test_consistency.cpp.o.d"
+  "test_consistency"
+  "test_consistency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_consistency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cycloid.dir/test_cycloid.cpp.o"
+  "CMakeFiles/test_cycloid.dir/test_cycloid.cpp.o.d"
+  "test_cycloid"
+  "test_cycloid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cycloid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

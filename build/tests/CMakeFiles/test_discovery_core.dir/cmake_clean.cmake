@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_discovery_core.dir/test_discovery_core.cpp.o"
+  "CMakeFiles/test_discovery_core.dir/test_discovery_core.cpp.o.d"
+  "test_discovery_core"
+  "test_discovery_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_discovery_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

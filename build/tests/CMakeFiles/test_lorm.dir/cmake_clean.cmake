@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lorm.dir/test_lorm.cpp.o"
+  "CMakeFiles/test_lorm.dir/test_lorm.cpp.o.d"
+  "test_lorm"
+  "test_lorm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lorm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_maan.dir/test_maan.cpp.o"
+  "CMakeFiles/test_maan.dir/test_maan.cpp.o.d"
+  "test_maan"
+  "test_maan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_maan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mercury.dir/test_mercury.cpp.o"
+  "CMakeFiles/test_mercury.dir/test_mercury.cpp.o.d"
+  "test_mercury"
+  "test_mercury.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mercury.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

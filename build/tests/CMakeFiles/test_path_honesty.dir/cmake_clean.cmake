@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_path_honesty.dir/test_path_honesty.cpp.o"
+  "CMakeFiles/test_path_honesty.dir/test_path_honesty.cpp.o.d"
+  "test_path_honesty"
+  "test_path_honesty.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_path_honesty.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

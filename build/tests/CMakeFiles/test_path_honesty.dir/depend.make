@@ -1,0 +1,2 @@
+# Empty dependencies file for test_path_honesty.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_replication.dir/test_replication.cpp.o"
+  "CMakeFiles/test_replication.dir/test_replication.cpp.o.d"
+  "test_replication"
+  "test_replication.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_replication.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_resource.dir/test_resource.cpp.o"
+  "CMakeFiles/test_resource.dir/test_resource.cpp.o.d"
+  "test_resource"
+  "test_resource.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_resource.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

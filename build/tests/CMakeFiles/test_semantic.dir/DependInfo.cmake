@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_semantic.cpp" "tests/CMakeFiles/test_semantic.dir/test_semantic.cpp.o" "gcc" "tests/CMakeFiles/test_semantic.dir/test_semantic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/lorm_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/discovery/CMakeFiles/lorm_discovery.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/lorm_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/lorm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/semantic/CMakeFiles/lorm_semantic.dir/DependInfo.cmake"
+  "/root/repo/build/src/chord/CMakeFiles/lorm_chord.dir/DependInfo.cmake"
+  "/root/repo/build/src/cycloid/CMakeFiles/lorm_cycloid.dir/DependInfo.cmake"
+  "/root/repo/build/src/resource/CMakeFiles/lorm_resource.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/lorm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_semantic.dir/test_semantic.cpp.o"
+  "CMakeFiles/test_semantic.dir/test_semantic.cpp.o.d"
+  "test_semantic"
+  "test_semantic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_semantic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

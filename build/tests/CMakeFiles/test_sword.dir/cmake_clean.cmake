@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sword.dir/test_sword.cpp.o"
+  "CMakeFiles/test_sword.dir/test_sword.cpp.o.d"
+  "test_sword"
+  "test_sword.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sword.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
