@@ -41,6 +41,7 @@ int main(int argc, char** argv) {
     pq.requesters = opt.quick ? 20 : 100;
     pq.queries_per_requester = 10;
     pq.attrs_per_query = 1;
+    pq.jobs = opt.jobs;
     const auto point = harness::RunQueries(*service, workload, pq);
 
     pq.range = true;
@@ -62,5 +63,7 @@ int main(int argc, char** argv) {
                "constant; larger d spreads each attribute pile over more "
                "cluster nodes (lower p99) but lengthens range walks "
                "(~1 + d/4 visited)\n";
+  bench::FinishBench(opt, "ablation_dimension",
+                     dims.size() * 2 * (opt.quick ? 20 : 100) * 10);
   return 0;
 }

@@ -56,6 +56,7 @@ int main(int argc, char** argv) {
       qcfg.attrs_per_query = 1;
       qcfg.range = true;
       qcfg.seed = 0x21BF + static_cast<std::uint64_t>(zipf * 10);
+      qcfg.jobs = opt.jobs;
       harness::RunQueries(*service, workload, qcfg);
 
       const auto loads = service->QueryLoadCounts();
@@ -75,5 +76,6 @@ int main(int argc, char** argv) {
                "LORM's and SWORD's hottest node absorbs an increasing share "
                "of all visits — LORM caps it at the hot cluster's d nodes, "
                "SWORD at a single root\n";
+  bench::FinishBench(opt, "ablation_popularity", 3 * 3 * queries);
   return 0;
 }

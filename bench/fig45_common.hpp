@@ -4,6 +4,7 @@
 // 10 queries per point (paper §V-B).
 #pragma once
 
+#include <algorithm>
 #include <map>
 
 #include "fig_common.hpp"
@@ -22,13 +23,26 @@ inline std::vector<SweepPoint> RunQuerySweep(
     const harness::Setup& setup, const resource::Workload& workload,
     const std::vector<harness::SystemKind>& kinds, bool range, Metric metric,
     const std::vector<std::size_t>& attr_counts,
-    std::size_t requesters = 100, std::size_t queries_each = 10) {
-  // Build & populate each system once; reuse across the sweep.
+    std::size_t requesters = 100, std::size_t queries_each = 10,
+    std::size_t jobs = 1) {
+  // Build & populate each system once; reuse across the sweep. The builds
+  // are independent (separate overlays, each advertising the same workload
+  // from its own deterministic stream), so they run concurrently when jobs
+  // allow; queries inside each sweep point then fan out across the same
+  // worker budget via QueryExperimentConfig::jobs.
   std::map<harness::SystemKind,
            std::unique_ptr<discovery::DiscoveryService>>
       services;
-  for (const auto kind : kinds) {
-    services[kind] = BuildPopulated(kind, setup, workload);
+  {
+    std::vector<std::unique_ptr<discovery::DiscoveryService>> built(
+        kinds.size());
+    ThreadPool pool(std::min(jobs, kinds.size()));
+    pool.ParallelFor(kinds.size(), [&](std::size_t i) {
+      built[i] = BuildPopulated(kinds[i], setup, workload);
+    });
+    for (std::size_t i = 0; i < kinds.size(); ++i) {
+      services[kinds[i]] = std::move(built[i]);
+    }
   }
 
   std::vector<SweepPoint> points;
@@ -43,6 +57,7 @@ inline std::vector<SweepPoint> RunQuerySweep(
       cfg.range = range;
       cfg.style = resource::RangeStyle::kBounded;
       cfg.seed = 0xF16u + attrs;  // same queries for every system
+      cfg.jobs = jobs;
       const auto r = harness::RunQueries(*services[kind], workload, cfg);
       switch (metric) {
         case Metric::kAvgHops:

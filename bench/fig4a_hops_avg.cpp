@@ -26,7 +26,7 @@ int main(int argc, char** argv) {
 
   const auto points = bench::RunQuerySweep(
       setup, workload, harness::AllSystems(), /*range=*/false,
-      bench::Metric::kAvgHops, attr_counts, opt.quick ? 20 : 100, 10);
+      bench::Metric::kAvgHops, attr_counts, opt.quick ? 20 : 100, 10, opt.jobs);
 
   harness::TablePrinter table(std::cout,
                               {"attrs", "MAAN", "Analysis-LORM", "LORM",
@@ -48,5 +48,8 @@ int main(int argc, char** argv) {
   std::cout << "\nshape check: MAAN highest, Mercury==SWORD lowest, LORM in "
                "between near Analysis-LORM; all grow linearly in the "
                "attribute count\n";
+  bench::FinishBench(opt, "fig4a_hops_avg",
+                     attr_counts.size() * harness::AllSystems().size() *
+                         (opt.quick ? 20 : 100) * 10);
   return 0;
 }

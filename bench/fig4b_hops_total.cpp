@@ -21,7 +21,7 @@ int main(int argc, char** argv) {
 
   const auto points = bench::RunQuerySweep(
       setup, workload, harness::AllSystems(), /*range=*/false,
-      bench::Metric::kTotalHops, attr_counts, opt.quick ? 20 : 100, 10);
+      bench::Metric::kTotalHops, attr_counts, opt.quick ? 20 : 100, 10, opt.jobs);
 
   harness::TablePrinter table(std::cout,
                               {"attrs", "MAAN", "Analysis-LORM", "LORM",
@@ -42,5 +42,8 @@ int main(int argc, char** argv) {
 
   std::cout << "\nshape check: same ordering as Figure 4(a), scaled by the "
                "1000-query batch\n";
+  bench::FinishBench(opt, "fig4b_hops_total",
+                     attr_counts.size() * harness::AllSystems().size() *
+                         (opt.quick ? 20 : 100) * 10);
   return 0;
 }

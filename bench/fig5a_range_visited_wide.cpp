@@ -29,7 +29,7 @@ int main(int argc, char** argv) {
   const auto points = bench::RunQuerySweep(
       setup, workload, {SystemKind::kMaan, SystemKind::kMercury},
       /*range=*/true, bench::Metric::kTotalVisited, attr_counts,
-      queries / 10, 10);
+      queries / 10, 10, opt.jobs);
 
   harness::TablePrinter table(
       std::cout,
@@ -50,5 +50,6 @@ int main(int argc, char** argv) {
   std::cout << "\nshape check: all four columns overlap within a few "
                "percent (the paper draws a single curve for them); compare "
                "with Figure 5(b)'s SWORD/LORM, orders of magnitude lower\n";
+  bench::FinishBench(opt, "fig5a_range_visited_wide", attr_counts.size() * 2 * queries);
   return 0;
 }

@@ -27,7 +27,7 @@ int main(int argc, char** argv) {
   const auto points = bench::RunQuerySweep(
       setup, workload, {SystemKind::kSword, SystemKind::kLorm},
       /*range=*/true, bench::Metric::kTotalVisited, attr_counts,
-      queries / 10, 10);
+      queries / 10, 10, opt.jobs);
 
   harness::TablePrinter table(
       std::cout,
@@ -48,5 +48,6 @@ int main(int argc, char** argv) {
   std::cout << "\nshape check: SWORD exactly matches its analysis; LORM "
                "runs at or slightly below m(1 + d/4) x queries — both "
                "~100x below Figure 5(a)'s system-wide walkers\n";
+  bench::FinishBench(opt, "fig5b_range_visited_narrow", attr_counts.size() * 2 * queries);
   return 0;
 }

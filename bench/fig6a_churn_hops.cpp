@@ -65,5 +65,8 @@ int main(int argc, char** argv) {
 
   std::cout << "\nshape check: flat in R, close to the static Figure 4 "
                "values, zero failures in every cell\n";
+  bench::FinishBench(opt, "fig6a_churn_hops",
+                     rates.size() * harness::AllSystems().size() *
+                         queries_per_rate);
   return 0;
 }

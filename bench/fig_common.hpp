@@ -7,13 +7,17 @@
 // reduced-scale smoke version.
 #pragma once
 
+#include <chrono>
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "analysis/theorems.hpp"
+#include "common/thread_pool.hpp"
 #include "harness/experiments.hpp"
 #include "harness/setup.hpp"
 #include "harness/table.hpp"
@@ -21,18 +25,63 @@
 namespace lorm::bench {
 
 struct BenchOptions {
-  bool quick = false;  ///< reduced-scale smoke run
-  bool csv = false;    ///< machine-readable table rows
+  bool quick = false;   ///< reduced-scale smoke run
+  bool csv = false;     ///< machine-readable table rows
+  bool json = false;    ///< emit a machine-readable summary line at exit
+  std::size_t jobs = 1; ///< worker threads (--jobs; default hw concurrency)
+  std::chrono::steady_clock::time_point start;  ///< bench wall-clock origin
 };
 
 inline BenchOptions ParseOptions(int argc, char** argv) {
   BenchOptions opt;
+  opt.jobs = ResolveJobs(0);
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) opt.quick = true;
     if (std::strcmp(argv[i], "--csv") == 0) opt.csv = true;
+    if (std::strcmp(argv[i], "--json") == 0) opt.json = true;
+    if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      opt.jobs = ResolveJobs(
+          static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10)));
+    } else if (std::strncmp(argv[i], "--jobs=", 7) == 0) {
+      opt.jobs = ResolveJobs(
+          static_cast<std::size_t>(std::strtoull(argv[i] + 7, nullptr, 10)));
+    }
   }
   harness::TablePrinter::SetCsvMode(opt.csv);
+  opt.start = std::chrono::steady_clock::now();
   return opt;
+}
+
+/// Wall-clock + throughput summary every bench prints before exiting. With
+/// --json it additionally emits one machine-readable line (the BENCH_*.json
+/// perf-trajectory format). `queries` = 0 for benches that measure
+/// structure, not query replay; qps is omitted then.
+inline void FinishBench(const BenchOptions& opt, const std::string& name,
+                        std::size_t queries = 0) {
+  const double wall_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - opt.start)
+          .count();
+  const double qps =
+      queries > 0 && wall_ms > 0 ? 1000.0 * static_cast<double>(queries) /
+                                       wall_ms
+                                 : 0.0;
+  std::ostringstream human;
+  human << "\nwall-clock: " << harness::TablePrinter::Num(wall_ms, 1)
+        << " ms (jobs=" << opt.jobs;
+  if (queries > 0) {
+    human << ", " << queries << " queries, "
+          << harness::TablePrinter::Num(qps, 1) << " q/s";
+  }
+  human << ")\n";
+  std::cout << human.str();
+  if (opt.json) {
+    std::cout << "{\"bench\":\"" << name << "\",\"jobs\":" << opt.jobs
+              << ",\"quick\":" << (opt.quick ? "true" : "false")
+              << ",\"queries\":" << queries
+              << ",\"wall_ms\":" << harness::TablePrinter::Num(wall_ms, 3)
+              << ",\"qps\":" << harness::TablePrinter::Num(qps, 3) << "}\n";
+  }
 }
 
 /// The paper's setup, or a proportionally reduced one for --quick runs.

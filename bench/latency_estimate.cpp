@@ -36,6 +36,7 @@ int main(int argc, char** argv) {
       cfg.attrs_per_query = 3;
       cfg.range = range;
       cfg.seed = 0x1A7E;
+      cfg.jobs = opt.jobs;
       const auto lat =
           harness::MeasureQueryLatency(*service, workload, cfg, model);
       table.Row({harness::SystemName(kind), range ? "range" : "point",
@@ -50,5 +51,8 @@ int main(int argc, char** argv) {
                "(parallel lookups); range queries blow Mercury/MAAN up to "
                "~n/4 serialized forwards while SWORD/LORM stay near their "
                "point latency\n";
+  bench::FinishBench(opt, "latency_estimate",
+                     harness::AllSystems().size() * 2 *
+                         (opt.quick ? 10 : 100) * 10);
   return 0;
 }

@@ -74,5 +74,6 @@ int main(int argc, char** argv) {
   std::cout << "\nshape check: Mercury/SWORD ~ m (one ring's traffic per "
                "hub); Mercury/LORM > m (Theorem 4.1: the Cycloid refresh is "
                "cheaper than one Chord ring's)\n";
+  bench::FinishBench(opt, "maintenance_traffic");
   return 0;
 }

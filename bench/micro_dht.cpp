@@ -5,6 +5,9 @@
 // harness can run.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <vector>
+
 #include "chord/chord.hpp"
 #include "common/hashing.hpp"
 #include "common/random.hpp"
@@ -91,6 +94,61 @@ void BM_CycloidLookup(benchmark::State& state) {
       static_cast<double>(hops) / static_cast<double>(state.iterations());
 }
 BENCHMARK(BM_CycloidLookup)->Arg(6)->Arg(8)->Arg(10);
+
+/// Reference implementation of the distinct-live-link count via the
+/// quadratic std::find dedup that ChordRing::Outlinks replaced with
+/// sort+unique: every live entry of NeighborsOf, counted once.
+std::size_t ReferenceOutlinks(const chord::ChordRing& ring, NodeAddr addr) {
+  std::vector<NodeAddr> distinct;
+  for (NodeAddr a : ring.NeighborsOf(addr)) {
+    if (!ring.Contains(a)) continue;  // NeighborsOf may include stale links
+    if (std::find(distinct.begin(), distinct.end(), a) == distinct.end()) {
+      distinct.push_back(a);
+    }
+  }
+  return distinct.size();
+}
+
+void BM_ChordOutlinks(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  chord::Config cfg;
+  cfg.bits = 24;
+  cfg.successor_list = 16;  // longer list makes the dedup cost visible
+  auto ring = chord::MakeRing(n, cfg, /*deterministic_ids=*/false);
+  const auto members = ring.Members();
+  // Micro-assert: the optimized sort+unique path must agree with the
+  // reference dedup on every member before we time it.
+  for (NodeAddr addr : members) {
+    if (ring.Outlinks(addr) != ReferenceOutlinks(ring, addr)) {
+      state.SkipWithError("Outlinks disagrees with reference dedup");
+      return;
+    }
+  }
+  std::size_t i = 0;
+  std::size_t sink = 0;
+  for (auto _ : state) {
+    sink += ring.Outlinks(members[i]);
+    if (++i == members.size()) i = 0;
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ChordOutlinks)->Arg(256)->Arg(2048);
+
+void BM_ChordOwnerOf(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  chord::Config cfg;
+  cfg.bits = 24;
+  auto ring = chord::MakeRing(n, cfg, /*deterministic_ids=*/false);
+  Rng rng(11);
+  std::uint64_t sink = 0;
+  for (auto _ : state) {
+    sink ^= ring.OwnerOf(rng.NextBelow(ring.space()));
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ChordOwnerOf)->Arg(256)->Arg(2048)->Arg(16384);
 
 void BM_ChordChurnCycle(benchmark::State& state) {
   chord::Config cfg;

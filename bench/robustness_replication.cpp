@@ -67,5 +67,6 @@ int main(int argc, char** argv) {
                "re-advertisement yet) climbs toward 1.0 with r at the cost "
                "of r x storage; the final column is 1.000 everywhere "
                "regardless\n";
+  bench::FinishBench(opt, "robustness_replication");
   return 0;
 }

@@ -43,6 +43,7 @@ int main(int argc, char** argv) {
       cfg.range = true;
       cfg.style = resource::RangeStyle::kFullSpan;
       cfg.seed = 0x410 + attrs;
+      cfg.jobs = opt.jobs;
       const auto r = harness::RunQueries(*services[kind], workload, cfg);
       const double contacted = r.avg_hops + r.avg_visited;
       double worst = 0;
@@ -78,5 +79,7 @@ int main(int argc, char** argv) {
   std::cout << "\nshape check: Mercury/MAAN contact ~n nodes per attribute; "
                "LORM stays within ~2d+1 per attribute; the measured "
                "LORM-vs-system-wide gap matches the guaranteed m*n saving\n";
+  bench::FinishBench(opt, "t410_worst_case",
+                     3 * harness::AllSystems().size() * queries);
   return 0;
 }

@@ -1,6 +1,7 @@
 #include "chord/chord.hpp"
 
 #include <algorithm>
+#include <array>
 
 #include "common/error.hpp"
 #include "common/hashing.hpp"
@@ -74,6 +75,7 @@ void ChordRing::AddNodeWithId(NodeAddr addr, Key id) {
     n.fingers.assign(cfg_.bits, addr);
     ring_[id] = addr;
     by_addr_[addr] = std::move(n);
+    RebuildOracle();
     maintenance_.join_messages += 1;  // bootstrap announcement
     for (auto* obs : observers_) obs->OnJoin(addr, addr);
     return;
@@ -83,6 +85,7 @@ void ChordRing::AddNodeWithId(NodeAddr addr, Key id) {
   // step, done atomically because departures here are graceful).
   ring_[id] = addr;
   by_addr_[addr] = std::move(n);
+  RebuildOracle();  // BuildState below routes through OwnerOf
   Node& self = by_addr_[addr];
   BuildState(self);
   // Join cost: the bootstrap lookup (~log n hops), one message per table
@@ -128,6 +131,7 @@ void ChordRing::RemoveNode(NodeAddr addr) {
   }
   ring_.erase(n.id);
   by_addr_.erase(addr);
+  RebuildOracle();
 }
 
 void ChordRing::FailNode(NodeAddr addr) {
@@ -136,6 +140,7 @@ void ChordRing::FailNode(NodeAddr addr) {
   // No splice, no handoff: neighbors discover the failure lazily.
   ring_.erase(n.id);
   by_addr_.erase(addr);
+  RebuildOracle();
 }
 
 std::vector<NodeAddr> ChordRing::Members() const {
@@ -147,11 +152,19 @@ std::vector<NodeAddr> ChordRing::Members() const {
 
 Key ChordRing::IdOf(NodeAddr addr) const { return MustGet(addr).id; }
 
+void ChordRing::RebuildOracle() {
+  oracle_.assign(ring_.begin(), ring_.end());
+}
+
 NodeAddr ChordRing::OwnerOf(Key key) const {
-  LORM_CHECK_MSG(!ring_.empty(), "OwnerOf on empty ring");
-  auto it = ring_.lower_bound(key);
-  if (it == ring_.end()) it = ring_.begin();
-  return it->second;
+  LORM_CHECK_MSG(!oracle_.empty(), "OwnerOf on empty ring");
+  // Binary search over the flat mirror instead of walking the std::map's
+  // pointer tree: OwnerOf dominates BuildState/StabilizeAll and the benches'
+  // oracle probes.
+  const auto it = std::lower_bound(
+      oracle_.begin(), oracle_.end(), key,
+      [](const std::pair<Key, NodeAddr>& e, Key k) { return e.first < k; });
+  return it == oracle_.end() ? oracle_.front().second : it->second;
 }
 
 NodeAddr ChordRing::Successor(NodeAddr addr) const {
@@ -185,31 +198,46 @@ bool ChordRing::Owns(NodeAddr addr, Key key) const {
   return InIntervalOC(key, pred_id, n.id);
 }
 
+namespace {
+
+/// Counts the distinct addresses in buf[0..count): sort + unique on the
+/// caller's stack buffer. The previous per-entry std::find dedup was O(k^2)
+/// in the routing-table size and dominated Fig 3(a)'s measurement loop.
+std::size_t CountDistinct(NodeAddr* buf, std::size_t count) {
+  std::sort(buf, buf + count);
+  return static_cast<std::size_t>(std::unique(buf, buf + count) - buf);
+}
+
+}  // namespace
+
 std::size_t ChordRing::Outlinks(NodeAddr addr) const {
   const Node& n = MustGet(addr);
-  std::vector<NodeAddr> distinct;
+  const std::size_t cap = n.fingers.size() + n.successors.size() + 1;
+  std::array<NodeAddr, 128> stack;
+  std::vector<NodeAddr> heap;  // only for oversized successor-list configs
+  NodeAddr* buf = stack.data();
+  if (cap > stack.size()) {
+    heap.resize(cap);
+    buf = heap.data();
+  }
+  std::size_t count = 0;
   auto consider = [&](NodeAddr a) {
-    if (a == kNoNode || a == addr || !Alive(a)) return;
-    if (std::find(distinct.begin(), distinct.end(), a) == distinct.end()) {
-      distinct.push_back(a);
-    }
+    if (a != kNoNode && a != addr && Alive(a)) buf[count++] = a;
   };
   for (NodeAddr f : n.fingers) consider(f);
   for (NodeAddr s : n.successors) consider(s);
   consider(n.predecessor);
-  return distinct.size();
+  return CountDistinct(buf, count);
 }
 
 std::size_t ChordRing::FingerTableSize(NodeAddr addr) const {
   const Node& n = MustGet(addr);
-  std::vector<NodeAddr> distinct;
+  std::array<NodeAddr, 64> buf;  // bits <= 63 fingers, always fits
+  std::size_t count = 0;
   for (NodeAddr f : n.fingers) {
-    if (f == kNoNode || f == addr || !Alive(f)) continue;
-    if (std::find(distinct.begin(), distinct.end(), f) == distinct.end()) {
-      distinct.push_back(f);
-    }
+    if (f != kNoNode && f != addr && Alive(f)) buf[count++] = f;
   }
-  return distinct.size();
+  return CountDistinct(buf.data(), count);
 }
 
 std::vector<NodeAddr> ChordRing::NeighborsOf(NodeAddr addr) const {

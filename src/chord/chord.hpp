@@ -25,6 +25,7 @@
 #include <map>
 #include <optional>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/maintenance.hpp"
@@ -171,10 +172,16 @@ class ChordRing {
   NodeAddr ClosestPreceding(const Node& n, Key key) const;
   void BuildState(Node& n);
   Key FingerStart(Key id, unsigned i) const;
+  /// Refreshes the flat sorted mirror of ring_ that OwnerOf binary-searches.
+  /// Must be called after every membership change; benches issue millions of
+  /// oracle probes between joins/leaves, so the probe pays for the rebuild
+  /// many times over.
+  void RebuildOracle();
 
   Config cfg_;
   std::uint64_t space_;
   std::map<Key, NodeAddr> ring_;                  // oracle index
+  std::vector<std::pair<Key, NodeAddr>> oracle_;  // flat mirror of ring_
   std::unordered_map<NodeAddr, Node> by_addr_;
   std::vector<MembershipObserver*> observers_;
   mutable MaintenanceStats maintenance_;  // mutable: routing is const

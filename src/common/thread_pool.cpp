@@ -1,0 +1,94 @@
+#include "common/thread_pool.hpp"
+
+namespace lorm {
+
+std::size_t ResolveJobs(std::size_t jobs) {
+  if (jobs > 0) return jobs;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+ThreadPool::ThreadPool(std::size_t workers) {
+  const std::size_t total = ResolveJobs(workers);
+  threads_.reserve(total - 1);
+  for (std::size_t i = 0; i + 1 < total; ++i) {
+    threads_.emplace_back([this] { Worker(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ThreadPool::Drain(const std::function<void(std::size_t)>& fn,
+                       std::size_t n) {
+  for (;;) {
+    const std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= n) return;
+    try {
+      fn(i);
+    } catch (...) {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (!error_) error_ = std::current_exception();
+      // Abandon the rest of the batch: workers mid-index finish, the
+      // remaining indices are never claimed.
+      next_.store(n, std::memory_order_relaxed);
+    }
+  }
+}
+
+void ThreadPool::Worker() {
+  std::uint64_t seen = 0;
+  for (;;) {
+    const std::function<void(std::size_t)>* fn = nullptr;
+    std::size_t n = 0;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      work_cv_.wait(lk, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+      fn = fn_;
+      n = n_;
+    }
+    Drain(*fn, n);
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (--active_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::ParallelFor(std::size_t n,
+                             const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (threads_.empty()) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);  // exceptions propagate as-is
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    fn_ = &fn;
+    n_ = n;
+    next_.store(0, std::memory_order_relaxed);
+    error_ = nullptr;
+    active_ = threads_.size();
+    ++generation_;
+  }
+  work_cv_.notify_all();
+  Drain(fn, n);  // the caller is a worker too
+  std::unique_lock<std::mutex> lk(mu_);
+  done_cv_.wait(lk, [&] { return active_ == 0; });
+  fn_ = nullptr;
+  if (error_) {
+    std::exception_ptr e = error_;
+    error_ = nullptr;
+    std::rethrow_exception(e);
+  }
+}
+
+}  // namespace lorm

@@ -1,0 +1,67 @@
+// Fixed-size worker pool for the parallel experiment engine.
+//
+// The experiment harnesses replay large batches of independent read-only
+// queries (see harness/experiments.hpp); the pool shards those batches over
+// a fixed set of workers with a single ParallelFor(n, fn) primitive.
+//
+// Determinism contract: ParallelFor makes no promise about which worker runs
+// which index or in what order — callers that need reproducible results must
+// make every index self-contained (derive any randomness from the index, and
+// write results to a per-index slot that is merged sequentially afterwards).
+// The experiment runners follow exactly that pattern, so their output is
+// bit-identical for any worker count.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace lorm {
+
+/// Resolves a user-facing --jobs value: 0 means "one worker per hardware
+/// thread" (never less than 1).
+std::size_t ResolveJobs(std::size_t jobs);
+
+class ThreadPool {
+ public:
+  /// Creates a pool of `workers` total workers (0 = hardware concurrency).
+  /// The calling thread participates in every batch, so only workers-1
+  /// threads are spawned; a 1-worker pool runs everything inline.
+  explicit ThreadPool(std::size_t workers = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t workers() const { return threads_.size() + 1; }
+
+  /// Runs fn(i) for every i in [0, n), sharded across the workers, and
+  /// blocks until all indices completed. If any invocation throws, the
+  /// remaining indices are abandoned and the first exception is rethrown
+  /// here. The pool is reusable: batches may be submitted back to back.
+  /// Not reentrant — do not call ParallelFor from inside fn.
+  void ParallelFor(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+ private:
+  void Worker();
+  /// Claims indices from the current batch until it is exhausted.
+  void Drain(const std::function<void(std::size_t)>& fn, std::size_t n);
+
+  std::vector<std::thread> threads_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;  // workers: a new batch is ready
+  std::condition_variable done_cv_;  // caller: all workers drained the batch
+  const std::function<void(std::size_t)>* fn_ = nullptr;
+  std::size_t n_ = 0;
+  std::atomic<std::size_t> next_{0};  // next unclaimed index
+  std::size_t active_ = 0;            // workers still draining this batch
+  std::uint64_t generation_ = 0;      // batch counter (pool reuse)
+  bool stop_ = false;
+  std::exception_ptr error_;
+};
+
+}  // namespace lorm

@@ -125,7 +125,7 @@ QueryResult LormService::Query(const resource::MultiQuery& q) const {
     const std::size_t guard = d + 2;
     for (std::size_t steps = 0;; ++steps) {
       result.stats.visited_nodes += 1;
-      ++visit_counts_[cur];
+      visit_counts_.Record(cur);
       if (const auto* dir = store_.Find(cur)) {
         dir->ForEachMatch(sub.attr, lo, hi, [&](const Store::Entry& e) {
           matches.push_back(e.info);
@@ -165,10 +165,7 @@ std::vector<double> LormService::QueryLoadCounts() const {
   std::vector<double> out;
   out.reserve(net_.size());
   for (NodeAddr addr : net_.Members()) {
-    const auto it = visit_counts_.find(addr);
-    out.push_back(it == visit_counts_.end()
-                      ? 0.0
-                      : static_cast<double>(it->second));
+    out.push_back(static_cast<double>(visit_counts_.CountOf(addr)));
   }
   return out;
 }

@@ -27,6 +27,7 @@
 #include "cycloid/cycloid.hpp"
 #include "discovery/directory.hpp"
 #include "discovery/discovery.hpp"
+#include "discovery/visit_counter.hpp"
 
 namespace lorm::discovery {
 
@@ -77,7 +78,7 @@ class LormService final : public DiscoveryService,
 
   std::vector<double> DirectorySizes() const override;
   std::vector<double> QueryLoadCounts() const override;
-  void ResetQueryLoad() override { visit_counts_.clear(); }
+  void ResetQueryLoad() override { visit_counts_.Clear(); }
   std::vector<double> OutlinkCounts() const override;
   std::size_t TotalInfoPieces() const override;
 
@@ -107,8 +108,10 @@ class LormService final : public DiscoveryService,
   Store store_;
   std::vector<std::uint64_t> attr_cubical_;  // H(a) per attribute
   std::uint64_t epoch_ = 0;
-  /// Visits absorbed per node (roots + walk probes); mutable: Query is const.
-  mutable std::map<NodeAddr, std::uint64_t> visit_counts_;
+  /// Visits absorbed per node (roots + walk probes); mutable because Query
+  /// is const, internally synchronized because the parallel experiment
+  /// engine replays queries from many threads.
+  mutable VisitCounter visit_counts_;
 };
 
 }  // namespace lorm::discovery

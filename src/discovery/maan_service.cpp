@@ -103,7 +103,7 @@ QueryResult MaanService::Query(const resource::MultiQuery& q) const {
       result.stats.lookups += 1;
       result.stats.dht_hops += res.hops;
       result.stats.visited_nodes += res.ok ? 1 : 0;
-      if (res.ok) ++visit_counts_[res.owner];
+      if (res.ok) visit_counts_.Record(res.owner);
       if (!res.ok) result.stats.failed = true;
     }
 
@@ -123,7 +123,7 @@ QueryResult MaanService::Query(const resource::MultiQuery& q) const {
     }
     WalkSuccessors(ring_, res.owner, key_lo, key_hi, result.stats,
                    [&](NodeAddr cur) {
-                     ++visit_counts_[cur];
+                     visit_counts_.Record(cur);
                      if (const auto* dir = store_.Find(cur)) {
                        dir->ForEachMatch(sub.attr, lo, hi,
                                          [&](const Store::Entry& e) {
@@ -151,10 +151,7 @@ QueryResult MaanService::Query(const resource::MultiQuery& q) const {
 std::vector<double> MaanService::QueryLoadCounts() const {
   std::vector<double> out;
   for (NodeAddr addr : ring_.Members()) {
-    const auto it = visit_counts_.find(addr);
-    out.push_back(it == visit_counts_.end()
-                      ? 0.0
-                      : static_cast<double>(it->second));
+    out.push_back(static_cast<double>(visit_counts_.CountOf(addr)));
   }
   return out;
 }

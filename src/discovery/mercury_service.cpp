@@ -138,7 +138,7 @@ QueryResult MercuryService::Query(const resource::MultiQuery& q) const {
     }
     WalkSuccessors(ring, res.owner, key_lo, key_hi, result.stats,
                    [&](NodeAddr cur) {
-                     ++visit_counts_[cur];
+                     visit_counts_.Record(cur);
                      if (const auto* dir = store_.Find(cur)) {
                        dir->ForEachMatch(sub.attr, lo, hi,
                                          [&](const Store::Entry& e) {
@@ -164,10 +164,7 @@ QueryResult MercuryService::Query(const resource::MultiQuery& q) const {
 std::vector<double> MercuryService::QueryLoadCounts() const {
   std::vector<double> out;
   for (NodeAddr addr : Nodes()) {
-    const auto it = visit_counts_.find(addr);
-    out.push_back(it == visit_counts_.end()
-                      ? 0.0
-                      : static_cast<double>(it->second));
+    out.push_back(static_cast<double>(visit_counts_.CountOf(addr)));
   }
   return out;
 }

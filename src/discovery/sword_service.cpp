@@ -90,7 +90,7 @@ QueryResult SwordService::Query(const resource::MultiQuery& q) const {
     // The attribute's entire directory is at the root: ranges resolve
     // locally, no forwarding (Theorem 4.9's m visited nodes per query).
     result.stats.visited_nodes += 1;
-    ++visit_counts_[res.owner];
+    visit_counts_.Record(res.owner);
     if (const auto* dir = store_.Find(res.owner)) {
       dir->ForEachMatch(sub.attr, lo, hi, [&](const Store::Entry& e) {
         matches.push_back(e.info);
@@ -114,10 +114,7 @@ QueryResult SwordService::Query(const resource::MultiQuery& q) const {
 std::vector<double> SwordService::QueryLoadCounts() const {
   std::vector<double> out;
   for (NodeAddr addr : ring_.Members()) {
-    const auto it = visit_counts_.find(addr);
-    out.push_back(it == visit_counts_.end()
-                      ? 0.0
-                      : static_cast<double>(it->second));
+    out.push_back(static_cast<double>(visit_counts_.CountOf(addr)));
   }
   return out;
 }

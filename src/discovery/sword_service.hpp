@@ -17,6 +17,7 @@
 #include "common/hashing.hpp"
 #include "discovery/directory.hpp"
 #include "discovery/discovery.hpp"
+#include "discovery/visit_counter.hpp"
 
 namespace lorm::discovery {
 
@@ -61,7 +62,7 @@ class SwordService final : public DiscoveryService,
 
   std::vector<double> DirectorySizes() const override;
   std::vector<double> QueryLoadCounts() const override;
-  void ResetQueryLoad() override { visit_counts_.clear(); }
+  void ResetQueryLoad() override { visit_counts_.Clear(); }
   std::vector<double> OutlinkCounts() const override;
   std::size_t TotalInfoPieces() const override;
 
@@ -85,8 +86,10 @@ class SwordService final : public DiscoveryService,
   Store store_;
   std::vector<chord::Key> attr_key_;
   std::uint64_t epoch_ = 0;
-  /// Visits absorbed per node (roots + walk probes); mutable: Query is const.
-  mutable std::map<NodeAddr, std::uint64_t> visit_counts_;
+  /// Visits absorbed per node (roots + walk probes); mutable because Query
+  /// is const, internally synchronized because the parallel experiment
+  /// engine replays queries from many threads.
+  mutable VisitCounter visit_counts_;
 };
 
 }  // namespace lorm::discovery

@@ -1,0 +1,57 @@
+// Thread-safe per-node visit accounting for the discovery services.
+//
+// Query() is logically read-only but records which nodes absorbed the query
+// traffic (QueryLoadCounts — the popularity-skew ablation's metric). With
+// the parallel experiment engine replaying queries from many workers against
+// one shared service, those counters are the only state the query path
+// writes, so they get their own small synchronized container. Counts are
+// commutative sums, so parallel replay produces exactly the totals of a
+// sequential run. Lightly sharded by address to keep workers off one lock.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+
+#include "common/types.hpp"
+
+namespace lorm::discovery {
+
+class VisitCounter {
+ public:
+  /// One node absorbed one query visit (root or range-walk probe).
+  void Record(NodeAddr addr) {
+    Shard& s = ShardFor(addr);
+    std::lock_guard<std::mutex> lk(s.mu);
+    ++s.counts[addr];
+  }
+
+  std::uint64_t CountOf(NodeAddr addr) const {
+    const Shard& s = ShardFor(addr);
+    std::lock_guard<std::mutex> lk(s.mu);
+    const auto it = s.counts.find(addr);
+    return it == s.counts.end() ? 0 : it->second;
+  }
+
+  void Clear() {
+    for (Shard& s : shards_) {
+      std::lock_guard<std::mutex> lk(s.mu);
+      s.counts.clear();
+    }
+  }
+
+ private:
+  static constexpr std::size_t kShards = 8;
+
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<NodeAddr, std::uint64_t> counts;
+  };
+
+  Shard& ShardFor(NodeAddr addr) { return shards_[addr % kShards]; }
+  const Shard& ShardFor(NodeAddr addr) const { return shards_[addr % kShards]; }
+
+  Shard shards_[kShards];
+};
+
+}  // namespace lorm::discovery

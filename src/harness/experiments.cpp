@@ -3,8 +3,33 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "common/hashing.hpp"
+#include "common/thread_pool.hpp"
 
 namespace lorm::harness {
+
+namespace {
+
+/// Independent per-trial stream: every trial seeds its own Rng from
+/// (master seed, trial index), so trial t draws the same numbers no matter
+/// which worker runs it or in what order. The salt separates the trial
+/// streams from the master stream (which picks the requesters).
+std::uint64_t TrialSeed(std::uint64_t master, std::size_t trial) {
+  return MixHashes(master, 0x7121A15EEDull + trial);
+}
+
+/// Runs fn(t) for every trial in [0, trials), sequentially when jobs <= 1.
+void RunTrials(std::size_t trials, std::size_t jobs,
+               const std::function<void(std::size_t)>& fn) {
+  if (ResolveJobs(jobs) <= 1 || trials <= 1) {
+    for (std::size_t t = 0; t < trials; ++t) fn(t);
+    return;
+  }
+  ThreadPool pool(jobs);
+  pool.ParallelFor(trials, fn);
+}
+
+}  // namespace
 
 DirectoryMeasurement MeasureDirectories(
     const discovery::DiscoveryService& service) {
@@ -36,23 +61,44 @@ QueryExperimentResult RunQueries(const discovery::DiscoveryService& service,
     requesters.push_back(nodes[idx]);
   }
 
+  // One slot per trial; workers never touch shared accumulators. All summed
+  // quantities are small integers, so the sequential merge below is exact
+  // and therefore independent of how trials were sharded.
+  struct Trial {
+    bool failed = false;
+    std::uint64_t hops = 0;
+    std::uint64_t visited = 0;
+    std::uint64_t lookups = 0;
+    std::uint64_t matches = 0;
+  };
+  const std::size_t trials = requesters.size() * cfg.queries_per_requester;
+  std::vector<Trial> out(trials);
+  RunTrials(trials, cfg.jobs, [&](std::size_t t) {
+    const NodeAddr requester = requesters[t / cfg.queries_per_requester];
+    Rng trial_rng(TrialSeed(cfg.seed, t));
+    const resource::MultiQuery q =
+        cfg.range ? workload.MakeRangeQuery(cfg.attrs_per_query, requester,
+                                            cfg.style, trial_rng)
+                  : workload.MakePointQuery(cfg.attrs_per_query, requester,
+                                            trial_rng);
+    const auto res = service.Query(q);
+    Trial& slot = out[t];
+    slot.failed = res.stats.failed;
+    slot.hops = res.stats.dht_hops;
+    slot.visited = res.stats.visited_nodes;
+    slot.lookups = res.stats.lookups;
+    slot.matches = res.providers.size();
+  });
+
   double matches = 0;
   double lookups = 0;
-  for (NodeAddr requester : requesters) {
-    for (std::size_t i = 0; i < cfg.queries_per_requester; ++i) {
-      const resource::MultiQuery q =
-          cfg.range ? workload.MakeRangeQuery(cfg.attrs_per_query, requester,
-                                              cfg.style, rng)
-                    : workload.MakePointQuery(cfg.attrs_per_query, requester,
-                                              rng);
-      const auto res = service.Query(q);
-      ++r.queries;
-      if (res.stats.failed) ++r.failures;
-      r.total_hops += res.stats.dht_hops;
-      r.total_visited += res.stats.visited_nodes;
-      lookups += static_cast<double>(res.stats.lookups);
-      matches += static_cast<double>(res.providers.size());
-    }
+  for (const Trial& t : out) {
+    ++r.queries;
+    if (t.failed) ++r.failures;
+    r.total_hops += static_cast<double>(t.hops);
+    r.total_visited += static_cast<double>(t.visited);
+    lookups += static_cast<double>(t.lookups);
+    matches += static_cast<double>(t.matches);
   }
   if (r.queries > 0) {
     const auto q = static_cast<double>(r.queries);
@@ -82,23 +128,32 @@ LatencyMeasurement MeasureQueryLatency(
     const resource::Workload& workload, const QueryExperimentConfig& cfg,
     const sim::LatencyModel& model) {
   Rng rng(cfg.seed);
-  Rng lat_rng = rng.Fork();
   const auto nodes = service.Nodes();
   LORM_CHECK_MSG(!nodes.empty(), "latency experiment on empty network");
 
-  std::vector<double> samples;
-  for (std::size_t r = 0; r < cfg.requesters; ++r) {
-    const NodeAddr requester = nodes[rng.NextBelow(nodes.size())];
-    for (std::size_t i = 0; i < cfg.queries_per_requester; ++i) {
-      const resource::MultiQuery q =
-          cfg.range ? workload.MakeRangeQuery(cfg.attrs_per_query, requester,
-                                              cfg.style, rng)
-                    : workload.MakePointQuery(cfg.attrs_per_query, requester,
-                                              rng);
-      const auto res = service.Query(q);
-      samples.push_back(EstimateQueryLatency(res.stats, model, lat_rng));
-    }
+  // Requesters come from the sequential master stream; each trial then owns
+  // an independent query stream and an independent hop-latency stream.
+  std::vector<NodeAddr> requesters;
+  requesters.reserve(cfg.requesters);
+  for (std::size_t i = 0; i < cfg.requesters; ++i) {
+    requesters.push_back(nodes[rng.NextBelow(nodes.size())]);
   }
+
+  const std::size_t trials = requesters.size() * cfg.queries_per_requester;
+  std::vector<double> samples(trials);
+  RunTrials(trials, cfg.jobs, [&](std::size_t t) {
+    const NodeAddr requester = requesters[t / cfg.queries_per_requester];
+    Rng trial_rng(TrialSeed(cfg.seed, t));
+    Rng lat_rng = trial_rng.Fork();
+    const resource::MultiQuery q =
+        cfg.range ? workload.MakeRangeQuery(cfg.attrs_per_query, requester,
+                                            cfg.style, trial_rng)
+                  : workload.MakePointQuery(cfg.attrs_per_query, requester,
+                                            trial_rng);
+    const auto res = service.Query(q);
+    samples[t] = EstimateQueryLatency(res.stats, model, lat_rng);
+  });
+
   const Summary s = Summarize(std::move(samples));
   LatencyMeasurement out;
   out.queries = s.count;

@@ -28,6 +28,13 @@ Summary MeasureOutlinks(const discovery::DiscoveryService& service);
 
 /// The paper's query experiment: `requesters` randomly chosen nodes send
 /// `queries_per_requester` queries each (§V-B uses 100 x 10).
+///
+/// Parallel replay: queries against a static overlay are read-only, so the
+/// trials are sharded over `jobs` worker threads that share the service.
+/// Every trial derives an independent Rng stream from (seed, trial index)
+/// and writes into its own result slot, merged sequentially afterwards —
+/// results are bit-identical for any `jobs` value (including 1). Do not run
+/// parallel replay concurrently with membership changes.
 struct QueryExperimentConfig {
   std::size_t requesters = 100;
   std::size_t queries_per_requester = 10;
@@ -35,6 +42,8 @@ struct QueryExperimentConfig {
   bool range = false;
   resource::RangeStyle style = resource::RangeStyle::kBounded;
   std::uint64_t seed = 0xE4BE7ull;
+  /// Worker threads for the trial replay; 0 = hardware concurrency.
+  std::size_t jobs = 1;
 };
 
 struct QueryExperimentResult {
