@@ -86,14 +86,7 @@ inline void FinishBench(const BenchOptions& opt, const std::string& name,
 
 /// The paper's setup, or a proportionally reduced one for --quick runs.
 inline harness::Setup FigureSetup(const BenchOptions& opt) {
-  if (!opt.quick) return harness::Setup::Paper();
-  harness::Setup s = harness::Setup::Paper();
-  s.nodes = 384;
-  s.dimension = 6;
-  s.chord_bits = 9;
-  s.attributes = 40;
-  s.infos_per_attribute = 100;
-  return s;
+  return opt.quick ? harness::Setup::Quick() : harness::Setup::Paper();
 }
 
 inline analysis::SystemModel ModelOf(const harness::Setup& s) {

@@ -95,6 +95,162 @@ void BM_CycloidLookup(benchmark::State& state) {
 }
 BENCHMARK(BM_CycloidLookup)->Arg(6)->Arg(8)->Arg(10);
 
+/// Reference implementation of the Chord iterative lookup, written against
+/// the public inspection API only (FingersOf / SuccessorListOf / IdOf /
+/// Owns): the textbook walk the slot-slab routing loop must reproduce
+/// hop-for-hop. Deliberately naive — every ID access goes back through the
+/// ring's accessors instead of the cached link IDs the hot path uses.
+chord::LookupResult ReferenceChordLookup(const chord::ChordRing& ring,
+                                         chord::Key key, NodeAddr origin) {
+  chord::LookupResult r;
+  r.ok = false;
+  r.key = key & (ring.space() - 1);
+  r.owner = kNoNode;
+  r.hops = 0;
+  if (!ring.Contains(origin)) return r;
+  const std::size_t max_hops = ring.size() + 200;
+  NodeAddr cur = origin;
+  r.path.push_back(cur);
+  while (!ring.Owns(cur, r.key)) {
+    const chord::Key cur_id = ring.IdOf(cur);
+    const NodeAddr succ = ring.Successor(cur);
+    if (succ == cur) break;
+    NodeAddr next = kNoNode;
+    if (chord::InIntervalOC(r.key, cur_id, ring.IdOf(succ))) {
+      next = succ;
+    } else {
+      const auto fingers = ring.FingersOf(cur);
+      for (auto it = fingers.rbegin(); it != fingers.rend(); ++it) {
+        const NodeAddr f = *it;
+        if (f == kNoNode || f == cur || !ring.Contains(f)) continue;
+        if (chord::InIntervalOO(ring.IdOf(f), cur_id, r.key)) {
+          next = f;
+          break;
+        }
+      }
+      if (next == kNoNode) {
+        chord::Key best_id = cur_id;
+        for (const NodeAddr s : ring.SuccessorListOf(cur)) {
+          if (s == kNoNode || s == cur || !ring.Contains(s)) continue;
+          const chord::Key sid = ring.IdOf(s);
+          if (!chord::InIntervalOO(sid, cur_id, r.key)) continue;
+          if (next == kNoNode || chord::InIntervalOO(best_id, cur_id, sid)) {
+            next = s;
+            best_id = sid;
+          }
+        }
+      }
+      if (next == kNoNode || next == cur) next = succ;
+    }
+    cur = next;
+    ++r.hops;
+    r.path.push_back(cur);
+    if (r.hops > max_hops) return r;
+  }
+  r.owner = cur;
+  r.ok = true;
+  return r;
+}
+
+bool SameLookup(const chord::LookupResult& a, const chord::LookupResult& b) {
+  return a.ok == b.ok && a.key == b.key && a.owner == b.owner &&
+         a.hops == b.hops && a.path == b.path;
+}
+
+/// The steady-state routing loop the discovery services actually run:
+/// LookupInto with a caller-owned result reused across queries — no hash
+/// probes (cached finger IDs) and no allocations after warm-up.
+void BM_ChordLookupScratch(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  chord::Config cfg;
+  cfg.bits = 24;
+  auto ring = chord::MakeRing(n, cfg, /*deterministic_ids=*/false);
+  const auto members = ring.Members();
+  // Micro-assert: the slab walk must return bit-identical LookupResults to
+  // the reference map-based walk before we time it.
+  {
+    Rng check_rng(13);
+    chord::LookupResult got;
+    for (int i = 0; i < 200; ++i) {
+      const chord::Key key = check_rng.NextBelow(ring.space());
+      const NodeAddr origin = members[check_rng.NextBelow(members.size())];
+      ring.LookupInto(key, origin, got);
+      if (!SameLookup(got, ReferenceChordLookup(ring, key, origin))) {
+        state.SkipWithError("LookupInto disagrees with reference walk");
+        return;
+      }
+    }
+  }
+  Rng rng(7);
+  chord::LookupResult res;
+  std::uint64_t hops = 0;
+  for (auto _ : state) {
+    ring.LookupInto(rng.NextBelow(ring.space()),
+                    members[rng.NextBelow(members.size())], res);
+    hops += res.hops;
+  }
+  benchmark::DoNotOptimize(hops);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.counters["avg_hops"] =
+      static_cast<double>(hops) / static_cast<double>(state.iterations());
+  // time/iteration is ns/lookup; this inverse-rate counter is sec/hop.
+  state.counters["per_hop"] =
+      benchmark::Counter(static_cast<double>(hops),
+                         benchmark::Counter::kIsRate |
+                             benchmark::Counter::kInvert);
+}
+BENCHMARK(BM_ChordLookupScratch)->Arg(256)->Arg(2048)->Arg(16384);
+
+void BM_CycloidLookupScratch(benchmark::State& state) {
+  const auto d = static_cast<unsigned>(state.range(0));
+  cycloid::Config cfg;
+  cfg.dimension = d;
+  auto net = cycloid::MakeCycloid((std::size_t{1} << d) * d, cfg);
+  const auto members = net.Members();
+  // Micro-assert: routing must terminate at the sector owner on a full,
+  // churn-free network, and agree with the allocating entry point.
+  {
+    Rng check_rng(13);
+    cycloid::LookupResult got;
+    for (int i = 0; i < 200; ++i) {
+      const cycloid::CycloidId key{
+          static_cast<unsigned>(check_rng.NextBelow(d)),
+          check_rng.NextBelow(std::uint64_t{1} << d)};
+      const NodeAddr origin = members[check_rng.NextBelow(members.size())];
+      net.LookupInto(key, origin, got);
+      if (!got.ok || got.owner != net.OwnerOf(key)) {
+        state.SkipWithError("LookupInto missed the sector owner");
+        return;
+      }
+      const auto ref = net.Lookup(key, origin);
+      if (got.ok != ref.ok || got.owner != ref.owner ||
+          got.hops != ref.hops || got.path != ref.path) {
+        state.SkipWithError("LookupInto disagrees with Lookup");
+        return;
+      }
+    }
+  }
+  Rng rng(7);
+  cycloid::LookupResult res;
+  std::uint64_t hops = 0;
+  for (auto _ : state) {
+    const cycloid::CycloidId key{
+        static_cast<unsigned>(rng.NextBelow(d)),
+        rng.NextBelow(std::uint64_t{1} << d)};
+    net.LookupInto(key, members[rng.NextBelow(members.size())], res);
+    hops += res.hops;
+  }
+  benchmark::DoNotOptimize(hops);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.counters["avg_hops"] =
+      static_cast<double>(hops) / static_cast<double>(state.iterations());
+  state.counters["per_hop"] =
+      benchmark::Counter(static_cast<double>(hops),
+                         benchmark::Counter::kIsRate |
+                             benchmark::Counter::kInvert);
+}
+BENCHMARK(BM_CycloidLookupScratch)->Arg(6)->Arg(8)->Arg(10);
+
 /// Reference implementation of the distinct-live-link count via the
 /// quadratic std::find dedup that ChordRing::Outlinks replaced with
 /// sort+unique: every live entry of NeighborsOf, counted once.

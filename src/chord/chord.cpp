@@ -31,16 +31,64 @@ ChordRing::ChordRing(Config cfg) : cfg_(cfg) {
   space_ = std::uint64_t{1} << cfg_.bits;
 }
 
-ChordRing::Node& ChordRing::MustGet(NodeAddr addr) {
+ChordRing::Slot ChordRing::SlotOf(NodeAddr addr) const {
   auto it = by_addr_.find(addr);
-  LORM_CHECK_MSG(it != by_addr_.end(), "unknown chord node");
-  return it->second;
+  return it == by_addr_.end() ? kNoSlot : it->second;
+}
+
+ChordRing::Node& ChordRing::MustGet(NodeAddr addr) {
+  const Slot s = SlotOf(addr);
+  LORM_CHECK_MSG(s != kNoSlot, "unknown chord node");
+  return slots_[s];
 }
 
 const ChordRing::Node& ChordRing::MustGet(NodeAddr addr) const {
-  auto it = by_addr_.find(addr);
-  LORM_CHECK_MSG(it != by_addr_.end(), "unknown chord node");
-  return it->second;
+  const Slot s = SlotOf(addr);
+  LORM_CHECK_MSG(s != kNoSlot, "unknown chord node");
+  return slots_[s];
+}
+
+ChordRing::Link ChordRing::MakeLink(Slot s) const {
+  const Node& n = slots_[s];
+  return Link{s, n.gen, n.addr, n.id};
+}
+
+ChordRing::Slot ChordRing::ResolveLink(const Link& l) const {
+  if (l.slot != kNoSlot && slots_[l.slot].gen == l.gen) return l.slot;
+  // Stale link: the slot was vacated since the link was built. The address
+  // may still be a member (departed and rejoined elsewhere) — resolve it the
+  // slow way, as the pre-slab address-keyed tables did on every access.
+  return SlotOf(l.addr);
+}
+
+ChordRing::Slot ChordRing::AllocateSlot(NodeAddr addr, Key id) {
+  Slot s;
+  if (!free_slots_.empty()) {
+    s = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    s = static_cast<Slot>(slots_.size());
+    slots_.emplace_back();
+  }
+  Node& n = slots_[s];
+  n.id = id;
+  n.addr = addr;
+  n.live = true;  // gen was already bumped when the slot was vacated
+  n.predecessor = Link{};
+  n.fingers.clear();
+  n.successors.clear();
+  return s;
+}
+
+void ChordRing::ReleaseSlot(Slot s) {
+  Node& n = slots_[s];
+  ++n.gen;  // invalidates every link that points here
+  n.live = false;
+  n.addr = kNoNode;
+  n.predecessor = Link{};
+  n.fingers.clear();     // keeps capacity for the next occupant
+  n.successors.clear();
+  free_slots_.push_back(s);
 }
 
 Key ChordRing::FingerStart(Key id, unsigned i) const {
@@ -51,7 +99,7 @@ Key ChordRing::AddNode(NodeAddr addr) {
   const ConsistentHash ch(cfg_.bits);
   Key id = ch(static_cast<std::uint64_t>(addr) ^ cfg_.seed);
   std::uint64_t salt = 0;
-  while (ring_.count(id) != 0) {
+  while (OracleContains(id)) {
     ++salt;
     id = MixHashes(static_cast<std::uint64_t>(addr) ^ cfg_.seed, salt) &
          (space_ - 1);
@@ -63,19 +111,18 @@ Key ChordRing::AddNode(NodeAddr addr) {
 void ChordRing::AddNodeWithId(NodeAddr addr, Key id) {
   LORM_CHECK_MSG(id < space_, "chord id outside the identifier space");
   if (Contains(addr)) throw ConfigError("node address already in ring");
-  if (ring_.count(id) != 0) throw ConfigError("chord id collision");
+  if (OracleContains(id)) throw ConfigError("chord id collision");
 
-  Node n;
-  n.id = id;
-  n.addr = addr;
+  const bool first = by_addr_.empty();
+  const Slot self_slot = AllocateSlot(addr, id);
+  OracleInsert(id, self_slot);
+  by_addr_[addr] = self_slot;
 
-  if (by_addr_.empty()) {
-    n.predecessor = addr;
-    n.successors.assign(1, addr);
-    n.fingers.assign(cfg_.bits, addr);
-    ring_[id] = addr;
-    by_addr_[addr] = std::move(n);
-    RebuildOracle();
+  if (first) {
+    Node& n = slots_[self_slot];
+    n.predecessor = MakeLink(self_slot);
+    n.successors.assign(1, MakeLink(self_slot));
+    n.fingers.assign(cfg_.bits, MakeLink(self_slot));
     maintenance_.join_messages += 1;  // bootstrap announcement
     for (auto* obs : observers_) obs->OnJoin(addr, addr);
     return;
@@ -83,119 +130,163 @@ void ChordRing::AddNodeWithId(NodeAddr addr, Key id) {
 
   // Splice into the successor/predecessor ring (the protocol's join+notify
   // step, done atomically because departures here are graceful).
-  ring_[id] = addr;
-  by_addr_[addr] = std::move(n);
-  RebuildOracle();  // BuildState below routes through OwnerOf
-  Node& self = by_addr_[addr];
-  BuildState(self);
+  Node& self = slots_[self_slot];
+  BuildState(self);  // routes through the oracle, which already includes us
   // Join cost: the bootstrap lookup (~log n hops), one message per table
   // entry built, and the two notify messages below.
   maintenance_.join_messages +=
       cfg_.bits / 2 + self.fingers.size() + self.successors.size() + 2;
-  const NodeAddr succ = self.successors.front();
-  Node& s = MustGet(succ);
-  const NodeAddr pred = s.predecessor;
+  const Slot succ_slot = ResolveLink(self.successors.front());
+  Node& s = slots_[succ_slot];
+  const NodeAddr succ = s.addr;
+  const Link pred = s.predecessor;
   self.predecessor = pred;
-  s.predecessor = addr;
-  if (pred != kNoNode && pred != addr) {
-    Node& p = MustGet(pred);
+  s.predecessor = MakeLink(self_slot);
+  if (pred.addr != kNoNode && pred.addr != addr) {
+    const Slot pred_slot = ResolveLink(pred);
+    LORM_CHECK_MSG(pred_slot != kNoSlot, "unknown chord node");
+    Node& p = slots_[pred_slot];
     if (!p.successors.empty()) {
-      p.successors.front() = addr;
+      p.successors.front() = MakeLink(self_slot);
     } else {
-      p.successors.assign(1, addr);
+      p.successors.assign(1, MakeLink(self_slot));
     }
   }
   for (auto* obs : observers_) obs->OnJoin(addr, succ);
 }
 
 void ChordRing::RemoveNode(NodeAddr addr) {
-  Node& n = MustGet(addr);
+  const Slot self_slot = SlotOf(addr);
+  LORM_CHECK_MSG(self_slot != kNoSlot, "unknown chord node");
+  Node& n = slots_[self_slot];
   const bool last = by_addr_.size() == 1;
-  const NodeAddr succ = last ? kNoNode : FirstLiveSuccessorExcept(n, addr);
+  const Slot succ_slot =
+      last ? kNoSlot : FirstLiveSuccessorSlotExcept(n, addr);
+  const NodeAddr succ = succ_slot == kNoSlot ? kNoNode : slots_[succ_slot].addr;
   // Two notify messages (pred, succ) plus the key-handoff transfer.
   maintenance_.leave_messages += 3;
   for (auto* obs : observers_) obs->OnLeave(addr, succ);
 
   if (!last) {
-    const NodeAddr pred = n.predecessor;
-    Node& s = MustGet(succ);
-    if (pred != kNoNode && pred != addr) {
+    const Link pred = n.predecessor;
+    Node& s = slots_[succ_slot];
+    if (pred.addr != kNoNode && pred.addr != addr) {
       s.predecessor = pred;
-      Node& p = MustGet(pred);
-      if (!p.successors.empty() && p.successors.front() == addr) {
-        p.successors.front() = succ;
+      const Slot pred_slot = ResolveLink(pred);
+      LORM_CHECK_MSG(pred_slot != kNoSlot, "unknown chord node");
+      Node& p = slots_[pred_slot];
+      if (!p.successors.empty() && p.successors.front().addr == addr) {
+        p.successors.front() = MakeLink(succ_slot);
       }
     } else {
-      s.predecessor = succ;  // degenerate two-node case
+      s.predecessor = MakeLink(succ_slot);  // degenerate two-node case
     }
   }
-  ring_.erase(n.id);
+  OracleErase(n.id);
   by_addr_.erase(addr);
-  RebuildOracle();
+  ReleaseSlot(self_slot);
 }
 
 void ChordRing::FailNode(NodeAddr addr) {
-  const Node& n = MustGet(addr);
+  const Slot self_slot = SlotOf(addr);
+  LORM_CHECK_MSG(self_slot != kNoSlot, "unknown chord node");
   for (auto* obs : observers_) obs->OnFail(addr);
   // No splice, no handoff: neighbors discover the failure lazily.
-  ring_.erase(n.id);
+  OracleErase(slots_[self_slot].id);
   by_addr_.erase(addr);
-  RebuildOracle();
+  ReleaseSlot(self_slot);
 }
 
 std::vector<NodeAddr> ChordRing::Members() const {
   std::vector<NodeAddr> out;
-  out.reserve(ring_.size());
-  for (const auto& [id, addr] : ring_) out.push_back(addr);
+  out.reserve(oracle_.size());
+  for (const auto& [id, slot] : oracle_) out.push_back(slots_[slot].addr);
   return out;
 }
 
 Key ChordRing::IdOf(NodeAddr addr) const { return MustGet(addr).id; }
 
-void ChordRing::RebuildOracle() {
-  oracle_.assign(ring_.begin(), ring_.end());
+std::size_t ChordRing::OracleUpperBound(Key id) const {
+  const auto it = std::upper_bound(
+      oracle_.begin(), oracle_.end(), id,
+      [](Key k, const std::pair<Key, Slot>& e) { return k < e.first; });
+  return static_cast<std::size_t>(it - oracle_.begin());
 }
 
-NodeAddr ChordRing::OwnerOf(Key key) const {
+std::size_t ChordRing::OracleIndexOf(Key id) const {
+  const auto it = std::lower_bound(
+      oracle_.begin(), oracle_.end(), id,
+      [](const std::pair<Key, Slot>& e, Key k) { return e.first < k; });
+  LORM_CHECK(it != oracle_.end() && it->first == id);
+  return static_cast<std::size_t>(it - oracle_.begin());
+}
+
+bool ChordRing::OracleContains(Key id) const {
+  const auto it = std::lower_bound(
+      oracle_.begin(), oracle_.end(), id,
+      [](const std::pair<Key, Slot>& e, Key k) { return e.first < k; });
+  return it != oracle_.end() && it->first == id;
+}
+
+void ChordRing::OracleInsert(Key id, Slot slot) {
+  const auto it = std::lower_bound(
+      oracle_.begin(), oracle_.end(), id,
+      [](const std::pair<Key, Slot>& e, Key k) { return e.first < k; });
+  oracle_.insert(it, {id, slot});
+}
+
+void ChordRing::OracleErase(Key id) {
+  oracle_.erase(oracle_.begin() +
+                static_cast<std::ptrdiff_t>(OracleIndexOf(id)));
+}
+
+ChordRing::Slot ChordRing::OwnerSlotOf(Key key) const {
   LORM_CHECK_MSG(!oracle_.empty(), "OwnerOf on empty ring");
   // Binary search over the flat mirror instead of walking the std::map's
   // pointer tree: OwnerOf dominates BuildState/StabilizeAll and the benches'
   // oracle probes.
   const auto it = std::lower_bound(
       oracle_.begin(), oracle_.end(), key,
-      [](const std::pair<Key, NodeAddr>& e, Key k) { return e.first < k; });
+      [](const std::pair<Key, Slot>& e, Key k) { return e.first < k; });
   return it == oracle_.end() ? oracle_.front().second : it->second;
+}
+
+NodeAddr ChordRing::OwnerOf(Key key) const {
+  return slots_[OwnerSlotOf(key)].addr;
 }
 
 NodeAddr ChordRing::Successor(NodeAddr addr) const {
   const Node& n = MustGet(addr);
-  return FirstLiveSuccessor(n);
+  return slots_[FirstLiveSuccessorSlot(n)].addr;
 }
 
 NodeAddr ChordRing::Predecessor(NodeAddr addr) const {
-  return MustGet(addr).predecessor;
+  return MustGet(addr).predecessor.addr;
 }
 
-bool ChordRing::Owns(NodeAddr addr, Key key) const {
-  const Node& n = MustGet(addr);
-  if (n.predecessor == kNoNode || n.predecessor == addr) return true;
-  const auto pit = by_addr_.find(n.predecessor);
+bool ChordRing::OwnsNode(const Node& n, Key key) const {
+  if (n.predecessor.addr == kNoNode || n.predecessor.addr == n.addr) {
+    return true;
+  }
+  const Slot pred_slot = ResolveLink(n.predecessor);
   Key pred_id;
-  if (pit == by_addr_.end()) {
+  if (pred_slot == kNoSlot) {
     // The predecessor failed: the failure detector fires and the node adopts
     // the closest live predecessor — the state the next stabilization round
     // converges to. (Claiming the whole ring here would terminate lookups at
     // the wrong owner.)
     ++maintenance_.dead_links_skipped;
-    auto it = ring_.find(n.id);
-    LORM_CHECK(it != ring_.end());
-    pred_id = (it == ring_.begin()) ? ring_.rbegin()->first
-                                    : std::prev(it)->first;
+    const std::size_t idx = OracleIndexOf(n.id);
+    pred_id = (idx == 0) ? oracle_.back().first : oracle_[idx - 1].first;
     if (pred_id == n.id) return true;  // alone in the ring
   } else {
-    pred_id = pit->second.id;
+    pred_id = slots_[pred_slot].id;
   }
   return InIntervalOC(key, pred_id, n.id);
+}
+
+bool ChordRing::Owns(NodeAddr addr, Key key) const {
+  return OwnsNode(MustGet(addr), key);
 }
 
 namespace {
@@ -221,11 +312,13 @@ std::size_t ChordRing::Outlinks(NodeAddr addr) const {
     buf = heap.data();
   }
   std::size_t count = 0;
-  auto consider = [&](NodeAddr a) {
-    if (a != kNoNode && a != addr && Alive(a)) buf[count++] = a;
+  auto consider = [&](const Link& l) {
+    if (l.addr != kNoNode && l.addr != addr && LinkAlive(l)) {
+      buf[count++] = l.addr;
+    }
   };
-  for (NodeAddr f : n.fingers) consider(f);
-  for (NodeAddr s : n.successors) consider(s);
+  for (const Link& f : n.fingers) consider(f);
+  for (const Link& s : n.successors) consider(s);
   consider(n.predecessor);
   return CountDistinct(buf, count);
 }
@@ -234,8 +327,10 @@ std::size_t ChordRing::FingerTableSize(NodeAddr addr) const {
   const Node& n = MustGet(addr);
   std::array<NodeAddr, 64> buf;  // bits <= 63 fingers, always fits
   std::size_t count = 0;
-  for (NodeAddr f : n.fingers) {
-    if (f != kNoNode && f != addr && Alive(f)) buf[count++] = f;
+  for (const Link& f : n.fingers) {
+    if (f.addr != kNoNode && f.addr != addr && LinkAlive(f)) {
+      buf[count++] = f.addr;
+    }
   }
   return CountDistinct(buf.data(), count);
 }
@@ -247,59 +342,98 @@ std::vector<NodeAddr> ChordRing::NeighborsOf(NodeAddr addr) const {
     if (a == kNoNode || a == addr) return;
     if (std::find(out.begin(), out.end(), a) == out.end()) out.push_back(a);
   };
-  for (NodeAddr f : n.fingers) consider(f);
-  for (NodeAddr s : n.successors) consider(s);
-  consider(n.predecessor);
+  for (const Link& f : n.fingers) consider(f.addr);
+  for (const Link& s : n.successors) consider(s.addr);
+  consider(n.predecessor.addr);
   return out;
 }
 
-NodeAddr ChordRing::FirstLiveSuccessor(const Node& n) const {
-  for (NodeAddr s : n.successors) {
-    if (Alive(s)) return s;
+std::vector<NodeAddr> ChordRing::FingersOf(NodeAddr addr) const {
+  const Node& n = MustGet(addr);
+  std::vector<NodeAddr> out;
+  out.reserve(n.fingers.size());
+  for (const Link& f : n.fingers) out.push_back(f.addr);
+  return out;
+}
+
+std::vector<NodeAddr> ChordRing::SuccessorListOf(NodeAddr addr) const {
+  const Node& n = MustGet(addr);
+  std::vector<NodeAddr> out;
+  out.reserve(n.successors.size());
+  for (const Link& s : n.successors) out.push_back(s.addr);
+  return out;
+}
+
+ChordRing::Slot ChordRing::FirstLiveSuccessorSlot(const Node& n) const {
+  for (const Link& s : n.successors) {
+    const Slot slot = ResolveLink(s);
+    if (slot != kNoSlot) return slot;
     ++maintenance_.dead_links_skipped;
   }
   // Whole successor list died (only possible under extreme churn between
   // maintenance rounds): detect the failure and recover from the oracle,
   // as a real node would recover through its failure detector + backup list.
-  auto it = ring_.upper_bound(n.id);
-  if (it == ring_.end()) it = ring_.begin();
-  return it->second;
+  std::size_t idx = OracleUpperBound(n.id);
+  if (idx == oracle_.size()) idx = 0;
+  return oracle_[idx].second;
 }
 
-NodeAddr ChordRing::FirstLiveSuccessorExcept(const Node& n,
-                                             NodeAddr excluded) const {
-  for (NodeAddr s : n.successors) {
-    if (s != excluded && Alive(s)) return s;
+ChordRing::Slot ChordRing::FirstLiveSuccessorSlotExcept(
+    const Node& n, NodeAddr excluded) const {
+  for (const Link& s : n.successors) {
+    if (s.addr == excluded) continue;
+    const Slot slot = ResolveLink(s);
+    if (slot != kNoSlot) return slot;
   }
-  auto it = ring_.upper_bound(n.id);
-  for (std::size_t guard = 0; guard <= ring_.size(); ++guard) {
-    if (it == ring_.end()) it = ring_.begin();
-    if (it->second != excluded) return it->second;
-    ++it;
+  std::size_t idx = OracleUpperBound(n.id);
+  for (std::size_t guard = 0; guard <= oracle_.size(); ++guard) {
+    if (idx == oracle_.size()) idx = 0;
+    if (slots_[oracle_[idx].second].addr != excluded) return oracle_[idx].second;
+    ++idx;
   }
-  return kNoNode;
+  return kNoSlot;
 }
 
-NodeAddr ChordRing::ClosestPreceding(const Node& n, Key key) const {
+ChordRing::Slot ChordRing::ClosestPrecedingSlot(const Node& n, Key key) const {
   // Fingers from most- to least-significant, then the successor list; pick
-  // the live node whose ID most closely precedes the key.
+  // the live node whose ID most closely precedes the key. With a current
+  // generation the target's ID comes straight from the link — the loop
+  // touches no map.
   for (auto it = n.fingers.rbegin(); it != n.fingers.rend(); ++it) {
-    const NodeAddr f = *it;
-    if (f == kNoNode || f == n.addr) continue;
-    if (!Alive(f)) {
-      ++maintenance_.dead_links_skipped;
-      continue;
+    const Link& f = *it;
+    if (f.addr == kNoNode || f.addr == n.addr) continue;
+    Slot slot;
+    Key fid;
+    if (f.slot != kNoSlot && slots_[f.slot].gen == f.gen) {
+      slot = f.slot;
+      fid = f.id;
+    } else {
+      slot = SlotOf(f.addr);
+      if (slot == kNoSlot) {
+        ++maintenance_.dead_links_skipped;
+        continue;
+      }
+      fid = slots_[slot].id;  // the address rejoined with a different ID
     }
-    if (InIntervalOO(by_addr_.at(f).id, n.id, key)) return f;
+    if (InIntervalOO(fid, n.id, key)) return slot;
   }
-  NodeAddr best = kNoNode;
+  Slot best = kNoSlot;
   Key best_id = n.id;
-  for (NodeAddr s : n.successors) {
-    if (s == kNoNode || s == n.addr || !Alive(s)) continue;
-    const Key sid = by_addr_.at(s).id;
+  for (const Link& s : n.successors) {
+    if (s.addr == kNoNode || s.addr == n.addr) continue;
+    Slot slot;
+    Key sid;
+    if (s.slot != kNoSlot && slots_[s.slot].gen == s.gen) {
+      slot = s.slot;
+      sid = s.id;
+    } else {
+      slot = SlotOf(s.addr);
+      if (slot == kNoSlot) continue;
+      sid = slots_[slot].id;
+    }
     if (!InIntervalOO(sid, n.id, key)) continue;
-    if (best == kNoNode || InIntervalOO(best_id, n.id, sid)) {
-      best = s;
+    if (best == kNoSlot || InIntervalOO(best_id, n.id, sid)) {
+      best = slot;
       best_id = sid;
     }
   }
@@ -308,53 +442,65 @@ NodeAddr ChordRing::ClosestPreceding(const Node& n, Key key) const {
 
 LookupResult ChordRing::Lookup(Key key, NodeAddr origin) const {
   LookupResult r;
+  LookupInto(key, origin, r);
+  return r;
+}
+
+void ChordRing::LookupInto(Key key, NodeAddr origin, LookupResult& r) const {
+  r.ok = false;
   r.key = key & (space_ - 1);
-  if (!Contains(origin)) return r;
+  r.owner = kNoNode;
+  r.hops = 0;
+  r.path.clear();
+  const Slot origin_slot = SlotOf(origin);
+  if (origin_slot == kNoSlot) return;
 
   const std::size_t max_hops = by_addr_.size() + 4 * cfg_.bits + 8;
-  NodeAddr cur = origin;
-  r.path.push_back(cur);
-  while (!Owns(cur, r.key)) {
-    const Node& n = MustGet(cur);
-    const NodeAddr succ = FirstLiveSuccessor(n);
-    NodeAddr next;
+  Slot cur = origin_slot;
+  r.path.push_back(origin);
+  while (!OwnsNode(slots_[cur], r.key)) {
+    const Node& n = slots_[cur];
+    const Slot succ = FirstLiveSuccessorSlot(n);
+    Slot next;
     if (succ == cur) {
       // Sole member believes it owns everything; Owns() should have caught
       // this, but guard against a dangling predecessor pointer.
       break;
     }
-    if (InIntervalOC(r.key, n.id, by_addr_.at(succ).id)) {
+    if (InIntervalOC(r.key, n.id, slots_[succ].id)) {
       next = succ;
     } else {
-      next = ClosestPreceding(n, r.key);
-      if (next == kNoNode || next == cur) next = succ;
+      next = ClosestPrecedingSlot(n, r.key);
+      if (next == kNoSlot || next == cur) next = succ;
     }
     cur = next;
     ++r.hops;
-    r.path.push_back(cur);
+    r.path.push_back(slots_[cur].addr);
     if (r.hops > max_hops) {
-      return r;  // ok stays false: routing failure (should not happen)
+      return;  // ok stays false: routing failure (should not happen)
     }
   }
-  r.owner = cur;
+  r.owner = slots_[cur].addr;
   r.ok = true;
-  return r;
 }
 
 void ChordRing::BuildState(Node& n) {
-  n.fingers.assign(cfg_.bits, n.addr);
+  n.fingers.clear();
+  n.fingers.reserve(cfg_.bits);
   for (unsigned i = 0; i < cfg_.bits; ++i) {
-    n.fingers[i] = OwnerOf(FingerStart(n.id, i));
+    n.fingers.push_back(MakeLink(OwnerSlotOf(FingerStart(n.id, i))));
   }
   n.successors.clear();
-  auto it = ring_.upper_bound(n.id);
+  std::size_t idx = OracleUpperBound(n.id);
   for (std::size_t k = 0; k < cfg_.successor_list; ++k) {
-    if (it == ring_.end()) it = ring_.begin();
-    if (it->second == n.addr) break;  // wrapped all the way around
-    n.successors.push_back(it->second);
-    ++it;
+    if (idx == oracle_.size()) idx = 0;
+    if (slots_[oracle_[idx].second].addr == n.addr) break;  // wrapped all the way
+    n.successors.push_back(MakeLink(oracle_[idx].second));
+    ++idx;
   }
-  if (n.successors.empty()) n.successors.push_back(n.addr);
+  if (n.successors.empty()) {
+    n.successors.push_back(MakeLink(SlotOf(n.addr)));
+  }
 }
 
 void ChordRing::FixNode(NodeAddr addr) {
@@ -364,19 +510,17 @@ void ChordRing::FixNode(NodeAddr addr) {
 }
 
 void ChordRing::StabilizeAll() {
-  for (auto& [addr, node] : by_addr_) {
+  for (Slot s = 0; s < slots_.size(); ++s) {
+    Node& node = slots_[s];
+    if (!node.live) continue;
     BuildState(node);
     maintenance_.stabilize_messages +=
         node.fingers.size() + node.successors.size() + 1;
     // Refresh the predecessor pointer to the oracle state as well; this is
     // what repeated stabilize() rounds converge to.
-    auto it = ring_.find(node.id);
-    LORM_CHECK(it != ring_.end());
-    if (it == ring_.begin()) {
-      node.predecessor = ring_.rbegin()->second;
-    } else {
-      node.predecessor = std::prev(it)->second;
-    }
+    const std::size_t idx = OracleIndexOf(node.id);
+    node.predecessor = MakeLink(idx == 0 ? oracle_.back().second
+                                         : oracle_[idx - 1].second);
   }
 }
 

@@ -15,6 +15,16 @@
 //  * a global sorted index of members serves purely as the maintenance
 //    oracle (what stabilization converges to) and for O(1) test assertions.
 //
+// Storage layout: nodes live in a contiguous slot slab (`slots_`) with a
+// per-slot generation counter; routing-table entries are `Link`s holding the
+// resolved slot, the generation observed when the link was built, and the
+// target's cached ID. On the steady-state routing path liveness is a single
+// generation compare and IDs come from the link itself — no hash probes.
+// Address-based resolution (`by_addr_`) runs once per membership change and
+// as the fallback for stale links, which exactly reproduces address
+// semantics when a node departs (or departs and rejoins) between
+// maintenance rounds.
+//
 // The ring is configurable between the paper's deterministic mode (an
 // 11-bit space holding all 2048 IDs) and the standard random-ID mode
 // (IDs = consistent hash of the node address in a large space).
@@ -22,7 +32,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <optional>
 #include <unordered_map>
 #include <utility>
@@ -127,10 +136,23 @@ class ChordRing {
   /// verify that lookup paths only ever traverse real routing-table links.
   std::vector<NodeAddr> NeighborsOf(NodeAddr addr) const;
 
+  /// Raw finger-table targets in table order (index i covers id + 2^i),
+  /// stale entries included. Lets the micro benches re-run the exact lookup
+  /// walk through the public address-based API as a reference check on the
+  /// slot-slab routing path.
+  std::vector<NodeAddr> FingersOf(NodeAddr addr) const;
+  /// Raw successor-list targets in list order, stale entries included.
+  std::vector<NodeAddr> SuccessorListOf(NodeAddr addr) const;
+
   // ---- Routing ----------------------------------------------------------
 
   /// Iterative Chord lookup from `origin`, using only per-node tables.
   LookupResult Lookup(Key key, NodeAddr origin) const;
+
+  /// Same walk, but reuses `out` (notably its path buffer) instead of
+  /// returning a fresh result: after warm-up the steady-state query path
+  /// performs no heap allocation.
+  void LookupInto(Key key, NodeAddr origin, LookupResult& out) const;
 
   // ---- Maintenance ------------------------------------------------------
 
@@ -152,37 +174,81 @@ class ChordRing {
   const Config& config() const { return cfg_; }
 
  private:
+  /// Index into the slot slab.
+  using Slot = std::uint32_t;
+  static constexpr Slot kNoSlot = 0xffffffffu;
+
+  /// One routing-table entry: the target's slot and the slot generation at
+  /// link-build time, plus its address and ring ID cached from the same
+  /// moment. While the generation still matches, the target is alive and
+  /// `id` is its current ID — liveness costs one compare, zero probes. On a
+  /// mismatch the occupant changed, and resolution falls back to the
+  /// address (the target may have rejoined at another slot), reproducing
+  /// the address-keyed semantics exactly.
+  struct Link {
+    Slot slot = kNoSlot;
+    std::uint32_t gen = 0;
+    NodeAddr addr = kNoNode;
+    Key id = 0;
+  };
+
   struct Node {
     Key id = 0;
     NodeAddr addr = kNoNode;
-    NodeAddr predecessor = kNoNode;
-    std::vector<NodeAddr> fingers;     // bits entries; may be stale
-    std::vector<NodeAddr> successors;  // successor list; [0] kept fresh
+    std::uint32_t gen = 0;  ///< bumped every time the slot is vacated
+    bool live = false;
+    Link predecessor;
+    std::vector<Link> fingers;     // bits entries; may be stale
+    std::vector<Link> successors;  // successor list; [0] kept fresh
   };
 
   Node& MustGet(NodeAddr addr);
   const Node& MustGet(NodeAddr addr) const;
-  bool Alive(NodeAddr addr) const { return by_addr_.count(addr) != 0; }
+  /// addr -> slot, or kNoSlot when the address is not a member.
+  Slot SlotOf(NodeAddr addr) const;
+  /// Snapshot link to the slot's current occupant.
+  Link MakeLink(Slot s) const;
+  /// Live slot the link currently leads to, or kNoSlot if the target is
+  /// gone. Generation compare on the fast path; by_addr_ fallback for stale
+  /// links only.
+  Slot ResolveLink(const Link& l) const;
+  bool LinkAlive(const Link& l) const { return ResolveLink(l) != kNoSlot; }
+  Slot AllocateSlot(NodeAddr addr, Key id);
+  void ReleaseSlot(Slot s);
+  /// Oracle owner of `key`, as a slot.
+  Slot OwnerSlotOf(Key key) const;
+  bool OwnsNode(const Node& n, Key key) const;
   /// First live entry of the node's successor list (falls back to oracle if
   /// the whole list died; counts as a detected failure, not a hop).
-  NodeAddr FirstLiveSuccessor(const Node& n) const;
-  /// Like FirstLiveSuccessor but never returns `excluded` (used while the
-  /// excluded node is departing).
-  NodeAddr FirstLiveSuccessorExcept(const Node& n, NodeAddr excluded) const;
-  NodeAddr ClosestPreceding(const Node& n, Key key) const;
+  Slot FirstLiveSuccessorSlot(const Node& n) const;
+  /// Like FirstLiveSuccessorSlot but never returns `excluded` (used while
+  /// the excluded node is departing).
+  Slot FirstLiveSuccessorSlotExcept(const Node& n, NodeAddr excluded) const;
+  Slot ClosestPrecedingSlot(const Node& n, Key key) const;
   void BuildState(Node& n);
   Key FingerStart(Key id, unsigned i) const;
-  /// Refreshes the flat sorted mirror of ring_ that OwnerOf binary-searches.
-  /// Must be called after every membership change; benches issue millions of
-  /// oracle probes between joins/leaves, so the probe pays for the rebuild
-  /// many times over.
-  void RebuildOracle();
+  /// Index of the first oracle entry with id > `id` (modular: size() wraps
+  /// to 0 at the caller), and the exact-match index (LORM_CHECKs presence).
+  std::size_t OracleUpperBound(Key id) const;
+  std::size_t OracleIndexOf(Key id) const;
+  bool OracleContains(Key id) const;
+  /// Splices one membership change into the sorted oracle. A contiguous
+  /// memmove beats the old rebuild-from-map: ring construction performs one
+  /// of these per join, and the rebuild made building n nodes O(n^2) map
+  /// walks (Mercury pays that once per attribute hub).
+  void OracleInsert(Key id, Slot slot);
+  void OracleErase(Key id);
 
   Config cfg_;
   std::uint64_t space_;
-  std::map<Key, NodeAddr> ring_;                  // oracle index
-  std::vector<std::pair<Key, NodeAddr>> oracle_;  // flat mirror of ring_
-  std::unordered_map<NodeAddr, Node> by_addr_;
+  std::vector<Node> slots_;       // slot slab; entries stay put for life
+  std::vector<Slot> free_slots_;
+  /// The oracle index: all (id, slot) pairs sorted by id. Kept flat — every
+  /// consumer (OwnerOf, BuildState, the recovery fallbacks) binary-searches
+  /// or scans contiguously; iteration order matches the std::map it
+  /// replaced, so Members() and stabilization output are unchanged.
+  std::vector<std::pair<Key, Slot>> oracle_;
+  std::unordered_map<NodeAddr, Slot> by_addr_;  // resolved once per change
   std::vector<MembershipObserver*> observers_;
   mutable MaintenanceStats maintenance_;  // mutable: routing is const
 };

@@ -24,16 +24,57 @@ CycloidNetwork::CycloidNetwork(Config cfg) : cfg_(cfg) {
   cluster_space_ = std::uint64_t{1} << cfg_.dimension;
 }
 
-CycloidNetwork::Node& CycloidNetwork::MustGet(NodeAddr addr) {
+CycloidNetwork::Slot CycloidNetwork::SlotOf(NodeAddr addr) const {
   auto it = by_addr_.find(addr);
-  LORM_CHECK_MSG(it != by_addr_.end(), "unknown cycloid node");
-  return it->second;
+  return it == by_addr_.end() ? kNoSlot : it->second;
+}
+
+CycloidNetwork::Node& CycloidNetwork::MustGet(NodeAddr addr) {
+  const Slot s = SlotOf(addr);
+  LORM_CHECK_MSG(s != kNoSlot, "unknown cycloid node");
+  return slots_[s];
 }
 
 const CycloidNetwork::Node& CycloidNetwork::MustGet(NodeAddr addr) const {
-  auto it = by_addr_.find(addr);
-  LORM_CHECK_MSG(it != by_addr_.end(), "unknown cycloid node");
-  return it->second;
+  const Slot s = SlotOf(addr);
+  LORM_CHECK_MSG(s != kNoSlot, "unknown cycloid node");
+  return slots_[s];
+}
+
+CycloidNetwork::Link CycloidNetwork::MakeLink(Slot s) const {
+  const Node& n = slots_[s];
+  return Link{s, n.gen, n.addr, n.id};
+}
+
+CycloidNetwork::Slot CycloidNetwork::ResolveLink(const Link& l) const {
+  if (l.slot != kNoSlot && slots_[l.slot].gen == l.gen) return l.slot;
+  return SlotOf(l.addr);  // stale: the address may have rejoined elsewhere
+}
+
+CycloidNetwork::Slot CycloidNetwork::AllocateSlot(NodeAddr addr, CycloidId id) {
+  Slot s;
+  if (!free_slots_.empty()) {
+    s = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    s = static_cast<Slot>(slots_.size());
+    slots_.emplace_back();
+  }
+  Node& n = slots_[s];
+  n.id = id;
+  n.addr = addr;
+  n.live = true;  // gen was already bumped when the slot was vacated
+  n.inside_succ = n.inside_pred = Link{};
+  n.outside_succ = n.outside_pred = Link{};
+  n.cubical = n.cyclic_succ = n.cyclic_pred = Link{};
+  return s;
+}
+
+void CycloidNetwork::ReleaseSlot(Slot s) {
+  Node& n = slots_[s];
+  ++n.gen;  // invalidates every link that points here
+  n.live = false;
+  n.addr = kNoNode;
 }
 
 const CycloidNetwork::Cluster& CycloidNetwork::MustCluster(
@@ -50,14 +91,15 @@ std::uint64_t CycloidNetwork::OwnerClusterCubical(std::uint64_t a) const {
   return it->first;
 }
 
-NodeAddr CycloidNetwork::OwnerInCluster(const Cluster& c, unsigned k) const {
+CycloidNetwork::Slot CycloidNetwork::OwnerInCluster(const Cluster& c,
+                                                    unsigned k) const {
   LORM_CHECK_MSG(!c.empty(), "empty cluster");
   auto it = c.lower_bound(k);
   if (it == c.end()) it = c.begin();
   return it->second;
 }
 
-NodeAddr CycloidNetwork::PrimaryOf(const Cluster& c) const {
+CycloidNetwork::Slot CycloidNetwork::PrimaryOf(const Cluster& c) const {
   LORM_CHECK_MSG(!c.empty(), "empty cluster");
   return c.rbegin()->second;
 }
@@ -112,22 +154,20 @@ void CycloidNetwork::AddNodeWithId(NodeAddr addr, CycloidId id) {
   if (!by_addr_.empty()) {
     if (cit != clusters_.end()) {
       // Cluster exists: only the cyclic successor's sector splits.
-      sources.push_back(OwnerInCluster(cit->second, id.k));
+      sources.push_back(slots_[OwnerInCluster(cit->second, id.k)].addr);
     } else {
       // New cluster: its cubical sector is carved out of every member of
       // the succeeding cluster.
       const std::uint64_t succ_a = OwnerClusterCubical(id.a);
       for (const auto& [k, member] : MustCluster(succ_a)) {
-        sources.push_back(member);
+        sources.push_back(slots_[member].addr);
       }
     }
   }
 
-  Node n;
-  n.id = id;
-  n.addr = addr;
-  clusters_[id.a][id.k] = addr;
-  by_addr_[addr] = n;
+  const Slot slot = AllocateSlot(addr, id);
+  clusters_[id.a][id.k] = slot;
+  by_addr_[addr] = slot;
   // Join cost: the bootstrap lookup (~d hops) plus the leaf-set repair
   // messages charged inside RepairAround.
   maintenance_.join_messages += cfg_.dimension;
@@ -136,8 +176,9 @@ void CycloidNetwork::AddNodeWithId(NodeAddr addr, CycloidId id) {
 }
 
 void CycloidNetwork::RemoveNode(NodeAddr addr) {
-  Node& n = MustGet(addr);
-  const CycloidId id = n.id;
+  const Slot slot = SlotOf(addr);
+  LORM_CHECK_MSG(slot != kNoSlot, "unknown cycloid node");
+  const CycloidId id = slots_[slot].id;
   auto cit = clusters_.find(id.a);
   LORM_CHECK(cit != clusters_.end());
   cit->second.erase(id.k);
@@ -151,18 +192,21 @@ void CycloidNetwork::RemoveNode(NodeAddr addr) {
   for (auto* obs : observers_) obs->OnLeave(addr);
 
   by_addr_.erase(addr);
+  ReleaseSlot(slot);
   if (!clusters_.empty()) RepairAround(id.a);
 }
 
 void CycloidNetwork::FailNode(NodeAddr addr) {
-  const Node& n = MustGet(addr);
-  const CycloidId id = n.id;
+  const Slot slot = SlotOf(addr);
+  LORM_CHECK_MSG(slot != kNoSlot, "unknown cycloid node");
+  const CycloidId id = slots_[slot].id;
   for (auto* obs : observers_) obs->OnFail(addr);
   auto cit = clusters_.find(id.a);
   LORM_CHECK(cit != clusters_.end());
   cit->second.erase(id.k);
   if (cit->second.empty()) clusters_.erase(cit);
   by_addr_.erase(addr);
+  ReleaseSlot(slot);
   // No repair, no handoff: leaf sets pointing at the node go stale until
   // routing skips them and StabilizeAll/FixNode heals the neighborhood.
 }
@@ -171,7 +215,7 @@ std::vector<NodeAddr> CycloidNetwork::Members() const {
   std::vector<NodeAddr> out;
   out.reserve(by_addr_.size());
   for (const auto& [a, cluster] : clusters_) {
-    for (const auto& [k, addr] : cluster) out.push_back(addr);
+    for (const auto& [k, slot] : cluster) out.push_back(slots_[slot].addr);
   }
   return out;
 }
@@ -180,32 +224,33 @@ CycloidId CycloidNetwork::IdOf(NodeAddr addr) const { return MustGet(addr).id; }
 
 NodeAddr CycloidNetwork::OwnerOf(CycloidId key) const {
   const std::uint64_t a = OwnerClusterCubical(key.a % cluster_space_);
-  return OwnerInCluster(MustCluster(a), key.k % cfg_.dimension);
+  return slots_[OwnerInCluster(MustCluster(a), key.k % cfg_.dimension)].addr;
 }
 
 bool CycloidNetwork::ClusterOwnsLocal(const Node& n, std::uint64_t a) const {
-  if (n.outside_pred == kNoNode) return true;
+  if (n.outside_pred.addr == kNoNode) return true;
   std::uint64_t pred_a;
-  const auto pit = by_addr_.find(n.outside_pred);
-  if (pit == by_addr_.end()) {
+  const Slot pred_slot = ResolveLink(n.outside_pred);
+  if (pred_slot == kNoSlot) {
     // The preceding primary failed: adopt the live preceding cluster (the
     // state the next self-organization round converges to).
     ++maintenance_.dead_links_skipped;
     pred_a = PrecedingClusterCubical(n.id.a);  // own cluster always exists
   } else {
-    pred_a = pit->second.id.a;
+    pred_a = slots_[pred_slot].id.a;
   }
   if (pred_a == n.id.a) return true;  // only one cluster exists
   return InOC(a, pred_a, n.id.a);
 }
 
-bool CycloidNetwork::Owns(NodeAddr addr, CycloidId key) const {
-  const Node& n = MustGet(addr);
+bool CycloidNetwork::OwnsNode(const Node& n, CycloidId key) const {
   if (!ClusterOwnsLocal(n, key.a % cluster_space_)) return false;
-  if (n.inside_pred == kNoNode || n.inside_pred == addr) return true;
+  if (n.inside_pred.addr == kNoNode || n.inside_pred.addr == n.addr) {
+    return true;
+  }
   unsigned pred_k;
-  const auto pit = by_addr_.find(n.inside_pred);
-  if (pit == by_addr_.end()) {
+  const Slot pred_slot = ResolveLink(n.inside_pred);
+  if (pred_slot == kNoSlot) {
     // The cyclic predecessor failed: adopt the live one.
     ++maintenance_.dead_links_skipped;
     const Cluster& c = MustCluster(n.id.a);
@@ -214,33 +259,42 @@ bool CycloidNetwork::Owns(NodeAddr addr, CycloidId key) const {
     pred_k = (it == c.begin()) ? c.rbegin()->first : std::prev(it)->first;
     if (pred_k == n.id.k) return true;  // alone in the cluster
   } else {
-    pred_k = pit->second.id.k;
+    pred_k = slots_[pred_slot].id.k;
   }
   return InOC(key.k % cfg_.dimension, pred_k, n.id.k);
+}
+
+bool CycloidNetwork::Owns(NodeAddr addr, CycloidId key) const {
+  return OwnsNode(MustGet(addr), key);
 }
 
 std::vector<NodeAddr> CycloidNetwork::ClusterMembersOf(std::uint64_t a) const {
   const std::uint64_t owner_a = OwnerClusterCubical(a % cluster_space_);
   std::vector<NodeAddr> out;
-  for (const auto& [k, addr] : MustCluster(owner_a)) out.push_back(addr);
+  for (const auto& [k, slot] : MustCluster(owner_a)) {
+    out.push_back(slots_[slot].addr);
+  }
   return out;
 }
 
 NodeAddr CycloidNetwork::InsideSuccessor(NodeAddr addr) const {
-  return MustGet(addr).inside_succ;
+  return MustGet(addr).inside_succ.addr;
 }
 
 NodeAddr CycloidNetwork::InsidePredecessor(NodeAddr addr) const {
-  return MustGet(addr).inside_pred;
+  return MustGet(addr).inside_pred.addr;
 }
 
 std::size_t CycloidNetwork::Outlinks(NodeAddr addr) const {
   const Node& n = MustGet(addr);
   std::vector<NodeAddr> distinct;
-  auto consider = [&](NodeAddr a) {
-    if (a == kNoNode || a == addr || !Alive(a)) return;
-    if (std::find(distinct.begin(), distinct.end(), a) == distinct.end()) {
-      distinct.push_back(a);
+  auto consider = [&](const Link& l) {
+    if (l.addr == kNoNode || l.addr == addr || ResolveLink(l) == kNoSlot) {
+      return;
+    }
+    if (std::find(distinct.begin(), distinct.end(), l.addr) ==
+        distinct.end()) {
+      distinct.push_back(l.addr);
     }
   };
   consider(n.inside_succ);
@@ -256,9 +310,11 @@ std::size_t CycloidNetwork::Outlinks(NodeAddr addr) const {
 std::vector<NodeAddr> CycloidNetwork::NeighborsOf(NodeAddr addr) const {
   const Node& n = MustGet(addr);
   std::vector<NodeAddr> out;
-  auto consider = [&](NodeAddr a) {
-    if (a == kNoNode || a == addr) return;
-    if (std::find(out.begin(), out.end(), a) == out.end()) out.push_back(a);
+  auto consider = [&](const Link& l) {
+    if (l.addr == kNoNode || l.addr == addr) return;
+    if (std::find(out.begin(), out.end(), l.addr) == out.end()) {
+      out.push_back(l.addr);
+    }
   };
   consider(n.inside_succ);
   consider(n.inside_pred);
@@ -279,29 +335,30 @@ void CycloidNetwork::BuildState(Node& n) {
     auto it = c.find(n.id.k);
     LORM_CHECK(it != c.end());
     auto next = std::next(it);
-    n.inside_succ = (next == c.end()) ? c.begin()->second : next->second;
-    n.inside_pred =
-        (it == c.begin()) ? c.rbegin()->second : std::prev(it)->second;
+    n.inside_succ =
+        MakeLink((next == c.end()) ? c.begin()->second : next->second);
+    n.inside_pred = MakeLink(
+        (it == c.begin()) ? c.rbegin()->second : std::prev(it)->second);
   }
 
   const unsigned kb = (n.id.k + d - 1) % d;  // bit flippable from this node
 
   if (clusters_.size() == 1) {
-    const NodeAddr primary = PrimaryOf(c);
+    const Link primary = MakeLink(PrimaryOf(c));
     n.outside_succ = primary;
     n.outside_pred = primary;
-    n.cyclic_succ = kNoNode;
-    n.cyclic_pred = kNoNode;
-    n.cubical = kNoNode;
+    n.cyclic_succ = Link{};
+    n.cyclic_pred = Link{};
+    n.cubical = Link{};
     return;
   }
 
   const std::uint64_t succ_a = SucceedingClusterCubical(n.id.a);
   const std::uint64_t pred_a = PrecedingClusterCubical(n.id.a);
-  n.outside_succ = PrimaryOf(MustCluster(succ_a));
-  n.outside_pred = PrimaryOf(MustCluster(pred_a));
-  n.cyclic_succ = OwnerInCluster(MustCluster(succ_a), kb);
-  n.cyclic_pred = OwnerInCluster(MustCluster(pred_a), kb);
+  n.outside_succ = MakeLink(PrimaryOf(MustCluster(succ_a)));
+  n.outside_pred = MakeLink(PrimaryOf(MustCluster(pred_a)));
+  n.cyclic_succ = MakeLink(OwnerInCluster(MustCluster(succ_a), kb));
+  n.cyclic_pred = MakeLink(OwnerInCluster(MustCluster(pred_a), kb));
 
   // Cubical neighbor: cluster with bit kb of the cubical index flipped,
   // bits above kb unchanged, bits below kb don't-care (nearest existing).
@@ -312,12 +369,12 @@ void CycloidNetwork::BuildState(Node& n) {
     cit = clusters_.lower_bound(prefix);
     if (cit == clusters_.end() ||
         cit->first >= prefix + (std::uint64_t{1} << kb)) {
-      n.cubical = kNoNode;
+      n.cubical = Link{};
       return;
     }
   }
-  n.cubical = OwnerInCluster(cit->second, kb);
-  if (n.cubical == n.addr) n.cubical = kNoNode;
+  n.cubical = MakeLink(OwnerInCluster(cit->second, kb));
+  if (n.cubical.addr == n.addr) n.cubical = Link{};
 }
 
 void CycloidNetwork::RepairAround(std::uint64_t a) {
@@ -329,8 +386,8 @@ void CycloidNetwork::RepairAround(std::uint64_t a) {
   affected.erase(std::unique(affected.begin(), affected.end()),
                  affected.end());
   for (std::uint64_t cubical : affected) {
-    for (const auto& [k, addr] : MustCluster(cubical)) {
-      BuildState(MustGet(addr));
+    for (const auto& [k, slot] : MustCluster(cubical)) {
+      BuildState(slots_[slot]);
       // One leaf-set update message per repaired neighbor. (The in-memory
       // rebuild refreshes the whole 7-entry table for simplicity, but the
       // protocol equivalent is a single notify carrying the change.)
@@ -339,40 +396,40 @@ void CycloidNetwork::RepairAround(std::uint64_t a) {
   }
 }
 
-NodeAddr CycloidNetwork::NextHop(const Node& n, CycloidId key,
-                                 bool force_walk) const {
+CycloidNetwork::Slot CycloidNetwork::NextHopSlot(const Node& n, CycloidId key,
+                                                 bool force_walk) const {
   const unsigned d = cfg_.dimension;
   const std::uint64_t a_t = key.a % cluster_space_;
 
   if (ClusterOwnsLocal(n, a_t)) {
-    if (n.inside_succ == n.addr) return kNoNode;
-    if (!Alive(n.inside_succ)) {
+    if (n.inside_succ.addr == n.addr) return kNoSlot;
+    const Slot succ_slot = ResolveLink(n.inside_succ);
+    if (succ_slot == kNoSlot) {
       // The cyclic successor failed and self-organization has not healed the
       // small cycle yet: the query cannot be forwarded reliably.
       ++maintenance_.dead_links_skipped;
-      return kNoNode;
+      return kNoSlot;
     }
     // Rotate along the small cycle toward the owner. When the neighborhood
     // is locally contiguous (both cyclic neighbors exist at k +- 1), take
     // the shorter direction. In a cluster with holes, nodes can disagree on
     // direction and bounce; force_walk pins the rotation to successor-only,
     // which is bounded by the cluster size and always reaches the owner.
-    const auto succ_it =
-        force_walk ? by_addr_.end() : by_addr_.find(n.inside_succ);
-    const auto pred_it =
-        force_walk ? by_addr_.end() : by_addr_.find(n.inside_pred);
-    if (succ_it != by_addr_.end() && pred_it != by_addr_.end()) {
-      const unsigned k = n.id.k;
-      const bool contiguous =
-          succ_it->second.id.k == (k + 1) % d &&
-          pred_it->second.id.k == (k + d - 1) % d;
-      if (contiguous) {
-        const unsigned fwd = (key.k + d - k) % d;
-        const unsigned bwd = (k + d - key.k) % d;
-        if (bwd < fwd) return n.inside_pred;
+    if (!force_walk) {
+      const Slot pred_slot = ResolveLink(n.inside_pred);
+      if (pred_slot != kNoSlot) {
+        const unsigned k = n.id.k;
+        const bool contiguous =
+            slots_[succ_slot].id.k == (k + 1) % d &&
+            slots_[pred_slot].id.k == (k + d - 1) % d;
+        if (contiguous) {
+          const unsigned fwd = (key.k + d - k) % d;
+          const unsigned bwd = (k + d - key.k) % d;
+          if (bwd < fwd) return pred_slot;
+        }
       }
     }
-    return n.inside_succ;
+    return succ_slot;
   }
 
   if (!force_walk) {
@@ -380,15 +437,17 @@ NodeAddr CycloidNetwork::NextHop(const Node& n, CycloidId key,
     const unsigned kb = (n.id.k + d - 1) % d;
     // Flip the bit reachable from this cyclic position if it differs; the
     // cubical XOR distance strictly decreases.
-    if (((x >> kb) & 1u) != 0 && n.cubical != kNoNode && Alive(n.cubical)) {
-      return n.cubical;
+    if (((x >> kb) & 1u) != 0 && n.cubical.addr != kNoNode) {
+      const Slot cub = ResolveLink(n.cubical);
+      if (cub != kNoSlot) return cub;
     }
     // Otherwise rotate downward (k-1) and try the next bit; one lap of the
     // small cycle visits every bit position.
-    if (n.inside_pred != n.addr && Alive(n.inside_pred)) {
-      return n.inside_pred;
+    if (n.inside_pred.addr != n.addr) {
+      const Slot pred_slot = ResolveLink(n.inside_pred);
+      if (pred_slot != kNoSlot) return pred_slot;
+      ++maintenance_.dead_links_skipped;
     }
-    if (n.inside_pred != n.addr) ++maintenance_.dead_links_skipped;
   }
 
   // Guaranteed fallback: walk the large cycle one cluster per hop toward the
@@ -397,52 +456,75 @@ NodeAddr CycloidNetwork::NextHop(const Node& n, CycloidId key,
   const std::uint64_t fwd = (a_t - n.id.a) & (cluster_space_ - 1);
   const std::uint64_t bwd = (n.id.a - a_t) & (cluster_space_ - 1);
   const bool forward = fwd <= bwd;
-  const NodeAddr first = forward ? n.cyclic_succ : n.cyclic_pred;
-  const NodeAddr second = forward ? n.outside_succ : n.outside_pred;
-  if (first != kNoNode && first != n.addr && Alive(first)) return first;
-  if (second != kNoNode && second != n.addr && Alive(second)) return second;
+  const Link& first = forward ? n.cyclic_succ : n.cyclic_pred;
+  const Link& second = forward ? n.outside_succ : n.outside_pred;
+  if (first.addr != kNoNode && first.addr != n.addr) {
+    const Slot s = ResolveLink(first);
+    if (s != kNoSlot) return s;
+  }
+  if (second.addr != kNoNode && second.addr != n.addr) {
+    const Slot s = ResolveLink(second);
+    if (s != kNoSlot) return s;
+  }
   // Last resort (heavy churn): any live neighbor that leaves the cluster.
-  const NodeAddr third = forward ? n.outside_pred : n.outside_succ;
-  if (third != kNoNode && third != n.addr && Alive(third)) return third;
-  if (n.inside_succ != n.addr && Alive(n.inside_succ)) return n.inside_succ;
+  const Link& third = forward ? n.outside_pred : n.outside_succ;
+  if (third.addr != kNoNode && third.addr != n.addr) {
+    const Slot s = ResolveLink(third);
+    if (s != kNoSlot) return s;
+  }
+  if (n.inside_succ.addr != n.addr) {
+    const Slot s = ResolveLink(n.inside_succ);
+    if (s != kNoSlot) return s;
+  }
   ++maintenance_.dead_links_skipped;
-  return kNoNode;
+  return kNoSlot;
 }
 
 LookupResult CycloidNetwork::Lookup(CycloidId key, NodeAddr origin) const {
   LookupResult r;
+  LookupInto(key, origin, r);
+  return r;
+}
+
+void CycloidNetwork::LookupInto(CycloidId key, NodeAddr origin,
+                                LookupResult& r) const {
+  r.ok = false;
   r.key = CycloidId{key.k % cfg_.dimension, key.a % cluster_space_};
-  if (!Contains(origin)) return r;
+  r.owner = kNoNode;
+  r.hops = 0;
+  r.path.clear();
+  const Slot origin_slot = SlotOf(origin);
+  if (origin_slot == kNoSlot) return;
 
   const unsigned d = cfg_.dimension;
   const std::size_t structured_cap = 4 * d + 8;
   const std::size_t total_cap =
       structured_cap + 2 * clusters_.size() + 2 * d + 16;
 
-  NodeAddr cur = origin;
-  r.path.push_back(cur);
+  Slot cur = origin_slot;
+  Slot prev = kNoSlot;
+  r.path.push_back(origin);
   // Sticky fallback mode: engaged when the structured budget is spent or an
   // immediate backtrack is detected (stateless greedy steps returning to the
   // previous node would cycle forever in a churn-degraded neighborhood).
   bool walk_mode = false;
-  while (!Owns(cur, r.key)) {
-    const Node& n = MustGet(cur);
+  while (!OwnsNode(slots_[cur], r.key)) {
+    const Node& n = slots_[cur];
     walk_mode = walk_mode || r.hops >= structured_cap;
-    NodeAddr next = NextHop(n, r.key, walk_mode);
-    if (!walk_mode && r.path.size() >= 2 &&
-        next == r.path[r.path.size() - 2]) {
+    Slot next = NextHopSlot(n, r.key, walk_mode);
+    if (!walk_mode && prev != kNoSlot && next == prev) {
       walk_mode = true;
-      next = NextHop(n, r.key, /*force_walk=*/true);
+      next = NextHopSlot(n, r.key, /*force_walk=*/true);
     }
-    if (next == kNoNode || next == cur) return r;  // routing dead end
+    if (next == kNoSlot || next == cur) return;  // routing dead end
+    prev = cur;
     cur = next;
     ++r.hops;
-    r.path.push_back(cur);
-    if (r.hops > total_cap) return r;  // ok stays false
+    r.path.push_back(slots_[cur].addr);
+    if (r.hops > total_cap) return;  // ok stays false
   }
-  r.owner = cur;
+  r.owner = slots_[cur].addr;
   r.ok = true;
-  return r;
 }
 
 void CycloidNetwork::FixNode(NodeAddr addr) {
@@ -451,8 +533,9 @@ void CycloidNetwork::FixNode(NodeAddr addr) {
 }
 
 void CycloidNetwork::StabilizeAll() {
-  for (auto& [addr, node] : by_addr_) {
-    BuildState(node);
+  for (Slot s = 0; s < slots_.size(); ++s) {
+    if (!slots_[s].live) continue;
+    BuildState(slots_[s]);
     maintenance_.stabilize_messages += 7;
   }
 }

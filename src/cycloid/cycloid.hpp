@@ -37,6 +37,13 @@
 // node within it is the first member with cyclic index >= k (wrapping).
 // This realizes the paper's "a key is assigned to the node whose ID is
 // closest to its ID" with exact, locally testable sectors.
+//
+// Storage layout mirrors ChordRing's: nodes live in a contiguous slot slab
+// with per-slot generation counters, and the 7 routing entries are `Link`s
+// carrying (slot, generation, addr, cached id). Steady-state routing does a
+// generation compare per liveness check and reads IDs out of the slab — no
+// hash probes; `by_addr_` resolution happens once per membership change and
+// on stale links only.
 #pragma once
 
 #include <cstdint>
@@ -151,6 +158,11 @@ class CycloidNetwork {
   /// Routes from `origin` to the owner of `key` using only per-node state.
   LookupResult Lookup(CycloidId key, NodeAddr origin) const;
 
+  /// Same walk, but reuses `out` (notably its path buffer) instead of
+  /// returning a fresh result: after warm-up the steady-state query path
+  /// performs no heap allocation.
+  void LookupInto(CycloidId key, NodeAddr origin, LookupResult& out) const;
+
   // ---- Maintenance --------------------------------------------------------
 
   /// Rebuilds one node's routing state to the converged value.
@@ -170,29 +182,52 @@ class CycloidNetwork {
   const Config& config() const { return cfg_; }
 
  private:
+  /// Index into the slot slab.
+  using Slot = std::uint32_t;
+  static constexpr Slot kNoSlot = 0xffffffffu;
+
+  /// One routing-table entry (see chord::ChordRing::Link): generation match
+  /// means the target is alive at `slot` with id `id`; mismatch falls back
+  /// to by_addr_, reproducing the address-keyed semantics exactly. A null
+  /// entry is Link{} (addr == kNoNode).
+  struct Link {
+    Slot slot = kNoSlot;
+    std::uint32_t gen = 0;
+    NodeAddr addr = kNoNode;
+    CycloidId id;
+  };
+
   struct Node {
     CycloidId id;
     NodeAddr addr = kNoNode;
-    NodeAddr inside_succ = kNoNode;
-    NodeAddr inside_pred = kNoNode;
-    NodeAddr outside_succ = kNoNode;  // primary of succeeding cluster
-    NodeAddr outside_pred = kNoNode;  // primary of preceding cluster
-    NodeAddr cubical = kNoNode;       // flips bit k-1 (null when k == 0)
-    NodeAddr cyclic_succ = kNoNode;   // ~k-1 in succeeding cluster
-    NodeAddr cyclic_pred = kNoNode;   // ~k-1 in preceding cluster
+    std::uint32_t gen = 0;  ///< bumped every time the slot is vacated
+    bool live = false;
+    Link inside_succ;
+    Link inside_pred;
+    Link outside_succ;  // primary of succeeding cluster
+    Link outside_pred;  // primary of preceding cluster
+    Link cubical;       // flips bit k-1 (null when k == 0)
+    Link cyclic_succ;   // ~k-1 in succeeding cluster
+    Link cyclic_pred;   // ~k-1 in preceding cluster
   };
 
-  using Cluster = std::map<unsigned, NodeAddr>;  // cyclic index -> addr
+  using Cluster = std::map<unsigned, Slot>;  // cyclic index -> slot
 
   Node& MustGet(NodeAddr addr);
   const Node& MustGet(NodeAddr addr) const;
-  bool Alive(NodeAddr addr) const { return by_addr_.count(addr) != 0; }
+  Slot SlotOf(NodeAddr addr) const;
+  Link MakeLink(Slot s) const;
+  /// Live slot the link currently leads to, or kNoSlot if the target is
+  /// gone (generation compare fast path, by_addr_ fallback on staleness).
+  Slot ResolveLink(const Link& l) const;
+  Slot AllocateSlot(NodeAddr addr, CycloidId id);
+  void ReleaseSlot(Slot s);
 
   /// Oracle helpers over the cluster index.
   const Cluster& MustCluster(std::uint64_t a) const;
   std::uint64_t OwnerClusterCubical(std::uint64_t a) const;
-  NodeAddr OwnerInCluster(const Cluster& c, unsigned k) const;
-  NodeAddr PrimaryOf(const Cluster& c) const;
+  Slot OwnerInCluster(const Cluster& c, unsigned k) const;
+  Slot PrimaryOf(const Cluster& c) const;
   std::uint64_t PrecedingClusterCubical(std::uint64_t a) const;
   std::uint64_t SucceedingClusterCubical(std::uint64_t a) const;
 
@@ -201,9 +236,11 @@ class CycloidNetwork {
   /// adjacent clusters — the scope a graceful join/leave notifies.
   void RepairAround(std::uint64_t a);
 
-  /// One local routing decision; returns kNoNode if the node believes it is
+  /// One local routing decision; returns kNoSlot if the node believes it is
   /// the owner. `force_walk` switches to the guaranteed cluster walk.
-  NodeAddr NextHop(const Node& n, CycloidId key, bool force_walk) const;
+  Slot NextHopSlot(const Node& n, CycloidId key, bool force_walk) const;
+
+  bool OwnsNode(const Node& n, CycloidId key) const;
 
   /// True iff the node's cluster owns cubical value `a`, judged from the
   /// node's own outside leaf set.
@@ -211,8 +248,10 @@ class CycloidNetwork {
 
   Config cfg_;
   std::uint64_t cluster_space_;
-  std::map<std::uint64_t, Cluster> clusters_;  // oracle index
-  std::unordered_map<NodeAddr, Node> by_addr_;
+  std::vector<Node> slots_;       // slot slab; entries stay put for life
+  std::vector<Slot> free_slots_;
+  std::map<std::uint64_t, Cluster> clusters_;   // oracle index
+  std::unordered_map<NodeAddr, Slot> by_addr_;  // resolved once per change
   std::vector<MembershipObserver*> observers_;
   mutable MaintenanceStats maintenance_;  // mutable: routing is const
 };

@@ -7,12 +7,27 @@
 // ownership changes under churn can re-home exactly the affected entries,
 // and the value's ordinal so range scans need no schema access.
 //
+// Storage is a per-attribute flat vector sorted by ordinal, with an insert
+// buffer merged in lazily: advertising appends, and the first read after a
+// batch of inserts pays one stable sort + in-place merge per touched
+// attribute. Range matches are then a binary search plus a contiguous scan —
+// no per-entry tree-node hops. Both the stable sort and the merge keep equal
+// ordinals in insertion order, so iteration visits entries in exactly the
+// (attr, ordinal, insertion-order) sequence the previous multimap produced.
+// The lazy merge is guarded by an atomic dirty flag + mutex so the
+// concurrent read-only query replay stays race-free (reads in the merged
+// steady state cost one relaxed atomic load).
+//
 // The template parameter is the overlay key type (chord::Key or
 // cycloid::CycloidId).
 #pragma once
 
+#include <algorithm>
+#include <atomic>
 #include <cstddef>
+#include <iterator>
 #include <map>
+#include <mutex>
 #include <utility>
 #include <vector>
 
@@ -40,34 +55,39 @@ class Directory {
     std::uint8_t replica = 0;
   };
 
+  Directory() = default;
+  // The merge guard makes directories address-stable; the store keeps them
+  // in node-keyed maps, which never needs to copy or move one.
+  Directory(const Directory&) = delete;
+  Directory& operator=(const Directory&) = delete;
+
   void Insert(Entry e) {
-    const auto k = std::make_pair(e.info.attr, e.ordinal);
-    entries_.emplace(k, std::move(e));
+    buckets_[e.info.attr].pending.push_back(std::move(e));
+    ++size_;
+    dirty_.store(true, std::memory_order_release);
   }
 
-  std::size_t size() const { return entries_.size(); }
-  bool empty() const { return entries_.empty(); }
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
 
   /// All entries for `attr` whose ordinal lies in [lo, hi].
   template <typename Fn>
   void ForEachMatch(AttrId attr, double lo, double hi, Fn&& fn) const {
-    auto it = entries_.lower_bound(std::make_pair(attr, lo));
-    const auto end = entries_.upper_bound(std::make_pair(attr, hi));
-    for (; it != end; ++it) fn(it->second);
+    MergePending();
+    const auto bit = buckets_.find(attr);
+    if (bit == buckets_.end()) return;
+    const std::vector<Entry>& v = bit->second.sorted;
+    auto it = std::lower_bound(
+        v.begin(), v.end(), lo,
+        [](const Entry& e, double x) { return e.ordinal < x; });
+    for (; it != v.end() && it->ordinal <= hi; ++it) fn(*it);
   }
 
   /// Removes and returns every entry satisfying `pred(entry)`.
   template <typename Pred>
   std::vector<Entry> TakeIf(Pred&& pred) {
     std::vector<Entry> out;
-    for (auto it = entries_.begin(); it != entries_.end();) {
-      if (pred(it->second)) {
-        out.push_back(std::move(it->second));
-        it = entries_.erase(it);
-      } else {
-        ++it;
-      }
-    }
+    EraseIfImpl(pred, &out);
     return out;
   }
 
@@ -75,22 +95,89 @@ class Directory {
     return TakeIf([](const Entry&) { return true; });
   }
 
+  /// In-place variant of TakeIf for call sites that only need the removal
+  /// count (provider withdrawal, soft-state expiry): nothing is moved into
+  /// a result vector.
+  template <typename Pred>
+  std::size_t EraseIf(Pred&& pred) {
+    return EraseIfImpl(pred, nullptr);
+  }
+
   /// Removes all entries advertised by `provider`; returns how many.
   std::size_t EraseProvider(NodeAddr provider) {
-    return TakeIf([provider](const Entry& e) {
-             return e.info.provider == provider;
-           })
-        .size();
+    return EraseIf(
+        [provider](const Entry& e) { return e.info.provider == provider; });
   }
 
   template <typename Fn>
   void ForEach(Fn&& fn) const {
-    for (const auto& [k, e] : entries_) fn(e);
+    MergePending();
+    for (const auto& [attr, b] : buckets_) {
+      for (const Entry& e : b.sorted) fn(e);
+    }
   }
 
  private:
-  // (attr, ordinal) -> entry; multimap: many entries share a value.
-  std::multimap<std::pair<AttrId, double>, Entry> entries_;
+  struct Bucket {
+    std::vector<Entry> sorted;   ///< by (ordinal, insertion order)
+    std::vector<Entry> pending;  ///< inserts since the last merge
+  };
+
+  /// Folds every bucket's insert buffer into its sorted run. Safe to call
+  /// from concurrent readers; in the merged steady state it costs a single
+  /// atomic load.
+  void MergePending() const {
+    if (!dirty_.load(std::memory_order_acquire)) return;
+    std::lock_guard<std::mutex> lock(merge_mu_);
+    if (!dirty_.load(std::memory_order_relaxed)) return;
+    for (auto& [attr, b] : buckets_) {
+      if (b.pending.empty()) continue;
+      const auto by_ordinal = [](const Entry& x, const Entry& y) {
+        return x.ordinal < y.ordinal;
+      };
+      // stable_sort + merging older-before-newer preserves insertion order
+      // among equal ordinals (pending entries all post-date sorted ones).
+      std::stable_sort(b.pending.begin(), b.pending.end(), by_ordinal);
+      const auto mid = static_cast<std::ptrdiff_t>(b.sorted.size());
+      b.sorted.insert(b.sorted.end(),
+                      std::make_move_iterator(b.pending.begin()),
+                      std::make_move_iterator(b.pending.end()));
+      b.pending.clear();
+      std::inplace_merge(b.sorted.begin(), b.sorted.begin() + mid,
+                         b.sorted.end(), by_ordinal);
+    }
+    dirty_.store(false, std::memory_order_release);
+  }
+
+  template <typename Pred>
+  std::size_t EraseIfImpl(Pred& pred, std::vector<Entry>* out) {
+    MergePending();
+    std::size_t removed = 0;
+    for (auto it = buckets_.begin(); it != buckets_.end();) {
+      std::vector<Entry>& v = it->second.sorted;
+      auto dst = v.begin();
+      for (auto src = v.begin(); src != v.end(); ++src) {
+        if (pred(*src)) {
+          if (out != nullptr) out->push_back(std::move(*src));
+          ++removed;
+        } else {
+          if (dst != src) *dst = std::move(*src);
+          ++dst;
+        }
+      }
+      v.erase(dst, v.end());
+      it = v.empty() ? buckets_.erase(it) : std::next(it);
+    }
+    size_ -= removed;
+    return removed;
+  }
+
+  // attr -> bucket; mutable plus the guard pair so the lazy merge can run
+  // under const reads.
+  mutable std::map<AttrId, Bucket> buckets_;
+  mutable std::atomic<bool> dirty_{false};
+  mutable std::mutex merge_mu_;
+  std::size_t size_ = 0;
 };
 
 /// Map from directory node address to its directory, plus the bookkeeping
@@ -124,6 +211,14 @@ class DirectoryStore {
     return it->second.TakeIf(std::forward<Pred>(pred));
   }
 
+  /// Count-only variant of TakeIf(owner, pred).
+  template <typename Pred>
+  std::size_t EraseIf(NodeAddr owner, Pred&& pred) {
+    const auto it = dirs_.find(owner);
+    if (it == dirs_.end()) return 0;
+    return it->second.EraseIf(std::forward<Pred>(pred));
+  }
+
   void Drop(NodeAddr owner) { dirs_.erase(owner); }
 
   std::size_t SizeAt(NodeAddr owner) const {
@@ -147,8 +242,7 @@ class DirectoryStore {
   std::size_t ExpireBefore(std::uint64_t cutoff) {
     std::size_t n = 0;
     for (auto& [addr, d] : dirs_) {
-      n += d.TakeIf([cutoff](const Entry& e) { return e.epoch < cutoff; })
-               .size();
+      n += d.EraseIf([cutoff](const Entry& e) { return e.epoch < cutoff; });
     }
     return n;
   }

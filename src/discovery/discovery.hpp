@@ -15,7 +15,9 @@
 #include <string>
 #include <vector>
 
+#include "chord/chord.hpp"
 #include "common/types.hpp"
+#include "cycloid/cycloid.hpp"
 #include "discovery/stats.hpp"
 #include "resource/query.hpp"
 
@@ -29,6 +31,16 @@ struct QueryResult {
   /// Raw matches of each sub-query, in sub-query order.
   std::vector<std::vector<resource::ResourceInfo>> per_sub;
   QueryStats stats;
+};
+
+/// Caller-owned scratch space for Query(): the overlay lookup results (and
+/// their path buffers) every sub-query routes through. Reusing one scratch
+/// per thread keeps the steady-state lookup path free of heap allocation —
+/// the path vector's capacity survives across queries. Not thread-safe;
+/// give each replay worker its own.
+struct QueryScratch {
+  chord::LookupResult chord;
+  cycloid::LookupResult cycloid;
 };
 
 class DiscoveryService {
@@ -83,8 +95,17 @@ class DiscoveryService {
 
   /// Resolves a multi-attribute (range) query from q.requester, which must
   /// be a member node. Sub-queries are conceptually parallel; stats
-  /// aggregate over all of them.
-  virtual QueryResult Query(const resource::MultiQuery& q) const = 0;
+  /// aggregate over all of them. `scratch` provides the reusable lookup
+  /// buffers; hot replay loops keep one per worker thread.
+  virtual QueryResult Query(const resource::MultiQuery& q,
+                            QueryScratch& scratch) const = 0;
+
+  /// Convenience overload with throwaway scratch (tests, examples, one-off
+  /// queries).
+  QueryResult Query(const resource::MultiQuery& q) const {
+    QueryScratch scratch;
+    return Query(q, scratch);
+  }
 
   // ---- Metrics for the experiment harnesses -------------------------------
 

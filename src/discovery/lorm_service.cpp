@@ -85,7 +85,8 @@ HopCount LormService::Advertise(const resource::ResourceInfo& info) {
   return hops;
 }
 
-QueryResult LormService::Query(const resource::MultiQuery& q) const {
+QueryResult LormService::Query(const resource::MultiQuery& q,
+                               QueryScratch& scratch) const {
   QueryResult result;
   LORM_CHECK_MSG(net_.Contains(q.requester),
                  "requester is not a member of the overlay");
@@ -102,7 +103,8 @@ QueryResult LormService::Query(const resource::MultiQuery& q) const {
                                            CubicalOf(sub.attr)};
 
     std::vector<resource::ResourceInfo> matches;
-    const auto res = net_.Lookup(key_lo, q.requester);
+    cycloid::LookupResult& res = scratch.cycloid;
+    net_.LookupInto(key_lo, q.requester, res);
     result.stats.lookups += 1;
     result.stats.dht_hops += res.hops;
     if (!res.ok) {
@@ -209,7 +211,6 @@ void LormService::OnJoin(NodeAddr node,
 void LormService::OnFail(NodeAddr node) {
   // No handoff: whatever the failed node stored is gone until providers
   // re-advertise in a later epoch.
-  store_.TakeAll(node);
   store_.Drop(node);
 }
 

@@ -83,7 +83,8 @@ HopCount MaanService::Advertise(const resource::ResourceInfo& info) {
   return hops;
 }
 
-QueryResult MaanService::Query(const resource::MultiQuery& q) const {
+QueryResult MaanService::Query(const resource::MultiQuery& q,
+                               QueryScratch& scratch) const {
   QueryResult result;
   LORM_CHECK_MSG(ring_.Contains(q.requester),
                  "requester is not a member of the overlay");
@@ -99,7 +100,8 @@ QueryResult MaanService::Query(const resource::MultiQuery& q) const {
 
     // Lookup 1: the attribute root (resolves the attribute name).
     {
-      const auto res = ring_.Lookup(AttributeKeyFor(sub.attr), q.requester);
+      chord::LookupResult& res = scratch.chord;
+      ring_.LookupInto(AttributeKeyFor(sub.attr), q.requester, res);
       result.stats.lookups += 1;
       result.stats.dht_hops += res.hops;
       result.stats.visited_nodes += res.ok ? 1 : 0;
@@ -110,7 +112,8 @@ QueryResult MaanService::Query(const resource::MultiQuery& q) const {
     // Lookup 2: the value root, then (for ranges) the system-wide value walk.
     const chord::Key key_lo = lph_[sub.attr](lo);
     const chord::Key key_hi = lph_[sub.attr](hi);
-    const auto res = ring_.Lookup(key_lo, q.requester);
+    chord::LookupResult& res = scratch.chord;
+    ring_.LookupInto(key_lo, q.requester, res);
     result.stats.lookups += 1;
     result.stats.dht_hops += res.hops;
     if (!res.ok) {
@@ -189,8 +192,7 @@ void MaanService::OnJoin(NodeAddr node, NodeAddr successor) {
 }
 
 void MaanService::OnFail(NodeAddr node) {
-  store_.TakeAll(node);
-  store_.Drop(node);
+  store_.Drop(node);  // nothing survives; no need to materialize the entries
 }
 
 void MaanService::OnLeave(NodeAddr node, NodeAddr successor) {

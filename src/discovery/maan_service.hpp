@@ -70,7 +70,9 @@ class MaanService final : public DiscoveryService,
   }
 
   HopCount Advertise(const resource::ResourceInfo& info) override;
-  QueryResult Query(const resource::MultiQuery& q) const override;
+  QueryResult Query(const resource::MultiQuery& q,
+                    QueryScratch& scratch) const override;
+  using DiscoveryService::Query;
 
   std::vector<double> DirectorySizes() const override;
   std::vector<double> QueryLoadCounts() const override;

@@ -110,7 +110,8 @@ HopCount MercuryService::Advertise(const resource::ResourceInfo& info) {
   return hops;
 }
 
-QueryResult MercuryService::Query(const resource::MultiQuery& q) const {
+QueryResult MercuryService::Query(const resource::MultiQuery& q,
+                                  QueryScratch& scratch) const {
   QueryResult result;
   for (const auto& sub : q.subs) {
     const HopCount cost_before =
@@ -125,7 +126,8 @@ QueryResult MercuryService::Query(const resource::MultiQuery& q) const {
     const chord::Key key_hi = lph_[sub.attr](hi);
 
     std::vector<resource::ResourceInfo> matches;
-    const auto res = ring.Lookup(key_lo, q.requester);
+    chord::LookupResult& res = scratch.chord;
+    ring.LookupInto(key_lo, q.requester, res);
     result.stats.lookups += 1;
     result.stats.dht_hops += res.hops;
     if (!res.ok) {
@@ -197,7 +199,6 @@ std::size_t MercuryService::WithdrawProvider(NodeAddr provider) {
 
 void MercuryService::HubObserver::OnFail(NodeAddr node) {
   // Fired once per hub; dropping the directory is idempotent.
-  svc_->store_.TakeAll(node);
   svc_->store_.Drop(node);
 }
 

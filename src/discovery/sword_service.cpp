@@ -63,7 +63,8 @@ HopCount SwordService::Advertise(const resource::ResourceInfo& info) {
   return hops;
 }
 
-QueryResult SwordService::Query(const resource::MultiQuery& q) const {
+QueryResult SwordService::Query(const resource::MultiQuery& q,
+                                QueryScratch& scratch) const {
   QueryResult result;
   LORM_CHECK_MSG(ring_.Contains(q.requester),
                  "requester is not a member of the overlay");
@@ -76,7 +77,8 @@ QueryResult SwordService::Query(const resource::MultiQuery& q) const {
     const double hi = schema.OrdinalOf(sub.range.hi);
 
     std::vector<resource::ResourceInfo> matches;
-    const auto res = ring_.Lookup(KeyFor(sub.attr), q.requester);
+    chord::LookupResult& res = scratch.chord;
+    ring_.LookupInto(KeyFor(sub.attr), q.requester, res);
     result.stats.lookups += 1;
     result.stats.dht_hops += res.hops;
     if (!res.ok) {
@@ -152,8 +154,7 @@ void SwordService::OnJoin(NodeAddr node, NodeAddr successor) {
 }
 
 void SwordService::OnFail(NodeAddr node) {
-  store_.TakeAll(node);
-  store_.Drop(node);
+  store_.Drop(node);  // nothing survives; no need to materialize the entries
 }
 
 void SwordService::OnLeave(NodeAddr node, NodeAddr successor) {

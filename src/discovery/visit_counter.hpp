@@ -11,7 +11,7 @@
 
 #include <cstdint>
 #include <mutex>
-#include <unordered_map>
+#include <vector>
 
 #include "common/types.hpp"
 
@@ -22,21 +22,23 @@ class VisitCounter {
   /// One node absorbed one query visit (root or range-walk probe).
   void Record(NodeAddr addr) {
     Shard& s = ShardFor(addr);
+    const std::size_t idx = addr / kShards;
     std::lock_guard<std::mutex> lk(s.mu);
-    ++s.counts[addr];
+    if (idx >= s.counts.size()) s.counts.resize(idx + 1, 0);
+    ++s.counts[idx];
   }
 
   std::uint64_t CountOf(NodeAddr addr) const {
     const Shard& s = ShardFor(addr);
+    const std::size_t idx = addr / kShards;
     std::lock_guard<std::mutex> lk(s.mu);
-    const auto it = s.counts.find(addr);
-    return it == s.counts.end() ? 0 : it->second;
+    return idx < s.counts.size() ? s.counts[idx] : 0;
   }
 
   void Clear() {
     for (Shard& s : shards_) {
       std::lock_guard<std::mutex> lk(s.mu);
-      s.counts.clear();
+      s.counts.assign(s.counts.size(), 0);  // keep capacity for the rerun
     }
   }
 
@@ -45,7 +47,10 @@ class VisitCounter {
 
   struct Shard {
     mutable std::mutex mu;
-    std::unordered_map<NodeAddr, std::uint64_t> counts;
+    // Flat per-shard slots: addresses are dense (0..n-1 plus churn joins),
+    // so addr / kShards indexes the shard's vector directly — recording a
+    // visit is one array bump under the shard lock, no hashing.
+    std::vector<std::uint64_t> counts;
   };
 
   Shard& ShardFor(NodeAddr addr) { return shards_[addr % kShards]; }

@@ -56,6 +56,7 @@ ChurnResult RunChurn(discovery::DiscoveryService& service,
   };
 
   // --- Query events. -------------------------------------------------------
+  discovery::QueryScratch query_scratch;
   std::function<void(sim::EventQueue&)> on_query = [&](sim::EventQueue& q) {
     if (result.queries >= cfg.total_queries) return;
     const auto nodes = service.Nodes();
@@ -65,7 +66,9 @@ ChurnResult RunChurn(discovery::DiscoveryService& service,
                                             cfg.style, query_rng)
                   : workload.MakePointQuery(cfg.attrs_per_query, requester,
                                             query_rng);
-    const auto res = service.Query(mq);
+    // Query events run single-threaded off the event queue; one scratch
+    // reused across the whole experiment keeps lookups allocation-free.
+    const auto res = service.Query(mq, query_scratch);
     ++result.queries;
     if (res.stats.failed) ++result.failures;
     result.avg_hops += res.stats.dht_hops;        // accumulate; divide later

@@ -81,7 +81,10 @@ QueryExperimentResult RunQueries(const discovery::DiscoveryService& service,
                                             cfg.style, trial_rng)
                   : workload.MakePointQuery(cfg.attrs_per_query, requester,
                                             trial_rng);
-    const auto res = service.Query(q);
+    // One scratch per worker: lookup path buffers are reused across all the
+    // trials a thread executes, keeping the routing loop allocation-free.
+    thread_local discovery::QueryScratch scratch;
+    const auto res = service.Query(q, scratch);
     Trial& slot = out[t];
     slot.failed = res.stats.failed;
     slot.hops = res.stats.dht_hops;
@@ -150,7 +153,8 @@ LatencyMeasurement MeasureQueryLatency(
                                             cfg.style, trial_rng)
                   : workload.MakePointQuery(cfg.attrs_per_query, requester,
                                             trial_rng);
-    const auto res = service.Query(q);
+    thread_local discovery::QueryScratch scratch;
+    const auto res = service.Query(q, scratch);
     samples[t] = EstimateQueryLatency(res.stats, model, lat_rng);
   });
 

@@ -45,6 +45,16 @@ Setup Setup::Small() {
   return s;
 }
 
+Setup Setup::Quick() {
+  Setup s;
+  s.nodes = 384;
+  s.dimension = 6;
+  s.chord_bits = 9;
+  s.attributes = 40;
+  s.infos_per_attribute = 100;
+  return s;
+}
+
 Setup Setup::WithNodes(std::size_t n) const {
   Setup s = *this;
   s.nodes = n;

@@ -40,6 +40,11 @@ struct Setup {
   /// The paper's exact §V setup.
   static Setup Paper() { return Setup{}; }
 
+  /// The proportionally reduced configuration every fig* bench uses for
+  /// --quick smoke runs. Shared with the golden-output regression test so
+  /// the committed golden hashes pin exactly what the benches emit.
+  static Setup Quick();
+
   /// A smaller configuration with the same proportions, for unit and
   /// integration tests (fast to build) and for the churn experiments where
   /// Mercury would otherwise dominate runtime.

@@ -1,0 +1,110 @@
+// Golden-output regression tests for the figure benches.
+//
+// Every figure table is a deterministic function of the seeded workload and
+// the overlays' routing behaviour: PR 1 made the query replay bit-identical
+// for any --jobs value, and this file turns that property into a regression
+// oracle. It replays the exact fig4a-quick and fig5a-quick sweeps
+// (harness::Setup::Quick, the same seeds and query counts the benches use)
+// and compares a SHA-1 of the measured series against a committed golden
+// value. A data-layout or routing change that silently alters a single hop
+// count fails here in tier-1 instead of corrupting the emitted figures.
+//
+// When a change *intentionally* alters routing behaviour, update the golden
+// constants from the canonical serialization this test prints on mismatch
+// (and say so in the PR — the figures change with it).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/sha1.hpp"
+#include "harness/experiments.hpp"
+#include "harness/setup.hpp"
+#include "resource/workload.hpp"
+
+namespace lorm {
+namespace {
+
+// Committed golden hashes of the quick-mode sweeps (jobs-independent).
+constexpr const char* kGoldenFig4a = "628a342e8eb1983fb99819cdcc65e57cde6401f9";
+constexpr const char* kGoldenFig5a = "51f7334b86b3587d731fbd0988b41d26a4d9a7c7";
+
+std::unique_ptr<discovery::DiscoveryService> BuildPopulated(
+    harness::SystemKind kind, const harness::Setup& setup,
+    const resource::Workload& workload) {
+  auto service = harness::MakeService(kind, setup, workload.registry());
+  std::vector<NodeAddr> providers;
+  for (std::size_t i = 0; i < setup.nodes; ++i) {
+    providers.push_back(static_cast<NodeAddr>(i));
+  }
+  Rng rng(setup.seed ^ 0xBEEF);
+  harness::AdvertiseAll(*service, workload.GenerateInfos(providers, rng));
+  return service;
+}
+
+/// Replays one quick-mode sweep (the RunQuerySweep configuration of
+/// bench/fig45_common.hpp) and serializes the exact integer measurements —
+/// the quantities every printed table cell is derived from.
+std::string SweepSerialization(const std::vector<harness::SystemKind>& kinds,
+                               bool range, std::size_t jobs) {
+  const harness::Setup setup = harness::Setup::Quick();
+  const resource::Workload workload(setup.MakeWorkloadConfig());
+  const std::vector<std::size_t> attr_counts{1, 3, 5};
+
+  std::ostringstream out;
+  for (const auto kind : kinds) {
+    const auto service = BuildPopulated(kind, setup, workload);
+    for (const std::size_t attrs : attr_counts) {
+      harness::QueryExperimentConfig cfg;
+      cfg.requesters = 20;  // the benches' quick-mode 20 x 10 replay
+      cfg.queries_per_requester = 10;
+      cfg.attrs_per_query = attrs;
+      cfg.range = range;
+      cfg.style = resource::RangeStyle::kBounded;
+      cfg.seed = 0xF16u + attrs;  // same queries for every system
+      cfg.jobs = jobs;
+      const auto r = harness::RunQueries(*service, workload, cfg);
+      out << harness::SystemName(kind) << ",attrs=" << attrs
+          << ",queries=" << r.queries << ",failures=" << r.failures
+          << ",hops=" << static_cast<std::uint64_t>(r.total_hops)
+          << ",visited=" << static_cast<std::uint64_t>(r.total_visited)
+          << "\n";
+    }
+  }
+  return out.str();
+}
+
+void ExpectGolden(const char* golden, const std::string& serialization) {
+  const std::string hash = Sha1::ToHex(Sha1::Hash(serialization));
+  EXPECT_EQ(hash, golden)
+      << "measured series diverged from the committed golden table.\n"
+      << "If the change is intentional, update the constant to " << hash
+      << "\nCanonical serialization:\n"
+      << serialization;
+}
+
+TEST(GoldenTables, Fig4aQuickSweepMatchesCommittedHash) {
+  ExpectGolden(kGoldenFig4a,
+               SweepSerialization(harness::AllSystems(), /*range=*/false,
+                                  /*jobs=*/1));
+}
+
+TEST(GoldenTables, Fig5aQuickSweepMatchesCommittedHash) {
+  ExpectGolden(kGoldenFig5a,
+               SweepSerialization(
+                   {harness::SystemKind::kMaan, harness::SystemKind::kMercury},
+                   /*range=*/true, /*jobs=*/1));
+}
+
+// The golden hash must not depend on the worker count — the determinism
+// property PR 1 established, re-checked here where it guards the goldens.
+TEST(GoldenTables, Fig4aSweepIsJobsIndependent) {
+  EXPECT_EQ(SweepSerialization({harness::SystemKind::kLorm}, false, 1),
+            SweepSerialization({harness::SystemKind::kLorm}, false, 2));
+}
+
+}  // namespace
+}  // namespace lorm
