@@ -10,6 +10,7 @@
 #include <chrono>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <memory>
 #include <sstream>
@@ -21,6 +22,8 @@
 #include "harness/experiments.hpp"
 #include "harness/setup.hpp"
 #include "harness/table.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace lorm::bench {
 
@@ -29,8 +32,24 @@ struct BenchOptions {
   bool csv = false;     ///< machine-readable table rows
   bool json = false;    ///< emit a machine-readable summary line at exit
   std::size_t jobs = 1; ///< worker threads (--jobs; default hw concurrency)
+  bool metrics = false;          ///< record + emit the metrics registry
+  std::string metrics_file;      ///< --metrics=<file>: write JSON there
+  std::string trace_file;        ///< --trace=<file>: per-query JSON lines
   std::chrono::steady_clock::time_point start;  ///< bench wall-clock origin
 };
+
+namespace detail {
+/// The trace sink (and its stream) installed by ParseOptions; function-local
+/// statics so every bench binary gets them without a bench .cpp to link.
+inline std::ofstream& TraceStream() {
+  static std::ofstream stream;
+  return stream;
+}
+inline std::unique_ptr<obs::JsonLinesTraceSink>& TraceSinkSlot() {
+  static std::unique_ptr<obs::JsonLinesTraceSink> sink;
+  return sink;
+}
+}  // namespace detail
 
 inline BenchOptions ParseOptions(int argc, char** argv) {
   BenchOptions opt;
@@ -39,6 +58,12 @@ inline BenchOptions ParseOptions(int argc, char** argv) {
     if (std::strcmp(argv[i], "--quick") == 0) opt.quick = true;
     if (std::strcmp(argv[i], "--csv") == 0) opt.csv = true;
     if (std::strcmp(argv[i], "--json") == 0) opt.json = true;
+    if (std::strcmp(argv[i], "--metrics") == 0) opt.metrics = true;
+    if (std::strncmp(argv[i], "--metrics=", 10) == 0) {
+      opt.metrics = true;
+      opt.metrics_file = argv[i] + 10;
+    }
+    if (std::strncmp(argv[i], "--trace=", 8) == 0) opt.trace_file = argv[i] + 8;
     if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
       opt.jobs = ResolveJobs(
           static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10)));
@@ -48,6 +73,17 @@ inline BenchOptions ParseOptions(int argc, char** argv) {
     }
   }
   harness::TablePrinter::SetCsvMode(opt.csv);
+  if (opt.metrics) obs::SetMetricsEnabled(true);
+  if (!opt.trace_file.empty()) {
+    detail::TraceStream().open(opt.trace_file);
+    if (!detail::TraceStream()) {
+      std::cerr << "cannot open trace file: " << opt.trace_file << "\n";
+      std::exit(2);
+    }
+    detail::TraceSinkSlot() =
+        std::make_unique<obs::JsonLinesTraceSink>(detail::TraceStream());
+    obs::SetGlobalTraceSink(detail::TraceSinkSlot().get());
+  }
   opt.start = std::chrono::steady_clock::now();
   return opt;
 }
@@ -81,6 +117,27 @@ inline void FinishBench(const BenchOptions& opt, const std::string& name,
               << ",\"queries\":" << queries
               << ",\"wall_ms\":" << harness::TablePrinter::Num(wall_ms, 3)
               << ",\"qps\":" << harness::TablePrinter::Num(qps, 3) << "}\n";
+  }
+  if (opt.metrics) {
+    if (opt.metrics_file.empty()) {
+      std::cout << "metrics: ";
+      obs::Registry::Global().WriteJson(std::cout);
+      std::cout << "\n";
+    } else {
+      std::ofstream mf(opt.metrics_file);
+      if (!mf) {
+        std::cerr << "cannot open metrics file: " << opt.metrics_file << "\n";
+        std::exit(2);
+      }
+      obs::Registry::Global().WriteJson(mf);
+      mf << "\n";
+    }
+  }
+  if (obs::GetGlobalTraceSink() == detail::TraceSinkSlot().get() &&
+      detail::TraceSinkSlot() != nullptr) {
+    obs::SetGlobalTraceSink(nullptr);
+    detail::TraceSinkSlot().reset();
+    detail::TraceStream().close();
   }
 }
 

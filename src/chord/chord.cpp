@@ -6,6 +6,8 @@
 #include "common/error.hpp"
 #include "common/hashing.hpp"
 #include "common/random.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace lorm::chord {
 
@@ -446,7 +448,43 @@ LookupResult ChordRing::Lookup(Key key, NodeAddr origin) const {
   return r;
 }
 
+namespace {
+
+/// Reports the finished lookup to the observability layer on every exit
+/// path. Costs one flag load + one thread-local null check when obs is off;
+/// records nothing else, so routing behavior and results are untouched.
+struct LookupRecorder {
+  const LookupResult& r;
+  const std::uint64_t& dead_counter;
+  const std::uint64_t dead_before;
+
+  LookupRecorder(const LookupResult& res, const std::uint64_t& dead)
+      : r(res), dead_counter(dead), dead_before(dead) {}
+
+  ~LookupRecorder() {
+    const std::uint64_t dead_delta = dead_counter - dead_before;
+    if (obs::MetricsEnabled()) {
+      static obs::Histogram& hops = obs::Registry::Global().GetHistogram(
+          "chord.lookup.hops", obs::Histogram::LinearBounds(0.0, 1.0, 32));
+      static obs::Counter& lookups =
+          obs::Registry::Global().GetCounter("chord.lookups");
+      static obs::Counter& failures =
+          obs::Registry::Global().GetCounter("chord.lookup.failures");
+      static obs::Counter& dead_skips = obs::Registry::Global().GetCounter(
+          "chord.lookup.dead_links_skipped");
+      lookups.AddUnchecked(1);
+      hops.RecordUnchecked(static_cast<double>(r.hops));
+      if (!r.ok) failures.AddUnchecked(1);
+      if (dead_delta != 0) dead_skips.AddUnchecked(dead_delta);
+    }
+    obs::OnLookup(r.path, r.hops, r.ok, dead_delta);
+  }
+};
+
+}  // namespace
+
 void ChordRing::LookupInto(Key key, NodeAddr origin, LookupResult& r) const {
+  const LookupRecorder recorder(r, maintenance_.dead_links_skipped);
   r.ok = false;
   r.key = key & (space_ - 1);
   r.owner = kNoNode;

@@ -4,6 +4,8 @@
 
 #include "common/error.hpp"
 #include "common/hashing.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace lorm::cycloid {
 namespace {
@@ -486,8 +488,44 @@ LookupResult CycloidNetwork::Lookup(CycloidId key, NodeAddr origin) const {
   return r;
 }
 
+namespace {
+
+/// Reports the finished lookup to the observability layer on every exit
+/// path. Costs one flag load + one thread-local null check when obs is off;
+/// records nothing else, so routing behavior and results are untouched.
+struct LookupRecorder {
+  const LookupResult& r;
+  const std::uint64_t& dead_counter;
+  const std::uint64_t dead_before;
+
+  LookupRecorder(const LookupResult& res, const std::uint64_t& dead)
+      : r(res), dead_counter(dead), dead_before(dead) {}
+
+  ~LookupRecorder() {
+    const std::uint64_t dead_delta = dead_counter - dead_before;
+    if (obs::MetricsEnabled()) {
+      static obs::Histogram& hops = obs::Registry::Global().GetHistogram(
+          "cycloid.lookup.hops", obs::Histogram::LinearBounds(0.0, 1.0, 32));
+      static obs::Counter& lookups =
+          obs::Registry::Global().GetCounter("cycloid.lookups");
+      static obs::Counter& failures =
+          obs::Registry::Global().GetCounter("cycloid.lookup.failures");
+      static obs::Counter& dead_skips = obs::Registry::Global().GetCounter(
+          "cycloid.lookup.dead_links_skipped");
+      lookups.AddUnchecked(1);
+      hops.RecordUnchecked(static_cast<double>(r.hops));
+      if (!r.ok) failures.AddUnchecked(1);
+      if (dead_delta != 0) dead_skips.AddUnchecked(dead_delta);
+    }
+    obs::OnLookup(r.path, r.hops, r.ok, dead_delta);
+  }
+};
+
+}  // namespace
+
 void CycloidNetwork::LookupInto(CycloidId key, NodeAddr origin,
                                 LookupResult& r) const {
+  const LookupRecorder recorder(r, maintenance_.dead_links_skipped);
   r.ok = false;
   r.key = CycloidId{key.k % cfg_.dimension, key.a % cluster_space_};
   r.owner = kNoNode;

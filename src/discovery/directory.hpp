@@ -63,12 +63,12 @@ class Directory {
 
   void Insert(Entry e) {
     buckets_[e.info.attr].pending.push_back(std::move(e));
-    ++size_;
+    size_.fetch_add(1, std::memory_order_relaxed);
     dirty_.store(true, std::memory_order_release);
   }
 
-  std::size_t size() const { return size_; }
-  bool empty() const { return size_ == 0; }
+  std::size_t size() const { return size_.load(std::memory_order_relaxed); }
+  bool empty() const { return size() == 0; }
 
   /// All entries for `attr` whose ordinal lies in [lo, hi].
   template <typename Fn>
@@ -168,7 +168,7 @@ class Directory {
       v.erase(dst, v.end());
       it = v.empty() ? buckets_.erase(it) : std::next(it);
     }
-    size_ -= removed;
+    size_.fetch_sub(removed, std::memory_order_relaxed);
     return removed;
   }
 
@@ -177,7 +177,11 @@ class Directory {
   mutable std::map<AttrId, Bucket> buckets_;
   mutable std::atomic<bool> dirty_{false};
   mutable std::mutex merge_mu_;
-  std::size_t size_ = 0;
+  /// Relaxed atomic: size()/TotalEntries() are read by parallel replay
+  /// workers while another worker's first read after an insert batch runs
+  /// MergePending; the count itself only changes under the single-writer
+  /// phases, but the read must still be well-defined.
+  std::atomic<std::size_t> size_{0};
 };
 
 /// Map from directory node address to its directory, plus the bookkeeping

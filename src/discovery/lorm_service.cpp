@@ -4,6 +4,8 @@
 
 #include "common/error.hpp"
 #include "discovery/join.hpp"
+#include "discovery/query_obs.hpp"
+#include "obs/trace.hpp"
 
 namespace lorm::discovery {
 
@@ -82,6 +84,8 @@ HopCount LormService::Advertise(const resource::ResourceInfo& info) {
     e.replica = static_cast<std::uint8_t>(copy);
     store_.Insert(target, std::move(e));
   }
+  static AdvertiseInstruments advertise_obs("LORM");
+  advertise_obs.Record(hops);
   return hops;
 }
 
@@ -92,6 +96,7 @@ QueryResult LormService::Query(const resource::MultiQuery& q,
                  "requester is not a member of the overlay");
 
   for (const auto& sub : q.subs) {
+    const obs::SubQueryScope sub_trace(sub.attr);
     const HopCount cost_before =
         result.stats.dht_hops + static_cast<HopCount>(result.stats.walk_steps);
     const auto& schema = registry_.Get(sub.attr);
@@ -128,11 +133,15 @@ QueryResult LormService::Query(const resource::MultiQuery& q,
     for (std::size_t steps = 0;; ++steps) {
       result.stats.visited_nodes += 1;
       visit_counts_.Record(cur);
-      if (const auto* dir = store_.Find(cur)) {
+      const std::size_t matches_before = matches.size();
+      const auto* dir = store_.Find(cur);
+      if (dir != nullptr) {
         dir->ForEachMatch(sub.attr, lo, hi, [&](const Store::Entry& e) {
           matches.push_back(e.info);
         });
       }
+      obs::OnDirectoryProbe(cur, matches.size() - matches_before,
+                            dir != nullptr ? dir->size() : 0);
       if ((net_.IdOf(cur).k + d - key_lo.k) % d >= target) break;
       const NodeAddr next = net_.InsideSuccessor(cur);
       if (next == res.owner) break;  // full circle around the cluster
@@ -160,6 +169,8 @@ QueryResult LormService::Query(const resource::MultiQuery& q,
       std::remove_if(result.providers.begin(), result.providers.end(),
                      [&](NodeAddr p) { return !net_.Contains(p); }),
       result.providers.end());
+  static QueryInstruments query_obs("LORM");
+  query_obs.Record(result.stats);
   return result;
 }
 

@@ -4,7 +4,9 @@
 
 #include "common/error.hpp"
 #include "discovery/join.hpp"
+#include "discovery/query_obs.hpp"
 #include "discovery/ring_walk.hpp"
+#include "obs/trace.hpp"
 
 namespace lorm::discovery {
 
@@ -80,6 +82,8 @@ HopCount MaanService::Advertise(const resource::ResourceInfo& info) {
         "MAAN attribute-record insert failed to route");
   place(ValueKeyFor(info.attr, info.value), kValueRecord,
         "MAAN value-record insert failed to route");
+  static AdvertiseInstruments advertise_obs("MAAN");
+  advertise_obs.Record(hops);
   return hops;
 }
 
@@ -90,6 +94,7 @@ QueryResult MaanService::Query(const resource::MultiQuery& q,
                  "requester is not a member of the overlay");
 
   for (const auto& sub : q.subs) {
+    const obs::SubQueryScope sub_trace(sub.attr);
     const HopCount cost_before =
         result.stats.dht_hops + static_cast<HopCount>(result.stats.walk_steps);
     const auto& schema = registry_.Get(sub.attr);
@@ -105,7 +110,14 @@ QueryResult MaanService::Query(const resource::MultiQuery& q,
       result.stats.lookups += 1;
       result.stats.dht_hops += res.hops;
       result.stats.visited_nodes += res.ok ? 1 : 0;
-      if (res.ok) visit_counts_.Record(res.owner);
+      if (res.ok) {
+        visit_counts_.Record(res.owner);
+        // The attribute root is checked but yields no value matches; the
+        // probe is recorded so a trace's probe count equals visited_nodes.
+        const auto* dir = store_.Find(res.owner);
+        obs::OnDirectoryProbe(res.owner, 0,
+                              dir != nullptr ? dir->size() : 0);
+      }
       if (!res.ok) result.stats.failed = true;
     }
 
@@ -127,7 +139,9 @@ QueryResult MaanService::Query(const resource::MultiQuery& q,
     WalkSuccessors(ring_, res.owner, key_lo, key_hi, result.stats,
                    [&](NodeAddr cur) {
                      visit_counts_.Record(cur);
-                     if (const auto* dir = store_.Find(cur)) {
+                     const std::size_t matches_before = matches.size();
+                     const auto* dir = store_.Find(cur);
+                     if (dir != nullptr) {
                        dir->ForEachMatch(sub.attr, lo, hi,
                                          [&](const Store::Entry& e) {
                                            if (e.tag == kValueRecord) {
@@ -135,6 +149,9 @@ QueryResult MaanService::Query(const resource::MultiQuery& q,
                                            }
                                          });
                      }
+                     obs::OnDirectoryProbe(
+                         cur, matches.size() - matches_before,
+                         dir != nullptr ? dir->size() : 0);
                    });
     DedupMatches(matches);  // replicas may repeat tuples along the walk
     result.per_sub.push_back(std::move(matches));
@@ -148,6 +165,8 @@ QueryResult MaanService::Query(const resource::MultiQuery& q,
       std::remove_if(result.providers.begin(), result.providers.end(),
                      [&](NodeAddr p) { return !ring_.Contains(p); }),
       result.providers.end());
+  static QueryInstruments query_obs("MAAN");
+  query_obs.Record(result.stats);
   return result;
 }
 

@@ -4,7 +4,9 @@
 
 #include "common/error.hpp"
 #include "discovery/join.hpp"
+#include "discovery/query_obs.hpp"
 #include "discovery/ring_walk.hpp"
+#include "obs/trace.hpp"
 
 namespace lorm::discovery {
 
@@ -107,6 +109,8 @@ HopCount MercuryService::Advertise(const resource::ResourceInfo& info) {
     e.replica = static_cast<std::uint8_t>(copy);
     store_.Insert(target, std::move(e));
   }
+  static AdvertiseInstruments advertise_obs("Mercury");
+  advertise_obs.Record(hops);
   return hops;
 }
 
@@ -114,6 +118,7 @@ QueryResult MercuryService::Query(const resource::MultiQuery& q,
                                   QueryScratch& scratch) const {
   QueryResult result;
   for (const auto& sub : q.subs) {
+    const obs::SubQueryScope sub_trace(sub.attr);
     const HopCount cost_before =
         result.stats.dht_hops + static_cast<HopCount>(result.stats.walk_steps);
     const auto& ring = hub(sub.attr);
@@ -141,12 +146,17 @@ QueryResult MercuryService::Query(const resource::MultiQuery& q,
     WalkSuccessors(ring, res.owner, key_lo, key_hi, result.stats,
                    [&](NodeAddr cur) {
                      visit_counts_.Record(cur);
-                     if (const auto* dir = store_.Find(cur)) {
+                     const std::size_t matches_before = matches.size();
+                     const auto* dir = store_.Find(cur);
+                     if (dir != nullptr) {
                        dir->ForEachMatch(sub.attr, lo, hi,
                                          [&](const Store::Entry& e) {
                                            matches.push_back(e.info);
                                          });
                      }
+                     obs::OnDirectoryProbe(
+                         cur, matches.size() - matches_before,
+                         dir != nullptr ? dir->size() : 0);
                    });
     DedupMatches(matches);  // replicas may repeat tuples along the walk
     result.per_sub.push_back(std::move(matches));
@@ -160,6 +170,8 @@ QueryResult MercuryService::Query(const resource::MultiQuery& q,
       std::remove_if(result.providers.begin(), result.providers.end(),
                      [&](NodeAddr p) { return !HasNode(p); }),
       result.providers.end());
+  static QueryInstruments query_obs("Mercury");
+  query_obs.Record(result.stats);
   return result;
 }
 

@@ -19,6 +19,7 @@
 #include "chord/chord.hpp"
 #include "common/error.hpp"
 #include "discovery/stats.hpp"
+#include "obs/metrics.hpp"
 
 namespace lorm::discovery {
 
@@ -35,6 +36,7 @@ void WalkSuccessors(const chord::ChordRing& ring, NodeAddr root,
   const std::uint64_t target = (key_hi - key_lo) & mask;
   NodeAddr cur = root;
   const std::size_t guard = ring.size() + 2;
+  std::size_t forwards = 0;
   for (std::size_t steps = 0;; ++steps) {
     stats.visited_nodes += 1;
     visit(cur);
@@ -45,6 +47,14 @@ void WalkSuccessors(const chord::ChordRing& ring, NodeAddr root,
     LORM_CHECK_MSG(steps < guard, "ring walk failed to terminate");
     cur = next;
     stats.walk_steps += 1;
+    ++forwards;
+  }
+  if (obs::MetricsEnabled()) {
+    // Interned by name, so every template instantiation shares one
+    // histogram.
+    static obs::Histogram& walk_h = obs::Registry::Global().GetHistogram(
+        "ring_walk.steps", obs::Histogram::LinearBounds(0.0, 1.0, 64));
+    walk_h.RecordUnchecked(static_cast<double>(forwards));
   }
 }
 

@@ -4,6 +4,8 @@
 
 #include "common/error.hpp"
 #include "discovery/join.hpp"
+#include "discovery/query_obs.hpp"
+#include "obs/trace.hpp"
 
 namespace lorm::discovery {
 
@@ -60,6 +62,8 @@ HopCount SwordService::Advertise(const resource::ResourceInfo& info) {
     e.replica = static_cast<std::uint8_t>(copy);
     store_.Insert(target, std::move(e));
   }
+  static AdvertiseInstruments advertise_obs("SWORD");
+  advertise_obs.Record(hops);
   return hops;
 }
 
@@ -70,6 +74,7 @@ QueryResult SwordService::Query(const resource::MultiQuery& q,
                  "requester is not a member of the overlay");
 
   for (const auto& sub : q.subs) {
+    const obs::SubQueryScope sub_trace(sub.attr);
     const HopCount cost_before =
         result.stats.dht_hops + static_cast<HopCount>(result.stats.walk_steps);
     const auto& schema = registry_.Get(sub.attr);
@@ -93,11 +98,14 @@ QueryResult SwordService::Query(const resource::MultiQuery& q,
     // locally, no forwarding (Theorem 4.9's m visited nodes per query).
     result.stats.visited_nodes += 1;
     visit_counts_.Record(res.owner);
-    if (const auto* dir = store_.Find(res.owner)) {
+    const auto* dir = store_.Find(res.owner);
+    if (dir != nullptr) {
       dir->ForEachMatch(sub.attr, lo, hi, [&](const Store::Entry& e) {
         matches.push_back(e.info);
       });
     }
+    obs::OnDirectoryProbe(res.owner, matches.size(),
+                          dir != nullptr ? dir->size() : 0);
     DedupMatches(matches);  // a replica can share the root after churn
     result.per_sub.push_back(std::move(matches));
     result.stats.sub_costs.push_back(
@@ -110,6 +118,8 @@ QueryResult SwordService::Query(const resource::MultiQuery& q,
       std::remove_if(result.providers.begin(), result.providers.end(),
                      [&](NodeAddr p) { return !ring_.Contains(p); }),
       result.providers.end());
+  static QueryInstruments query_obs("SWORD");
+  query_obs.Record(result.stats);
   return result;
 }
 

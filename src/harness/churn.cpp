@@ -3,6 +3,8 @@
 #include <functional>
 
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/poisson.hpp"
 
@@ -57,6 +59,7 @@ ChurnResult RunChurn(discovery::DiscoveryService& service,
 
   // --- Query events. -------------------------------------------------------
   discovery::QueryScratch query_scratch;
+  SimTime last_query_time = 0.0;
   std::function<void(sim::EventQueue&)> on_query = [&](sim::EventQueue& q) {
     if (result.queries >= cfg.total_queries) return;
     const auto nodes = service.Nodes();
@@ -68,11 +71,29 @@ ChurnResult RunChurn(discovery::DiscoveryService& service,
                                             query_rng);
     // Query events run single-threaded off the event queue; one scratch
     // reused across the whole experiment keeps lookups allocation-free.
+    obs::QueryTraceScope trace(service.name());
     const auto res = service.Query(mq, query_scratch);
     ++result.queries;
-    if (res.stats.failed) ++result.failures;
-    result.avg_hops += res.stats.dht_hops;        // accumulate; divide later
-    result.avg_visited += res.stats.visited_nodes;
+    last_query_time = q.now();
+    if (res.stats.failed) {
+      // A failed query's hop/visit counts are truncated at the routing
+      // failure; folding them into the Fig. 6 averages would bias them
+      // downward. Keep them in a separate bin.
+      ++result.failures;
+      result.failed_hops += res.stats.dht_hops;
+      result.failed_visited += res.stats.visited_nodes;
+    } else {
+      result.avg_hops += res.stats.dht_hops;      // accumulate; divide later
+      result.avg_visited += res.stats.visited_nodes;
+    }
+    if (obs::MetricsEnabled()) {
+      static obs::Histogram& hops_h = obs::Registry::Global().GetHistogram(
+          "churn.query.hops", obs::Histogram::LinearBounds(0.0, 1.0, 64));
+      static obs::Histogram& visited_h = obs::Registry::Global().GetHistogram(
+          "churn.query.visited", obs::Histogram::LinearBounds(0.0, 1.0, 64));
+      hops_h.RecordUnchecked(static_cast<double>(res.stats.dht_hops));
+      visited_h.RecordUnchecked(static_cast<double>(res.stats.visited_nodes));
+    }
     if (result.queries < cfg.total_queries) {
       q.ScheduleAt(queries.NextArrival(), on_query);
     }
@@ -94,16 +115,19 @@ ChurnResult RunChurn(discovery::DiscoveryService& service,
     queue.ScheduleAfter(cfg.maintain_interval, on_maintain);
   }
 
-  // Run until the query budget is spent; churn events beyond the last query
-  // are irrelevant to the measurement.
-  while (result.queries < cfg.total_queries && !queue.empty()) {
-    queue.RunUntil(queue.now() + 60.0);
+  // Run event-by-event until the query budget is spent. The measurement
+  // window ends at the last query: running in fixed windows here used to
+  // execute up to 60 s of trailing joins/departures/maintenance, inflating
+  // the event counts and the per-second normalization derived from
+  // sim_duration.
+  while (result.queries < cfg.total_queries && queue.RunOne()) {
   }
-  result.sim_duration = queue.now();
+  result.sim_duration = last_query_time;
 
-  if (result.queries > 0) {
-    result.avg_hops /= static_cast<double>(result.queries);
-    result.avg_visited /= static_cast<double>(result.queries);
+  const std::size_t succeeded = result.queries - result.failures;
+  if (succeeded > 0) {
+    result.avg_hops /= static_cast<double>(succeeded);
+    result.avg_visited /= static_cast<double>(succeeded);
   }
   return result;
 }

@@ -36,9 +36,15 @@ struct ChurnResult {
   std::size_t joins = 0;
   std::size_t rejected_joins = 0;  ///< joins refused: id space was full
   std::size_t departures = 0;
+  /// Averages over *successful* queries only (Fig. 6); a routing-failed
+  /// query's truncated costs land in failed_hops/failed_visited instead.
   double avg_hops = 0;        ///< Fig. 6(a)
   double avg_visited = 0;     ///< Fig. 6(b)
-  double sim_duration = 0;    ///< simulated seconds
+  std::uint64_t failed_hops = 0;     ///< total hops spent by failed queries
+  std::uint64_t failed_visited = 0;  ///< nodes visited by failed queries
+  /// Simulated timestamp of the last query — the measurement window. Joins,
+  /// departures and maintenance are only counted up to this instant.
+  double sim_duration = 0;
 };
 
 /// Runs the churn experiment against an already-populated service.

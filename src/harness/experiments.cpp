@@ -5,6 +5,8 @@
 #include "common/error.hpp"
 #include "common/hashing.hpp"
 #include "common/thread_pool.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace lorm::harness {
 
@@ -73,6 +75,7 @@ QueryExperimentResult RunQueries(const discovery::DiscoveryService& service,
   };
   const std::size_t trials = requesters.size() * cfg.queries_per_requester;
   std::vector<Trial> out(trials);
+  const std::string system = service.name();
   RunTrials(trials, cfg.jobs, [&](std::size_t t) {
     const NodeAddr requester = requesters[t / cfg.queries_per_requester];
     Rng trial_rng(TrialSeed(cfg.seed, t));
@@ -84,6 +87,7 @@ QueryExperimentResult RunQueries(const discovery::DiscoveryService& service,
     // One scratch per worker: lookup path buffers are reused across all the
     // trials a thread executes, keeping the routing loop allocation-free.
     thread_local discovery::QueryScratch scratch;
+    const obs::QueryTraceScope trace(system);
     const auto res = service.Query(q, scratch);
     Trial& slot = out[t];
     slot.failed = res.stats.failed;
@@ -109,6 +113,16 @@ QueryExperimentResult RunQueries(const discovery::DiscoveryService& service,
     r.avg_visited = r.total_visited / q;
     r.avg_lookups = lookups / q;
     r.avg_matches = matches / q;
+  }
+  if (obs::MetricsEnabled()) {
+    // End-of-run distributions over the network, not per query: how big the
+    // directories are and who absorbed the query traffic.
+    static obs::Histogram& dir_h = obs::Registry::Global().GetHistogram(
+        "experiment.directory_size", obs::Histogram::ExponentialBounds(1.0, 16));
+    static obs::Histogram& load_h = obs::Registry::Global().GetHistogram(
+        "experiment.visit_load", obs::Histogram::ExponentialBounds(1.0, 20));
+    for (const double s : service.DirectorySizes()) dir_h.RecordUnchecked(s);
+    for (const double v : service.QueryLoadCounts()) load_h.RecordUnchecked(v);
   }
   return r;
 }
@@ -144,6 +158,7 @@ LatencyMeasurement MeasureQueryLatency(
 
   const std::size_t trials = requesters.size() * cfg.queries_per_requester;
   std::vector<double> samples(trials);
+  const std::string system = service.name();
   RunTrials(trials, cfg.jobs, [&](std::size_t t) {
     const NodeAddr requester = requesters[t / cfg.queries_per_requester];
     Rng trial_rng(TrialSeed(cfg.seed, t));
@@ -154,6 +169,7 @@ LatencyMeasurement MeasureQueryLatency(
                   : workload.MakePointQuery(cfg.attrs_per_query, requester,
                                             trial_rng);
     thread_local discovery::QueryScratch scratch;
+    const obs::QueryTraceScope trace(system);
     const auto res = service.Query(q, scratch);
     samples[t] = EstimateQueryLatency(res.stats, model, lat_rng);
   });

@@ -4,6 +4,8 @@
 
 #include "common/error.hpp"
 #include "harness/experiments.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace lorm::harness {
 namespace {
@@ -14,14 +16,24 @@ FailurePhase MeasurePhase(const discovery::DiscoveryService& service,
                           const FailureConfig& cfg, Rng rng) {
   FailurePhase phase;
   const auto nodes = service.Nodes();
+  const std::string system = service.name();
   double found = 0, expected = 0;
   for (std::size_t i = 0; i < cfg.queries; ++i) {
     const NodeAddr requester = nodes[rng.NextBelow(nodes.size())];
     const auto q = workload.MakeRangeQuery(cfg.attrs_per_query, requester,
                                            cfg.style, rng);
+    const obs::QueryTraceScope trace(system);
     const auto res = service.Query(q);
     ++phase.queries;
     if (res.stats.failed) ++phase.routing_failures;
+    if (obs::MetricsEnabled()) {
+      static obs::Counter& queries_c =
+          obs::Registry::Global().GetCounter("failures.phase.queries");
+      static obs::Counter& routing_c = obs::Registry::Global().GetCounter(
+          "failures.phase.routing_failures");
+      queries_c.AddUnchecked(1);
+      if (res.stats.failed) routing_c.AddUnchecked(1);
+    }
     // Recall is measured per sub-query (the multi-attribute join often
     // intersects to the empty set, which would hide lost directories).
     for (std::size_t sub = 0; sub < q.subs.size(); ++sub) {

@@ -1,0 +1,196 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+#include <sstream>
+
+namespace lorm::obs {
+
+namespace detail {
+
+std::atomic<bool> g_metrics_enabled{false};
+
+std::size_t ThreadShard() {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t shard =
+      next.fetch_add(1, std::memory_order_relaxed) % kShards;
+  return shard;
+}
+
+}  // namespace detail
+
+void SetMetricsEnabled(bool on) {
+  detail::g_metrics_enabled.store(on, std::memory_order_relaxed);
+}
+
+// ---- Counter --------------------------------------------------------------
+
+std::uint64_t Counter::Value() const {
+  std::uint64_t total = 0;
+  for (const Cell& c : cells_) total += c.v.load(std::memory_order_relaxed);
+  return total;
+}
+
+void Counter::Reset() {
+  for (Cell& c : cells_) c.v.store(0, std::memory_order_relaxed);
+}
+
+// ---- Histogram ------------------------------------------------------------
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)) {
+  for (Shard& s : shards_) {
+    s.buckets = std::vector<std::atomic<std::uint64_t>>(bounds_.size() + 1);
+  }
+}
+
+std::vector<double> Histogram::LinearBounds(double lo, double width,
+                                            std::size_t count) {
+  std::vector<double> b;
+  b.reserve(count);
+  for (std::size_t i = 1; i <= count; ++i) {
+    b.push_back(lo + width * static_cast<double>(i));
+  }
+  return b;
+}
+
+std::vector<double> Histogram::ExponentialBounds(double first,
+                                                 std::size_t count) {
+  std::vector<double> b;
+  b.reserve(count);
+  double x = first;
+  for (std::size_t i = 0; i < count; ++i) {
+    b.push_back(x);
+    x *= 2.0;
+  }
+  return b;
+}
+
+void Histogram::RecordUnchecked(double x) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), x);
+  const auto idx = static_cast<std::size_t>(it - bounds_.begin());
+  Shard& s = shards_[detail::ThreadShard()];
+  s.buckets[idx].fetch_add(1, std::memory_order_relaxed);
+  s.count.fetch_add(1, std::memory_order_relaxed);
+  const auto milli =
+      static_cast<std::uint64_t>(std::llround(std::max(0.0, x) * 1000.0));
+  s.sum_milli.fetch_add(milli, std::memory_order_relaxed);
+}
+
+std::vector<std::uint64_t> Histogram::BucketCounts() const {
+  std::vector<std::uint64_t> out(bounds_.size() + 1, 0);
+  for (const Shard& s : shards_) {
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      out[i] += s.buckets[i].load(std::memory_order_relaxed);
+    }
+  }
+  return out;
+}
+
+std::uint64_t Histogram::TotalCount() const {
+  std::uint64_t total = 0;
+  for (const Shard& s : shards_) {
+    total += s.count.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+double Histogram::Sum() const {
+  std::uint64_t milli = 0;
+  for (const Shard& s : shards_) {
+    milli += s.sum_milli.load(std::memory_order_relaxed);
+  }
+  return static_cast<double>(milli) / 1000.0;
+}
+
+void Histogram::Reset() {
+  for (Shard& s : shards_) {
+    for (auto& b : s.buckets) b.store(0, std::memory_order_relaxed);
+    s.count.store(0, std::memory_order_relaxed);
+    s.sum_milli.store(0, std::memory_order_relaxed);
+  }
+}
+
+// ---- Registry -------------------------------------------------------------
+
+Registry& Registry::Global() {
+  static Registry* instance = new Registry();  // leaked: outlives all users
+  return *instance;
+}
+
+Counter& Registry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = counters_.find(name);
+  if (it != counters_.end()) return *it->second;
+  return *counters_.emplace(std::string(name), std::make_unique<Counter>())
+              .first->second;
+}
+
+Histogram& Registry::GetHistogram(std::string_view name,
+                                  std::vector<double> upper_bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = histograms_.find(name);
+  if (it != histograms_.end()) return *it->second;
+  return *histograms_
+              .emplace(std::string(name),
+                       std::make_unique<Histogram>(std::move(upper_bounds)))
+              .first->second;
+}
+
+void Registry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->Reset();
+  for (auto& [name, h] : histograms_) h->Reset();
+}
+
+namespace {
+
+/// Shortest round-trip double formatting that stays valid JSON.
+void WriteJsonNumber(std::ostream& os, double v) {
+  if (v == static_cast<double>(static_cast<std::int64_t>(v))) {
+    os << static_cast<std::int64_t>(v);
+  } else {
+    std::ostringstream tmp;
+    tmp.precision(12);
+    tmp << v;
+    os << tmp.str();
+  }
+}
+
+}  // namespace
+
+void Registry::WriteJson(std::ostream& os) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  os << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << name << "\":" << c->Value();
+  }
+  os << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << name << "\":{\"bounds\":[";
+    const auto& bounds = h->bounds();
+    for (std::size_t i = 0; i < bounds.size(); ++i) {
+      if (i) os << ",";
+      WriteJsonNumber(os, bounds[i]);
+    }
+    os << "],\"counts\":[";
+    const auto counts = h->BucketCounts();
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+      if (i) os << ",";
+      os << counts[i];
+    }
+    os << "],\"count\":" << h->TotalCount() << ",\"sum\":";
+    WriteJsonNumber(os, h->Sum());
+    os << "}";
+  }
+  os << "}}";
+}
+
+}  // namespace lorm::obs

@@ -1,0 +1,143 @@
+#include "obs/trace.hpp"
+
+#include <atomic>
+#include <ostream>
+#include <utility>
+
+#include "obs/metrics.hpp"
+
+namespace lorm::obs {
+
+namespace detail {
+thread_local QueryTrace* t_active = nullptr;
+}
+
+namespace {
+
+std::atomic<TraceSink*> g_sink{nullptr};
+std::atomic<std::uint64_t> g_next_query_id{0};
+
+}  // namespace
+
+TraceSink* SetGlobalTraceSink(TraceSink* sink) {
+  return g_sink.exchange(sink, std::memory_order_acq_rel);
+}
+
+TraceSink* GetGlobalTraceSink() {
+  return g_sink.load(std::memory_order_acquire);
+}
+
+// ---- Scopes ---------------------------------------------------------------
+
+QueryTraceScope::QueryTraceScope(std::string_view system)
+    : sink_(GetGlobalTraceSink()) {
+  if (sink_ == nullptr) return;
+  trace_.system.assign(system);
+  trace_.query_id = g_next_query_id.fetch_add(1, std::memory_order_relaxed);
+  prev_ = detail::t_active;
+  detail::t_active = &trace_;
+}
+
+QueryTraceScope::~QueryTraceScope() {
+  if (sink_ == nullptr) return;
+  detail::t_active = prev_;
+  sink_->Consume(std::move(trace_));
+}
+
+SubQueryScope::SubQueryScope(AttrId attr) {
+  QueryTrace* t = detail::t_active;
+  if (t == nullptr) return;
+  t->subs.emplace_back().attr = attr;
+}
+
+// ---- Entry points ---------------------------------------------------------
+
+namespace {
+
+SubQueryTrace& CurrentSub(QueryTrace& t) {
+  if (t.subs.empty()) t.subs.emplace_back();  // untagged implicit sub
+  return t.subs.back();
+}
+
+}  // namespace
+
+void OnLookup(const std::vector<NodeAddr>& path, HopCount hops, bool ok,
+              std::uint64_t dead_links_skipped) {
+  QueryTrace* t = detail::t_active;
+  if (t == nullptr) return;
+  SubQueryTrace& sub = CurrentSub(*t);
+  LookupTrace& l = sub.lookups.emplace_back();
+  l.path = path;
+  l.hops = hops;
+  l.ok = ok;
+  l.dead_links_skipped = dead_links_skipped;
+}
+
+void OnDirectoryProbe(NodeAddr node, std::uint64_t hits,
+                      std::uint64_t dir_size) {
+  if (MetricsEnabled()) {
+    static Histogram& size_h = Registry::Global().GetHistogram(
+        "directory.probe_size", Histogram::ExponentialBounds(1.0, 16));
+    static Histogram& hits_h = Registry::Global().GetHistogram(
+        "directory.probe_hits", Histogram::ExponentialBounds(1.0, 16));
+    size_h.RecordUnchecked(static_cast<double>(dir_size));
+    hits_h.RecordUnchecked(static_cast<double>(hits));
+  }
+  QueryTrace* t = detail::t_active;
+  if (t == nullptr) return;
+  SubQueryTrace& sub = CurrentSub(*t);
+  ProbeTrace& p = sub.probes.emplace_back();
+  p.node = node;
+  p.hits = hits;
+  p.dir_size = dir_size;
+}
+
+// ---- Sinks ----------------------------------------------------------------
+
+void JsonLinesTraceSink::Consume(QueryTrace&& trace) {
+  std::lock_guard<std::mutex> lock(mu_);
+  WriteJson(os_, trace);
+  os_ << "\n";
+}
+
+void JsonLinesTraceSink::WriteJson(std::ostream& os, const QueryTrace& trace) {
+  os << "{\"system\":\"" << trace.system
+     << "\",\"query\":" << trace.query_id << ",\"subs\":[";
+  for (std::size_t s = 0; s < trace.subs.size(); ++s) {
+    const SubQueryTrace& sub = trace.subs[s];
+    if (s) os << ",";
+    os << "{\"attr\":" << sub.attr << ",\"lookups\":[";
+    for (std::size_t i = 0; i < sub.lookups.size(); ++i) {
+      const LookupTrace& l = sub.lookups[i];
+      if (i) os << ",";
+      os << "{\"path\":[";
+      for (std::size_t j = 0; j < l.path.size(); ++j) {
+        if (j) os << ",";
+        os << l.path[j];
+      }
+      os << "],\"hops\":" << l.hops << ",\"ok\":" << (l.ok ? "true" : "false")
+         << ",\"dead_skips\":" << l.dead_links_skipped << "}";
+    }
+    os << "],\"probes\":[";
+    for (std::size_t i = 0; i < sub.probes.size(); ++i) {
+      const ProbeTrace& p = sub.probes[i];
+      if (i) os << ",";
+      os << "{\"node\":" << p.node << ",\"hits\":" << p.hits
+         << ",\"dir_size\":" << p.dir_size << "}";
+    }
+    os << "]}";
+  }
+  os << "]}";
+}
+
+void MemoryTraceSink::Consume(QueryTrace&& trace) {
+  std::lock_guard<std::mutex> lock(mu_);
+  traces_.push_back(std::move(trace));
+}
+
+std::vector<QueryTrace> MemoryTraceSink::Take() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::exchange(traces_, {});
+}
+
+}  // namespace lorm::obs

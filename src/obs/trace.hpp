@@ -1,0 +1,145 @@
+// Observability: per-query trace recorder.
+//
+// A trace captures what a multi-attribute query actually did: for each
+// sub-query, the hop-by-hop lookup path(s) through the overlay (with
+// dead-link skips), and every directory probe (node, match count, directory
+// size) made at the root or along a successor walk.
+//
+// Recording is scoped and thread-local:
+//
+//   obs::QueryTraceScope scope(name(), /*attrs=*/q.sub_queries.size());
+//   ... run the query; instrumented code appends to the active trace ...
+//   // scope destructor hands the finished QueryTrace to the sink
+//
+// The off-state gate is the thread-local active-trace pointer: when no
+// scope is live on this thread (or no sink is installed), every entry
+// point is a null check and a return — no locks, no allocation, nothing
+// that could disturb `test_lookup_alloc`'s zero-allocation warm path.
+//
+// Sinks receive completed traces and must be thread-safe; the parallel
+// replay engine finishes traces on worker threads.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace lorm::obs {
+
+/// One DHT routing operation inside a sub-query.
+struct LookupTrace {
+  std::vector<NodeAddr> path;  ///< origin first, owner last (empty on failure)
+  HopCount hops = 0;
+  bool ok = false;
+  std::uint64_t dead_links_skipped = 0;
+};
+
+/// One directory check (sub-query root or range-walk probe).
+struct ProbeTrace {
+  NodeAddr node = kNoNode;
+  std::uint64_t hits = 0;      ///< matching entries found at this node
+  std::uint64_t dir_size = 0;  ///< entries stored at this node when probed
+};
+
+struct SubQueryTrace {
+  AttrId attr = 0;
+  std::vector<LookupTrace> lookups;  ///< 1 per sub-query (MAAN: 2)
+  std::vector<ProbeTrace> probes;    ///< roots + walk probes, visit order
+};
+
+struct QueryTrace {
+  std::string system;        ///< service name: LORM / Mercury / SWORD / MAAN
+  std::uint64_t query_id = 0;  ///< process-wide sequence number
+  std::vector<SubQueryTrace> subs;
+};
+
+/// Receives completed traces. Implementations must be thread-safe.
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void Consume(QueryTrace&& trace) = 0;
+};
+
+/// Writes one JSON object per trace, one per line (JSON Lines).
+class JsonLinesTraceSink : public TraceSink {
+ public:
+  explicit JsonLinesTraceSink(std::ostream& os) : os_(os) {}
+  void Consume(QueryTrace&& trace) override;
+
+  /// Serializes one trace as a single-line JSON object (no newline).
+  static void WriteJson(std::ostream& os, const QueryTrace& trace);
+
+ private:
+  std::mutex mu_;
+  std::ostream& os_;
+};
+
+/// Collects traces in memory — for tests that cross-check traces against
+/// the query's reported QueryStats.
+class MemoryTraceSink : public TraceSink {
+ public:
+  void Consume(QueryTrace&& trace) override;
+  /// Snapshot of everything consumed so far.
+  std::vector<QueryTrace> Take();
+
+ private:
+  std::mutex mu_;
+  std::vector<QueryTrace> traces_;
+};
+
+/// Installs the process-wide sink new QueryTraceScopes hand traces to
+/// (nullptr disables tracing). The sink must outlive every scope started
+/// while it is installed. Returns the previous sink.
+TraceSink* SetGlobalTraceSink(TraceSink* sink);
+TraceSink* GetGlobalTraceSink();
+
+namespace detail {
+extern thread_local QueryTrace* t_active;
+}
+
+/// True when a trace is being recorded on this thread.
+inline bool TracingActive() { return detail::t_active != nullptr; }
+
+/// RAII: starts recording a query trace on this thread (inert when no sink
+/// is installed) and hands the finished trace to the sink on destruction.
+class QueryTraceScope {
+ public:
+  explicit QueryTraceScope(std::string_view system);
+  ~QueryTraceScope();
+
+  QueryTraceScope(const QueryTraceScope&) = delete;
+  QueryTraceScope& operator=(const QueryTraceScope&) = delete;
+
+ private:
+  TraceSink* sink_ = nullptr;
+  QueryTrace trace_;
+  QueryTrace* prev_ = nullptr;
+};
+
+/// RAII: opens the next sub-query record inside the active trace. No-op
+/// when no trace is active.
+class SubQueryScope {
+ public:
+  explicit SubQueryScope(AttrId attr);
+  ~SubQueryScope() = default;
+
+  SubQueryScope(const SubQueryScope&) = delete;
+  SubQueryScope& operator=(const SubQueryScope&) = delete;
+};
+
+// ---- Instrumentation entry points ----------------------------------------
+// All are a thread-local null check when no trace is active.
+
+/// Records one overlay lookup (called by chord/cycloid LookupInto).
+void OnLookup(const std::vector<NodeAddr>& path, HopCount hops, bool ok,
+              std::uint64_t dead_links_skipped);
+
+/// Records one directory probe (called by the services per visited node).
+void OnDirectoryProbe(NodeAddr node, std::uint64_t hits, std::uint64_t dir_size);
+
+}  // namespace lorm::obs

@@ -33,6 +33,16 @@ std::size_t EventQueue::RunUntil(SimTime until) {
   return executed;
 }
 
+bool EventQueue::RunOne() {
+  if (heap_.empty()) return false;
+  // Copy out before pop: the handler may schedule new events.
+  Entry e = heap_.top();
+  heap_.pop();
+  now_ = e.at;
+  e.fn(*this);
+  return true;
+}
+
 std::size_t EventQueue::RunAll() {
   return RunUntil(std::numeric_limits<SimTime>::infinity());
 }

@@ -31,6 +31,12 @@ class EventQueue {
   /// after `until`. Returns the number of events executed.
   std::size_t RunUntil(SimTime until);
 
+  /// Runs exactly the next event (advancing now() to its timestamp).
+  /// Returns false if the queue was empty. Lets a driver stop on a
+  /// measurement condition without executing trailing events — RunUntil
+  /// windows would overshoot past the stopping point.
+  bool RunOne();
+
   /// Runs everything currently scheduled (including events scheduled by
   /// handlers). Returns the number of events executed.
   std::size_t RunAll();

@@ -3,10 +3,13 @@
 // zero failures and near-static costs.
 #include "harness/churn.hpp"
 
+#include <cmath>
+
 #include <gtest/gtest.h>
 
 #include "harness/experiments.hpp"
 #include "service_test_util.hpp"
+#include "sim/poisson.hpp"
 
 namespace lorm::harness {
 namespace {
@@ -74,6 +77,92 @@ TEST(ChurnInvariance, HopsStayNearStaticAcrossRates) {
                 0.35 * static_result.avg_hops)
         << "rate " << rate;
   }
+}
+
+TEST(ChurnAccounting, SimDurationEndsAtLastQuery) {
+  // Regression: the driver used to run the event queue in 60-simulated-
+  // second windows, so sim_duration landed on the next multiple of 60 and
+  // up to 60 s of joins/departures past the final query leaked into the
+  // counts. The measurement window must end exactly at the last query.
+  auto bed = testutil::MakeBed(SystemKind::kSword);
+  const ChurnConfig cfg = FastChurn(0.4, /*range=*/false);
+  const auto result =
+      RunChurn(*bed.service, *bed.workload,
+               static_cast<NodeAddr>(bed.setup.nodes) + 100, cfg);
+
+  // Replay the query arrival stream. RunChurn's fork order from Rng(seed):
+  // join_rng, depart_rng, query_rng, joins process, departures process,
+  // queries process — the query arrivals are the sixth fork.
+  Rng rng(cfg.seed);
+  for (int i = 0; i < 5; ++i) (void)rng.Fork();
+  sim::PoissonProcess queries(cfg.query_rate, rng.Fork());
+  SimTime expected = 0.0;
+  for (std::size_t i = 0; i < cfg.total_queries; ++i) {
+    expected = queries.NextArrival();
+  }
+  EXPECT_DOUBLE_EQ(result.sim_duration, expected);
+  // A Poisson arrival time is (almost surely) not window-aligned; this
+  // would have failed under the old 60 s-window accounting.
+  EXPECT_NE(std::fmod(result.sim_duration, 60.0), 0.0);
+}
+
+TEST(ChurnAccounting, FailedQueryStatsAreKeptSeparate) {
+  // The paper reports zero failures under churn, so excluding failed
+  // queries from the Fig. 6 averages is a no-op today — assert exactly
+  // that, and that the separate failed-stats bins stayed empty.
+  for (const SystemKind kind :
+       {SystemKind::kLorm, SystemKind::kMercury, SystemKind::kSword,
+        SystemKind::kMaan}) {
+    auto bed = testutil::MakeBed(kind);
+    const auto result =
+        RunChurn(*bed.service, *bed.workload,
+                 static_cast<NodeAddr>(bed.setup.nodes) + 100,
+                 FastChurn(0.4, /*range=*/true));
+    EXPECT_EQ(result.failures, 0u) << SystemName(kind);
+    EXPECT_EQ(result.failed_hops, 0u) << SystemName(kind);
+    EXPECT_EQ(result.failed_visited, 0u) << SystemName(kind);
+  }
+}
+
+TEST(ChurnAccounting, AtCapacityRejectsJoinsWithoutDepartures) {
+  // Small() is a fully populated Cycloid; with departures disabled the
+  // network hovers at capacity, so every join must bounce and be counted
+  // as rejected — and queries must keep resolving regardless.
+  auto bed = testutil::MakeBed(SystemKind::kLorm);
+  ChurnConfig cfg;
+  cfg.rate = 2.0;
+  cfg.total_queries = 40;
+  cfg.query_rate = 4.0;
+  cfg.attrs_per_query = 1;
+  cfg.min_network = bed.setup.nodes + 1;  // departures always skipped
+  const auto result = RunChurn(*bed.service, *bed.workload,
+                               static_cast<NodeAddr>(bed.setup.nodes) + 1,
+                               cfg);
+  EXPECT_EQ(result.joins, 0u);
+  EXPECT_GT(result.rejected_joins, 0u);
+  EXPECT_EQ(result.departures, 0u);
+  EXPECT_EQ(bed.service->NetworkSize(), bed.setup.nodes);
+  EXPECT_EQ(result.queries, 40u);
+  EXPECT_EQ(result.failures, 0u);
+}
+
+TEST(ChurnAccounting, DeterministicAcrossRuns) {
+  // The corrected accounting must stay bit-deterministic: two identical
+  // runs agree on every counter and on the measurement window.
+  const ChurnConfig cfg = FastChurn(0.5, /*range=*/false);
+  auto bed_a = testutil::MakeBed(SystemKind::kMaan);
+  const auto a = RunChurn(*bed_a.service, *bed_a.workload,
+                          static_cast<NodeAddr>(bed_a.setup.nodes) + 100, cfg);
+  auto bed_b = testutil::MakeBed(SystemKind::kMaan);
+  const auto b = RunChurn(*bed_b.service, *bed_b.workload,
+                          static_cast<NodeAddr>(bed_b.setup.nodes) + 100, cfg);
+  EXPECT_EQ(a.queries, b.queries);
+  EXPECT_EQ(a.joins, b.joins);
+  EXPECT_EQ(a.rejected_joins, b.rejected_joins);
+  EXPECT_EQ(a.departures, b.departures);
+  EXPECT_DOUBLE_EQ(a.avg_hops, b.avg_hops);
+  EXPECT_DOUBLE_EQ(a.avg_visited, b.avg_visited);
+  EXPECT_DOUBLE_EQ(a.sim_duration, b.sim_duration);
 }
 
 TEST(ChurnConfigValidation, RejectsBadRates) {

@@ -1,0 +1,234 @@
+// Observability-layer tests: metrics registry semantics, the trace
+// recorder's agreement with QueryStats across all four systems, and
+// --jobs independence of the sharded instruments.
+#include "obs/metrics.hpp"
+
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "harness/experiments.hpp"
+#include "obs/trace.hpp"
+#include "service_test_util.hpp"
+
+namespace lorm::obs {
+namespace {
+
+/// Every test must leave the process-wide obs state as it found it (off):
+/// other suites in this binary assert the off-state costs nothing.
+struct MetricsOn {
+  MetricsOn() {
+    Registry::Global().Reset();
+    SetMetricsEnabled(true);
+  }
+  ~MetricsOn() { SetMetricsEnabled(false); }
+};
+
+TEST(MetricsGate, OffByDefaultAndRecordsNothing) {
+  ASSERT_FALSE(MetricsEnabled());
+  Counter& c = Registry::Global().GetCounter("test.gate.counter");
+  Histogram& h = Registry::Global().GetHistogram(
+      "test.gate.hist", Histogram::LinearBounds(0.0, 1.0, 4));
+  c.Add();
+  h.Record(2.0);
+  EXPECT_EQ(c.Value(), 0u);
+  EXPECT_EQ(h.TotalCount(), 0u);
+}
+
+TEST(MetricsCounter, AddsAndResets) {
+  MetricsOn on;
+  Counter& c = Registry::Global().GetCounter("test.counter");
+  c.Add();
+  c.Add(41);
+  EXPECT_EQ(c.Value(), 42u);
+  c.Reset();
+  EXPECT_EQ(c.Value(), 0u);
+}
+
+TEST(MetricsHistogram, BucketsByUpperBoundWithOverflow) {
+  MetricsOn on;
+  // Bounds 1,2,3: bucket i counts samples <= bounds[i]; 4th is overflow.
+  Histogram& h = Registry::Global().GetHistogram(
+      "test.hist.buckets", Histogram::LinearBounds(0.0, 1.0, 3));
+  for (const double x : {0.0, 1.0, 1.5, 2.0, 2.5, 3.0, 99.0}) h.Record(x);
+  const auto counts = h.BucketCounts();
+  ASSERT_EQ(counts.size(), 4u);
+  EXPECT_EQ(counts[0], 2u);  // 0.0, 1.0
+  EXPECT_EQ(counts[1], 2u);  // 1.5, 2.0
+  EXPECT_EQ(counts[2], 2u);  // 2.5, 3.0
+  EXPECT_EQ(counts[3], 1u);  // 99.0
+  EXPECT_EQ(h.TotalCount(), 7u);
+  EXPECT_DOUBLE_EQ(h.Sum(), 109.0);
+}
+
+TEST(MetricsHistogram, ExponentialBoundsDouble) {
+  const auto b = Histogram::ExponentialBounds(1.0, 4);
+  ASSERT_EQ(b.size(), 4u);
+  EXPECT_DOUBLE_EQ(b[0], 1.0);
+  EXPECT_DOUBLE_EQ(b[3], 8.0);
+}
+
+TEST(MetricsRegistry, InternsInstrumentsAndSurvivesReset) {
+  Counter& a = Registry::Global().GetCounter("test.intern");
+  Counter& b = Registry::Global().GetCounter("test.intern");
+  EXPECT_EQ(&a, &b);
+  Registry::Global().Reset();
+  EXPECT_EQ(&Registry::Global().GetCounter("test.intern"), &a);
+}
+
+TEST(MetricsRegistry, WriteJsonEmitsAllInstruments) {
+  MetricsOn on;
+  Registry::Global().GetCounter("test.json.counter").Add(3);
+  Registry::Global()
+      .GetHistogram("test.json.hist", Histogram::LinearBounds(0.0, 1.0, 2))
+      .Record(1.5);
+  std::ostringstream os;
+  Registry::Global().WriteJson(os);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"test.json.counter\":3"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"test.json.hist\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"bounds\":[1,2]"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"counts\":[0,1,0]"), std::string::npos) << json;
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+}
+
+TEST(MetricsConcurrency, ShardedAddsSumExactly) {
+  MetricsOn on;
+  Counter& c = Registry::Global().GetCounter("test.mt.counter");
+  Histogram& h = Registry::Global().GetHistogram(
+      "test.mt.hist", Histogram::LinearBounds(0.0, 1.0, 8));
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        c.Add();
+        h.Record(static_cast<double>(t % 4));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(c.Value(), static_cast<std::uint64_t>(kThreads * kPerThread));
+  EXPECT_EQ(h.TotalCount(), static_cast<std::uint64_t>(kThreads * kPerThread));
+}
+
+// ---- Trace recorder -------------------------------------------------------
+
+TEST(TraceGate, InertWithoutSink) {
+  ASSERT_EQ(GetGlobalTraceSink(), nullptr);
+  QueryTraceScope scope("LORM");
+  EXPECT_FALSE(TracingActive());
+  OnLookup({}, 3, true, 0);  // must be a no-op, not a crash
+}
+
+class TracePerSystem : public ::testing::TestWithParam<harness::SystemKind> {};
+
+TEST_P(TracePerSystem, TraceAgreesWithQueryStats) {
+  auto bed = testutil::MakeBed(GetParam());
+  MemoryTraceSink sink;
+  SetGlobalTraceSink(&sink);
+
+  Rng rng(0x0B5EC0DEull);
+  const NodeAddr requester = 7;
+  const resource::MultiQuery q = bed.workload->MakeRangeQuery(
+      3, requester, resource::RangeStyle::kBounded, rng);
+  discovery::QueryResult res;
+  {
+    QueryTraceScope scope(bed.service->name());
+    EXPECT_TRUE(TracingActive());
+    res = bed.service->Query(q);
+  }
+  SetGlobalTraceSink(nullptr);
+
+  const auto traces = sink.Take();
+  ASSERT_EQ(traces.size(), 1u);
+  const QueryTrace& t = traces.front();
+  EXPECT_EQ(t.system, bed.service->name());
+  ASSERT_EQ(t.subs.size(), q.subs.size());
+
+  HopCount hops = 0;
+  std::size_t lookups = 0;
+  std::size_t probes = 0;
+  for (const SubQueryTrace& sub : t.subs) {
+    for (const LookupTrace& l : sub.lookups) {
+      ++lookups;
+      hops += l.hops;
+      EXPECT_TRUE(l.ok);
+      // Per-hop path: origin plus one node per hop, owner last.
+      ASSERT_EQ(l.path.size(), static_cast<std::size_t>(l.hops) + 1);
+      EXPECT_EQ(l.path.front(), requester);
+      EXPECT_EQ(l.dead_links_skipped, 0u);
+    }
+    probes += sub.probes.size();
+  }
+  EXPECT_EQ(hops, res.stats.dht_hops);
+  EXPECT_EQ(lookups, res.stats.lookups);
+  EXPECT_EQ(probes, res.stats.visited_nodes);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Systems, TracePerSystem,
+    ::testing::Values(harness::SystemKind::kLorm,
+                      harness::SystemKind::kMercury,
+                      harness::SystemKind::kSword, harness::SystemKind::kMaan),
+    [](const auto& info) {
+      return std::string(harness::SystemName(info.param));
+    });
+
+TEST(TraceJsonLines, OneLinePerQueryAndWellFormedShape) {
+  auto bed = testutil::MakeBed(harness::SystemKind::kSword);
+  std::ostringstream os;
+  JsonLinesTraceSink sink(os);
+  SetGlobalTraceSink(&sink);
+  harness::QueryExperimentConfig cfg;
+  cfg.requesters = 4;
+  cfg.queries_per_requester = 2;
+  cfg.attrs_per_query = 2;
+  cfg.jobs = 1;
+  const auto r = harness::RunQueries(*bed.service, *bed.workload, cfg);
+  SetGlobalTraceSink(nullptr);
+
+  const std::string out = os.str();
+  std::size_t lines = 0;
+  for (const char ch : out) lines += ch == '\n';
+  EXPECT_EQ(lines, r.queries);
+  EXPECT_NE(out.find("\"system\":\"SWORD\""), std::string::npos);
+  EXPECT_NE(out.find("\"path\":["), std::string::npos);
+  EXPECT_NE(out.find("\"probes\":["), std::string::npos);
+}
+
+// ---- --jobs independence --------------------------------------------------
+
+TEST(MetricsJobsIndependence, ReplayTotalsMatchAcrossJobCounts) {
+  // The sharded instruments are commutative sums, so a parallel replay must
+  // record exactly the totals of a sequential one — and the (fixed) query
+  // accounting itself is bit-identical for any --jobs.
+  harness::QueryExperimentConfig cfg;
+  cfg.requesters = 10;
+  cfg.queries_per_requester = 5;
+  cfg.attrs_per_query = 2;
+  cfg.range = true;
+
+  auto run = [&](std::size_t jobs) {
+    auto bed = testutil::MakeBed(harness::SystemKind::kMaan);
+    MetricsOn on;
+    cfg.jobs = jobs;
+    const auto r = harness::RunQueries(*bed.service, *bed.workload, cfg);
+    Histogram& h = Registry::Global().GetHistogram(
+        "MAAN.query.hops", Histogram::LinearBounds(0.0, 1.0, 64));
+    return std::tuple{r.avg_hops, r.avg_visited, r.failures, h.BucketCounts(),
+                      h.TotalCount(), h.Sum()};
+  };
+
+  const auto seq = run(1);
+  const auto par = run(4);
+  EXPECT_EQ(seq, par);
+}
+
+}  // namespace
+}  // namespace lorm::obs
