@@ -25,7 +25,8 @@ int main(int argc, char** argv) {
   bench::PrintSetup(setup);
 
   harness::TablePrinter table(
-      std::cout, {"pareto-shape", "lph", "avg", "p99", "max", "fairness"}, 13);
+      std::cout,
+      {"pareto-shape", "lph", "avg", "p99", "max", "fairness", "gini"}, 13);
   table.PrintHeader();
 
   for (const double shape : {0.05, 0.15, 0.4, 1.0, 2.0}) {
@@ -55,7 +56,8 @@ int main(int argc, char** argv) {
                  harness::TablePrinter::Num(m.per_node.mean, 1),
                  harness::TablePrinter::Num(m.per_node.p99, 1),
                  harness::TablePrinter::Num(m.per_node.max, 1),
-                 harness::TablePrinter::Num(m.fairness, 3)});
+                 harness::TablePrinter::Num(m.fairness, 3),
+                 harness::TablePrinter::Num(m.gini, 3)});
     }
   }
 

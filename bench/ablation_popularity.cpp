@@ -29,7 +29,7 @@ int main(int argc, char** argv) {
 
   harness::TablePrinter table(std::cout,
                               {"zipf-s", "system", "visits", "fairness",
-                               "p99", "max-share%"},
+                               "gini", "p99", "max-share%"},
                               12);
   table.PrintHeader();
 
@@ -65,6 +65,7 @@ int main(int argc, char** argv) {
                  harness::SystemName(kind),
                  harness::TablePrinter::Int(s.total),
                  harness::TablePrinter::Num(JainFairness(loads), 3),
+                 harness::TablePrinter::Num(Gini(loads), 3),
                  harness::TablePrinter::Num(s.p99, 1),
                  harness::TablePrinter::Num(100.0 * s.max / s.total, 2)});
     }

@@ -22,6 +22,7 @@
 #include "harness/experiments.hpp"
 #include "harness/setup.hpp"
 #include "harness/table.hpp"
+#include "obs/analyze.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -35,18 +36,29 @@ struct BenchOptions {
   bool metrics = false;          ///< record + emit the metrics registry
   std::string metrics_file;      ///< --metrics=<file>: write JSON there
   std::string trace_file;        ///< --trace=<file>: per-query JSON lines
+  bool analyze = false;          ///< --analyze: post-hoc trace report at exit
   std::chrono::steady_clock::time_point start;  ///< bench wall-clock origin
 };
 
 namespace detail {
-/// The trace sink (and its stream) installed by ParseOptions; function-local
-/// statics so every bench binary gets them without a bench .cpp to link.
+/// The trace sinks (and the file stream) installed by ParseOptions;
+/// function-local statics so every bench binary gets them without a bench
+/// .cpp to link. --trace=<file> installs the JSONL sink, --analyze an
+/// in-memory collector FinishBench aggregates, both a tee.
 inline std::ofstream& TraceStream() {
   static std::ofstream stream;
   return stream;
 }
 inline std::unique_ptr<obs::JsonLinesTraceSink>& TraceSinkSlot() {
   static std::unique_ptr<obs::JsonLinesTraceSink> sink;
+  return sink;
+}
+inline std::unique_ptr<obs::MemoryTraceSink>& AnalyzeSinkSlot() {
+  static std::unique_ptr<obs::MemoryTraceSink> sink;
+  return sink;
+}
+inline std::unique_ptr<obs::TeeTraceSink>& TeeSinkSlot() {
+  static std::unique_ptr<obs::TeeTraceSink> sink;
   return sink;
 }
 }  // namespace detail
@@ -64,6 +76,7 @@ inline BenchOptions ParseOptions(int argc, char** argv) {
       opt.metrics_file = argv[i] + 10;
     }
     if (std::strncmp(argv[i], "--trace=", 8) == 0) opt.trace_file = argv[i] + 8;
+    if (std::strcmp(argv[i], "--analyze") == 0) opt.analyze = true;
     if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
       opt.jobs = ResolveJobs(
           static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10)));
@@ -82,7 +95,19 @@ inline BenchOptions ParseOptions(int argc, char** argv) {
     }
     detail::TraceSinkSlot() =
         std::make_unique<obs::JsonLinesTraceSink>(detail::TraceStream());
+  }
+  if (opt.analyze) {
+    detail::AnalyzeSinkSlot() = std::make_unique<obs::MemoryTraceSink>();
+  }
+  if (detail::TraceSinkSlot() != nullptr &&
+      detail::AnalyzeSinkSlot() != nullptr) {
+    detail::TeeSinkSlot() = std::make_unique<obs::TeeTraceSink>(
+        *detail::TraceSinkSlot(), *detail::AnalyzeSinkSlot());
+    obs::SetGlobalTraceSink(detail::TeeSinkSlot().get());
+  } else if (detail::TraceSinkSlot() != nullptr) {
     obs::SetGlobalTraceSink(detail::TraceSinkSlot().get());
+  } else if (detail::AnalyzeSinkSlot() != nullptr) {
+    obs::SetGlobalTraceSink(detail::AnalyzeSinkSlot().get());
   }
   opt.start = std::chrono::steady_clock::now();
   return opt;
@@ -133,9 +158,26 @@ inline void FinishBench(const BenchOptions& opt, const std::string& name,
       mf << "\n";
     }
   }
-  if (obs::GetGlobalTraceSink() == detail::TraceSinkSlot().get() &&
-      detail::TraceSinkSlot() != nullptr) {
+  obs::TraceSink* installed =
+      detail::TeeSinkSlot() != nullptr
+          ? static_cast<obs::TraceSink*>(detail::TeeSinkSlot().get())
+          : detail::TraceSinkSlot() != nullptr
+                ? static_cast<obs::TraceSink*>(detail::TraceSinkSlot().get())
+                : static_cast<obs::TraceSink*>(detail::AnalyzeSinkSlot().get());
+  if (installed != nullptr && obs::GetGlobalTraceSink() == installed) {
     obs::SetGlobalTraceSink(nullptr);
+    if (detail::AnalyzeSinkSlot() != nullptr) {
+      // In-process post-hoc report over everything this bench traced. The
+      // theorem-drift comparison needs the system model — that is
+      // lorm-analyze's job (--expect); here we report distributions, load
+      // profiles and anomalies.
+      const auto report =
+          obs::AnalyzeTraces(detail::AnalyzeSinkSlot()->Take());
+      std::cout << "\n";
+      obs::RenderReport(std::cout, report);
+    }
+    detail::TeeSinkSlot().reset();
+    detail::AnalyzeSinkSlot().reset();
     detail::TraceSinkSlot().reset();
     detail::TraceStream().close();
   }

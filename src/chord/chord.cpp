@@ -457,9 +457,15 @@ struct LookupRecorder {
   const LookupResult& r;
   const std::uint64_t& dead_counter;
   const std::uint64_t dead_before;
+  /// Timestamp taken only while a trace is active on this thread, so the
+  /// off-state cost stays the TLS null check.
+  const std::uint64_t start_ns;
 
   LookupRecorder(const LookupResult& res, const std::uint64_t& dead)
-      : r(res), dead_counter(dead), dead_before(dead) {}
+      : r(res),
+        dead_counter(dead),
+        dead_before(dead),
+        start_ns(obs::TracingActive() ? obs::MonotonicNowNs() : 0) {}
 
   ~LookupRecorder() {
     const std::uint64_t dead_delta = dead_counter - dead_before;
@@ -477,7 +483,9 @@ struct LookupRecorder {
       if (!r.ok) failures.AddUnchecked(1);
       if (dead_delta != 0) dead_skips.AddUnchecked(dead_delta);
     }
-    obs::OnLookup(r.path, r.hops, r.ok, dead_delta);
+    const std::uint64_t dur_ns =
+        start_ns != 0 ? obs::MonotonicNowNs() - start_ns : 0;
+    obs::OnLookup(r.path, r.hops, r.ok, dead_delta, dur_ns);
   }
 };
 

@@ -126,4 +126,57 @@ double JainFairness(const std::vector<double>& loads) {
   return sum * sum / (static_cast<double>(loads.size()) * sum_sq);
 }
 
+double Gini(const std::vector<double>& loads) {
+  if (loads.empty()) return 0.0;
+  std::vector<double> sorted = loads;
+  std::sort(sorted.begin(), sorted.end());
+  const auto n = static_cast<double>(sorted.size());
+  double total = 0.0;
+  double weighted = 0.0;  // Σ i * x_i over the ascending sort, i 1-based
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    total += sorted[i];
+    weighted += static_cast<double>(i + 1) * sorted[i];
+  }
+  if (total <= 0.0) return 0.0;
+  return 2.0 * weighted / (n * total) - (n + 1.0) / n;
+}
+
+std::vector<LorenzPoint> LorenzPoints(const std::vector<double>& loads) {
+  std::vector<LorenzPoint> curve;
+  curve.push_back({0.0, 0.0});
+  if (loads.empty()) return curve;
+  std::vector<double> sorted = loads;
+  std::sort(sorted.begin(), sorted.end());
+  double total = 0.0;
+  for (double x : sorted) total += x;
+  const auto n = static_cast<double>(sorted.size());
+  double cum = 0.0;
+  curve.reserve(sorted.size() + 1);
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    cum += sorted[i];
+    // An all-zero vector counts as perfectly balanced: the diagonal.
+    const double share =
+        total > 0.0 ? cum / total : static_cast<double>(i + 1) / n;
+    curve.push_back({static_cast<double>(i + 1) / n, share});
+  }
+  return curve;
+}
+
+double LorenzShareAt(const std::vector<LorenzPoint>& curve,
+                     double population_fraction) {
+  LORM_CHECK_MSG(!curve.empty(), "Lorenz share of an empty curve");
+  const double p = std::clamp(population_fraction, 0.0, 1.0);
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    if (curve[i].cum_population >= p) {
+      const LorenzPoint& a = curve[i - 1];
+      const LorenzPoint& b = curve[i];
+      const double span = b.cum_population - a.cum_population;
+      if (span <= 0.0) return b.cum_load;
+      return a.cum_load + (p - a.cum_population) / span *
+                              (b.cum_load - a.cum_load);
+    }
+  }
+  return curve.back().cum_load;
+}
+
 }  // namespace lorm

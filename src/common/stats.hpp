@@ -83,4 +83,28 @@ class Histogram {
 /// percentiles.
 double JainFairness(const std::vector<double>& loads);
 
+/// Gini coefficient of a load vector, in [0, 1): 0 for a perfectly uniform
+/// vector, (n-1)/n when a single node carries everything. Complements
+/// JainFairness in the load-balance ablations (Jain compresses the skewed
+/// tail; Gini spreads it). Empty or all-zero input yields 0.
+double Gini(const std::vector<double>& loads);
+
+/// One point of a Lorenz curve: after sorting loads ascending, the bottom
+/// `cum_population` fraction of nodes carries `cum_load` of the total.
+struct LorenzPoint {
+  double cum_population = 0.0;
+  double cum_load = 0.0;
+};
+
+/// The full Lorenz curve of a load vector: n+1 points from (0,0) to (1,1),
+/// one per node in ascending-load order. A perfectly balanced vector lies
+/// on the diagonal; the Gini coefficient is twice the area between the
+/// curve and that diagonal. Empty input yields {(0,0)}.
+std::vector<LorenzPoint> LorenzPoints(const std::vector<double>& loads);
+
+/// Interpolated Lorenz-curve value: the load share carried by the bottom
+/// `population_fraction` of nodes (e.g. 0.5 -> the bottom half's share).
+double LorenzShareAt(const std::vector<LorenzPoint>& curve,
+                     double population_fraction);
+
 }  // namespace lorm

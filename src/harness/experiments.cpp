@@ -40,6 +40,7 @@ DirectoryMeasurement MeasureDirectories(
   m.per_node = Summarize(sizes);
   m.total_pieces = service.TotalInfoPieces();
   m.fairness = JainFairness(sizes);
+  m.gini = Gini(sizes);
   return m;
 }
 
@@ -76,6 +77,9 @@ QueryExperimentResult RunQueries(const discovery::DiscoveryService& service,
   const std::size_t trials = requesters.size() * cfg.queries_per_requester;
   std::vector<Trial> out(trials);
   const std::string system = service.name();
+  // One id block per experiment: trial t always traces as id_base+t, so the
+  // trace set is identical (up to wall-clock timing) for any cfg.jobs.
+  const std::uint64_t id_base = obs::ReserveQueryIds(trials);
   RunTrials(trials, cfg.jobs, [&](std::size_t t) {
     const NodeAddr requester = requesters[t / cfg.queries_per_requester];
     Rng trial_rng(TrialSeed(cfg.seed, t));
@@ -87,7 +91,7 @@ QueryExperimentResult RunQueries(const discovery::DiscoveryService& service,
     // One scratch per worker: lookup path buffers are reused across all the
     // trials a thread executes, keeping the routing loop allocation-free.
     thread_local discovery::QueryScratch scratch;
-    const obs::QueryTraceScope trace(system);
+    const obs::QueryTraceScope trace(system, id_base + t);
     const auto res = service.Query(q, scratch);
     Trial& slot = out[t];
     slot.failed = res.stats.failed;
@@ -159,6 +163,7 @@ LatencyMeasurement MeasureQueryLatency(
   const std::size_t trials = requesters.size() * cfg.queries_per_requester;
   std::vector<double> samples(trials);
   const std::string system = service.name();
+  const std::uint64_t id_base = obs::ReserveQueryIds(trials);
   RunTrials(trials, cfg.jobs, [&](std::size_t t) {
     const NodeAddr requester = requesters[t / cfg.queries_per_requester];
     Rng trial_rng(TrialSeed(cfg.seed, t));
@@ -169,7 +174,7 @@ LatencyMeasurement MeasureQueryLatency(
                   : workload.MakePointQuery(cfg.attrs_per_query, requester,
                                             trial_rng);
     thread_local discovery::QueryScratch scratch;
-    const obs::QueryTraceScope trace(system);
+    const obs::QueryTraceScope trace(system, id_base + t);
     const auto res = service.Query(q, scratch);
     samples[t] = EstimateQueryLatency(res.stats, model, lat_rng);
   });

@@ -18,6 +18,7 @@ struct DirectoryMeasurement {
   Summary per_node;
   std::size_t total_pieces = 0;
   double fairness = 0.0;  ///< Jain index of the per-node loads
+  double gini = 0.0;      ///< Gini coefficient of the per-node loads
 };
 
 DirectoryMeasurement MeasureDirectories(

@@ -1,0 +1,180 @@
+// Observability: offline trace analytics.
+//
+// The consumption half of the trace pipeline. `JsonLinesTraceSink` writes
+// one JSON object per query; this module parses those lines back into
+// `QueryTrace` values (the parser is the wire format's second half — the
+// round-trip is pinned by test_obs so sink and parser cannot drift apart),
+// aggregates them into per-system hop/latency/visited distributions,
+// reconstructs per-node query load from the probe records (Lorenz curve,
+// Gini and Jain indices), and runs rule-based routing-anomaly detectors:
+//
+//   * routing loops       — a node appears twice in one lookup path;
+//   * hop-bound overruns  — a lookup exceeds its substrate's log-bound;
+//   * dead-link bursts    — one lookup skipped >= N dead links;
+//   * zero-hit walk overruns — a long successor walk that matched nothing.
+//
+// Reports are deterministic: traces are sorted by query id before
+// aggregation (parallel replay finishes them in worker order), systems are
+// reported in name order, and all numbers are formatted with fixed
+// precision — the same trace set renders byte-identical reports no matter
+// how many workers produced it.
+//
+// Consumers: the `lorm-analyze` CLI (tools/lorm_analyze.cpp), the benches'
+// in-process `--analyze` flag (bench/fig_common.hpp), and test_obs.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "obs/trace.hpp"
+
+namespace lorm::obs {
+
+// ---- Wire-format parsers --------------------------------------------------
+
+/// Parses one JSON line written by JsonLinesTraceSink::WriteJson into
+/// `out` (replacing its contents). Returns false (with a human-readable
+/// message in `*error` if non-null) on malformed input. Accepts exactly the
+/// sink's key order; the `dur_ns` fields may be absent (pre-timing traces).
+bool ParseTraceLine(std::string_view line, QueryTrace& out,
+                    std::string* error = nullptr);
+
+/// Parses a whole JSONL stream, skipping blank lines. Throws
+/// lorm::ConfigError naming the offending line on malformed input.
+std::vector<QueryTrace> ParseTraceStream(std::istream& is);
+
+/// Minimal snapshot of a metrics registry dump (Registry::WriteJson).
+struct ParsedMetrics {
+  struct Hist {
+    std::vector<double> bounds;
+    std::vector<std::uint64_t> counts;  ///< bounds.size()+1, last = overflow
+    std::uint64_t count = 0;
+    double sum = 0.0;
+  };
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, Hist> histograms;
+};
+
+/// Parses the registry JSON object emitted by `--metrics=<file>`.
+bool ParseMetricsJson(std::string_view json, ParsedMetrics& out,
+                      std::string* error = nullptr);
+
+// ---- Aggregation ----------------------------------------------------------
+
+/// Thresholds for the rule-based anomaly detectors.
+struct AnomalyConfig {
+  /// Network size used for the hop bounds; 0 infers max(node addr)+1 from
+  /// the traces themselves (exact for the benches' dense 0..n-1 addressing).
+  std::size_t nodes = 0;
+  /// Cycloid dimension for LORM's hop bound; 0 infers the smallest d with
+  /// d * 2^d >= nodes.
+  unsigned dimension = 0;
+  /// A Chord lookup may take at most 2*ceil(log2 n) + `chord_slack` hops.
+  double chord_slack = 4.0;
+  /// A Cycloid lookup may take at most 4*d + `cycloid_slack` hops (the
+  /// substrate's own structured-phase cap).
+  double cycloid_slack = 8.0;
+  /// One lookup skipping >= this many dead links is a burst.
+  std::uint64_t dead_link_burst = 8;
+  /// A sub-query whose successor walk probed >= this many nodes without a
+  /// single hit overran for nothing.
+  std::size_t walk_overrun_probes = 32;
+};
+
+struct Anomaly {
+  enum class Kind {
+    kRoutingLoop,
+    kHopBoundExceeded,
+    kDeadLinkBurst,
+    kZeroHitWalkOverrun,
+  };
+  Kind kind;
+  std::string system;
+  std::uint64_t query_id = 0;
+  std::size_t sub_index = 0;
+  std::string detail;  ///< human-readable specifics (node, counts, bound)
+};
+
+const char* AnomalyKindName(Anomaly::Kind kind);
+
+/// Per-node query-processing load reconstructed from the probe records.
+struct LoadProfile {
+  std::size_t nodes = 0;        ///< distinct nodes seen (paths + probes)
+  std::uint64_t probes = 0;     ///< total probe records
+  double jain = 1.0;
+  double gini = 0.0;
+  std::vector<LorenzPoint> lorenz;
+  double max_share = 0.0;       ///< hottest node's fraction of all probes
+};
+
+struct SystemReport {
+  std::string system;
+  std::size_t queries = 0;
+  std::size_t lookups = 0;
+  std::size_t failed_lookups = 0;
+  std::uint64_t dead_link_skips = 0;
+  double avg_attrs = 0.0;          ///< mean sub-queries per query
+  Summary hops_per_query;
+  Summary hops_per_lookup;
+  Summary visited_per_query;       ///< probes per query
+  Summary query_dur_us;            ///< per-query wall time, microseconds
+  Summary lookup_dur_us;           ///< per-lookup wall time, microseconds
+  LoadProfile load;
+};
+
+struct TraceReport {
+  std::vector<SystemReport> systems;  ///< sorted by system name
+  std::vector<Anomaly> anomalies;     ///< sorted by (system, query, sub)
+  std::size_t traces = 0;
+  std::size_t inferred_nodes = 0;     ///< n used for the hop bounds
+  unsigned inferred_dimension = 0;    ///< d used for LORM's hop bound
+};
+
+/// Aggregates a trace set into a deterministic report: sorts by query id,
+/// groups by system, computes the distributions and load profiles, and runs
+/// every anomaly detector.
+TraceReport AnalyzeTraces(std::vector<QueryTrace> traces,
+                          const AnomalyConfig& cfg = {});
+
+// ---- Theorem comparison ---------------------------------------------------
+
+/// One observed-vs-predicted row of the "analysis honesty" check. The
+/// caller computes `predicted` from src/analysis (this library stays free
+/// of the theorem models); Evaluate fills drift and the pass flag.
+struct DriftRow {
+  std::string system;
+  std::string metric;      ///< e.g. "hops/lookup"
+  double observed = 0.0;
+  double predicted = 0.0;
+  double drift = 0.0;      ///< |observed - predicted| / predicted
+  double tolerance = 0.0;
+  bool ok = true;
+};
+
+/// Builds a drift row and evaluates it against `tolerance`.
+DriftRow EvaluateDrift(std::string system, std::string metric,
+                       double observed, double predicted, double tolerance);
+
+// ---- Rendering ------------------------------------------------------------
+
+/// Human-readable report: per-system tables, load profiles, anomaly list,
+/// and (when non-empty) the theorem-drift rows. `metrics` adds a summary of
+/// a parsed metrics dump; pass nullptr to omit.
+void RenderReport(std::ostream& os, const TraceReport& report,
+                  const std::vector<DriftRow>& drift = {},
+                  const ParsedMetrics* metrics = nullptr);
+
+/// The same content as one machine-readable JSON object (single line).
+void RenderReportJson(std::ostream& os, const TraceReport& report,
+                      const std::vector<DriftRow>& drift = {});
+
+/// True when the report (and optional drift rows) pass the CI gate: zero
+/// anomalies and every drift row within tolerance.
+bool GatePasses(const TraceReport& report, const std::vector<DriftRow>& drift);
+
+}  // namespace lorm::obs

@@ -1,6 +1,7 @@
 #include "obs/trace.hpp"
 
 #include <atomic>
+#include <chrono>
 #include <ostream>
 #include <utility>
 
@@ -27,19 +28,45 @@ TraceSink* GetGlobalTraceSink() {
   return g_sink.load(std::memory_order_acquire);
 }
 
+std::uint64_t MonotonicNowNs() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
 // ---- Scopes ---------------------------------------------------------------
+
+std::uint64_t ReserveQueryIds(std::uint64_t count) {
+  return g_next_query_id.fetch_add(count, std::memory_order_relaxed);
+}
 
 QueryTraceScope::QueryTraceScope(std::string_view system)
     : sink_(GetGlobalTraceSink()) {
+  // The id is drawn only when a sink is installed: with tracing off the
+  // constructor stays one atomic load, no RMW on the shared counter.
   if (sink_ == nullptr) return;
+  Begin(system, g_next_query_id.fetch_add(1, std::memory_order_relaxed));
+}
+
+QueryTraceScope::QueryTraceScope(std::string_view system,
+                                 std::uint64_t query_id)
+    : sink_(GetGlobalTraceSink()) {
+  if (sink_ == nullptr) return;
+  Begin(system, query_id);
+}
+
+void QueryTraceScope::Begin(std::string_view system, std::uint64_t query_id) {
   trace_.system.assign(system);
-  trace_.query_id = g_next_query_id.fetch_add(1, std::memory_order_relaxed);
+  trace_.query_id = query_id;
   prev_ = detail::t_active;
   detail::t_active = &trace_;
+  start_ns_ = MonotonicNowNs();
 }
 
 QueryTraceScope::~QueryTraceScope() {
   if (sink_ == nullptr) return;
+  trace_.duration_ns = MonotonicNowNs() - start_ns_;
   detail::t_active = prev_;
   sink_->Consume(std::move(trace_));
 }
@@ -62,7 +89,7 @@ SubQueryTrace& CurrentSub(QueryTrace& t) {
 }  // namespace
 
 void OnLookup(const std::vector<NodeAddr>& path, HopCount hops, bool ok,
-              std::uint64_t dead_links_skipped) {
+              std::uint64_t dead_links_skipped, std::uint64_t duration_ns) {
   QueryTrace* t = detail::t_active;
   if (t == nullptr) return;
   SubQueryTrace& sub = CurrentSub(*t);
@@ -71,6 +98,7 @@ void OnLookup(const std::vector<NodeAddr>& path, HopCount hops, bool ok,
   l.hops = hops;
   l.ok = ok;
   l.dead_links_skipped = dead_links_skipped;
+  l.duration_ns = duration_ns;
 }
 
 void OnDirectoryProbe(NodeAddr node, std::uint64_t hits,
@@ -100,9 +128,42 @@ void JsonLinesTraceSink::Consume(QueryTrace&& trace) {
   os_ << "\n";
 }
 
+void WriteJsonString(std::ostream& os, std::string_view text) {
+  os << '"';
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      case '\r':
+        os << "\\r";
+        break;
+      case '\t':
+        os << "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          static const char* hex = "0123456789abcdef";
+          os << "\\u00" << hex[(c >> 4) & 0xF] << hex[c & 0xF];
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
 void JsonLinesTraceSink::WriteJson(std::ostream& os, const QueryTrace& trace) {
-  os << "{\"system\":\"" << trace.system
-     << "\",\"query\":" << trace.query_id << ",\"subs\":[";
+  os << "{\"system\":";
+  WriteJsonString(os, trace.system);
+  os << ",\"query\":" << trace.query_id << ",\"dur_ns\":" << trace.duration_ns
+     << ",\"subs\":[";
   for (std::size_t s = 0; s < trace.subs.size(); ++s) {
     const SubQueryTrace& sub = trace.subs[s];
     if (s) os << ",";
@@ -116,7 +177,8 @@ void JsonLinesTraceSink::WriteJson(std::ostream& os, const QueryTrace& trace) {
         os << l.path[j];
       }
       os << "],\"hops\":" << l.hops << ",\"ok\":" << (l.ok ? "true" : "false")
-         << ",\"dead_skips\":" << l.dead_links_skipped << "}";
+         << ",\"dead_skips\":" << l.dead_links_skipped
+         << ",\"dur_ns\":" << l.duration_ns << "}";
     }
     os << "],\"probes\":[";
     for (std::size_t i = 0; i < sub.probes.size(); ++i) {
@@ -138,6 +200,11 @@ void MemoryTraceSink::Consume(QueryTrace&& trace) {
 std::vector<QueryTrace> MemoryTraceSink::Take() {
   std::lock_guard<std::mutex> lock(mu_);
   return std::exchange(traces_, {});
+}
+
+void TeeTraceSink::Consume(QueryTrace&& trace) {
+  first_.Consume(QueryTrace(trace));  // copy: both targets own a full trace
+  second_.Consume(std::move(trace));
 }
 
 }  // namespace lorm::obs

@@ -37,6 +37,7 @@ struct LookupTrace {
   HopCount hops = 0;
   bool ok = false;
   std::uint64_t dead_links_skipped = 0;
+  std::uint64_t duration_ns = 0;  ///< monotonic wall time of the routing walk
 };
 
 /// One directory check (sub-query root or range-walk probe).
@@ -55,6 +56,7 @@ struct SubQueryTrace {
 struct QueryTrace {
   std::string system;        ///< service name: LORM / Mercury / SWORD / MAAN
   std::uint64_t query_id = 0;  ///< process-wide sequence number
+  std::uint64_t duration_ns = 0;  ///< monotonic wall time of the whole query
   std::vector<SubQueryTrace> subs;
 };
 
@@ -65,7 +67,9 @@ class TraceSink {
   virtual void Consume(QueryTrace&& trace) = 0;
 };
 
-/// Writes one JSON object per trace, one per line (JSON Lines).
+/// Writes one JSON object per trace, one per line (JSON Lines). The exact
+/// wire format is the contract of the offline analyzer (`obs/analyze.hpp`):
+/// ParseTraceLine round-trips every line WriteJson emits, byte for byte.
 class JsonLinesTraceSink : public TraceSink {
  public:
   explicit JsonLinesTraceSink(std::ostream& os) : os_(os) {}
@@ -79,8 +83,14 @@ class JsonLinesTraceSink : public TraceSink {
   std::ostream& os_;
 };
 
+/// Writes `text` as a JSON string literal (quotes included), escaping
+/// quote, backslash and control characters. Shared by the trace sink and
+/// its round-trip tests.
+void WriteJsonString(std::ostream& os, std::string_view text);
+
 /// Collects traces in memory — for tests that cross-check traces against
-/// the query's reported QueryStats.
+/// the query's reported QueryStats, and for the benches' in-process
+/// `--analyze` reports.
 class MemoryTraceSink : public TraceSink {
  public:
   void Consume(QueryTrace&& trace) override;
@@ -90,6 +100,19 @@ class MemoryTraceSink : public TraceSink {
  private:
   std::mutex mu_;
   std::vector<QueryTrace> traces_;
+};
+
+/// Duplicates every trace to two sinks (e.g. a JSONL file and an in-memory
+/// collector for post-hoc analysis). Thread-safe iff both targets are.
+class TeeTraceSink : public TraceSink {
+ public:
+  TeeTraceSink(TraceSink& first, TraceSink& second)
+      : first_(first), second_(second) {}
+  void Consume(QueryTrace&& trace) override;
+
+ private:
+  TraceSink& first_;
+  TraceSink& second_;
 };
 
 /// Installs the process-wide sink new QueryTraceScopes hand traces to
@@ -105,20 +128,38 @@ extern thread_local QueryTrace* t_active;
 /// True when a trace is being recorded on this thread.
 inline bool TracingActive() { return detail::t_active != nullptr; }
 
+/// Monotonic clock read in nanoseconds, for trace timing. Callers on hot
+/// paths must gate this behind TracingActive(): with tracing off the
+/// timestamp is never taken, so the off-state stays one TLS null check.
+std::uint64_t MonotonicNowNs();
+
+/// Reserves `count` consecutive query ids from the process-wide sequence
+/// and returns the first. The parallel replay engine reserves one block per
+/// experiment and gives trial t the id base+t, so the id<->query mapping —
+/// and therefore the analyzer's sort-by-query-id order and its rendered
+/// reports — is identical for any --jobs value.
+std::uint64_t ReserveQueryIds(std::uint64_t count);
+
 /// RAII: starts recording a query trace on this thread (inert when no sink
 /// is installed) and hands the finished trace to the sink on destruction.
+/// The two-argument form pins the trace's query id (see ReserveQueryIds);
+/// the one-argument form draws the next id from the process-wide sequence.
 class QueryTraceScope {
  public:
   explicit QueryTraceScope(std::string_view system);
+  QueryTraceScope(std::string_view system, std::uint64_t query_id);
   ~QueryTraceScope();
 
   QueryTraceScope(const QueryTraceScope&) = delete;
   QueryTraceScope& operator=(const QueryTraceScope&) = delete;
 
  private:
+  void Begin(std::string_view system, std::uint64_t query_id);
+
   TraceSink* sink_ = nullptr;
   QueryTrace trace_;
   QueryTrace* prev_ = nullptr;
+  std::uint64_t start_ns_ = 0;
 };
 
 /// RAII: opens the next sub-query record inside the active trace. No-op
@@ -136,8 +177,11 @@ class SubQueryScope {
 // All are a thread-local null check when no trace is active.
 
 /// Records one overlay lookup (called by chord/cycloid LookupInto).
+/// `duration_ns` is the monotonic wall time of the routing walk; callers
+/// that did not time the walk (tracing was off when it started) pass 0.
 void OnLookup(const std::vector<NodeAddr>& path, HopCount hops, bool ok,
-              std::uint64_t dead_links_skipped);
+              std::uint64_t dead_links_skipped,
+              std::uint64_t duration_ns = 0);
 
 /// Records one directory probe (called by the services per visited node).
 void OnDirectoryProbe(NodeAddr node, std::uint64_t hits, std::uint64_t dir_size);

@@ -373,6 +373,37 @@ TEST(Stats, JainFairness) {
   EXPECT_DOUBLE_EQ(JainFairness({0, 0}), 1.0);
 }
 
+TEST(Stats, GiniUniformAndSpike) {
+  // Perfect equality -> 0; one node holding everything -> (n-1)/n.
+  EXPECT_NEAR(Gini({5, 5, 5, 5}), 0.0, 1e-12);
+  EXPECT_NEAR(Gini({0, 0, 0, 8}), 3.0 / 4.0, 1e-12);
+  EXPECT_NEAR(Gini({0, 0, 0, 0, 0, 0, 0, 0, 0, 1}), 9.0 / 10.0, 1e-12);
+  EXPECT_DOUBLE_EQ(Gini({}), 0.0);
+  EXPECT_DOUBLE_EQ(Gini({0, 0}), 0.0);
+  EXPECT_DOUBLE_EQ(Gini({7}), 0.0);
+  // Order-invariant: Gini sorts internally.
+  EXPECT_NEAR(Gini({1, 2, 3, 4}), Gini({4, 1, 3, 2}), 1e-12);
+}
+
+TEST(Stats, LorenzCurve) {
+  // Uniform loads lie on the diagonal: cum-load share == population share.
+  const auto uniform = LorenzPoints({3, 3, 3, 3});
+  ASSERT_EQ(uniform.size(), 5u);
+  for (const auto& pt : uniform) {
+    EXPECT_NEAR(pt.cum_load, pt.cum_population, 1e-12);
+  }
+  // A single spike: the curve hugs zero until the last node.
+  const auto spike = LorenzPoints({0, 0, 0, 10});
+  ASSERT_EQ(spike.size(), 5u);
+  EXPECT_NEAR(spike[3].cum_load, 0.0, 1e-12);
+  EXPECT_NEAR(spike[4].cum_load, 1.0, 1e-12);
+  EXPECT_NEAR(LorenzShareAt(spike, 0.75), 0.0, 1e-12);
+  EXPECT_NEAR(LorenzShareAt(spike, 1.0), 1.0, 1e-12);
+  // Interpolation halfway into the last quartile.
+  EXPECT_NEAR(LorenzShareAt(spike, 0.875), 0.5, 1e-12);
+  EXPECT_NEAR(LorenzShareAt(uniform, 0.5), 0.5, 1e-12);
+}
+
 TEST(Types, FormatNodeAddr) {
   EXPECT_EQ(FormatNodeAddr(kNoNode), "<none>");
   EXPECT_EQ(FormatNodeAddr(0), "10.0.0.0");

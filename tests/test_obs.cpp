@@ -1,8 +1,10 @@
 // Observability-layer tests: metrics registry semantics, the trace
-// recorder's agreement with QueryStats across all four systems, and
-// --jobs independence of the sharded instruments.
+// recorder's agreement with QueryStats across all four systems, --jobs
+// independence of the sharded instruments, and the offline analyzer —
+// wire-format round-trips, anomaly detectors, and report determinism.
 #include "obs/metrics.hpp"
 
+#include <algorithm>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -11,6 +13,7 @@
 #include <gtest/gtest.h>
 
 #include "harness/experiments.hpp"
+#include "obs/analyze.hpp"
 #include "obs/trace.hpp"
 #include "service_test_util.hpp"
 
@@ -200,6 +203,331 @@ TEST(TraceJsonLines, OneLinePerQueryAndWellFormedShape) {
   EXPECT_NE(out.find("\"system\":\"SWORD\""), std::string::npos);
   EXPECT_NE(out.find("\"path\":["), std::string::npos);
   EXPECT_NE(out.find("\"probes\":["), std::string::npos);
+}
+
+// ---- Wire-format round-trip -----------------------------------------------
+
+std::string Serialize(const QueryTrace& t) {
+  std::ostringstream os;
+  JsonLinesTraceSink::WriteJson(os, t);
+  return os.str();
+}
+
+/// Serialize -> parse -> serialize must reproduce the line byte for byte;
+/// this pins the wire format from both sides.
+void ExpectRoundTrips(const QueryTrace& t) {
+  const std::string line = Serialize(t);
+  QueryTrace parsed;
+  std::string err;
+  ASSERT_TRUE(ParseTraceLine(line, parsed, &err)) << err << "\n" << line;
+  EXPECT_EQ(Serialize(parsed), line);
+}
+
+TEST(TraceRoundTrip, HandBuiltCornerCases) {
+  // Escaping: quote, backslash, tab, newline and a raw control byte in the
+  // system name.
+  QueryTrace t;
+  t.system = "we\"ird\\sys\tname\nwith\x01ctl";
+  t.query_id = 42;
+  t.duration_ns = 123456789;
+
+  // Sub 0: a failed lookup (empty path) next to a successful one.
+  SubQueryTrace& s0 = t.subs.emplace_back();
+  s0.attr = 7;
+  LookupTrace& fail = s0.lookups.emplace_back();
+  fail.ok = false;  // empty path, zero hops
+  LookupTrace& okl = s0.lookups.emplace_back();
+  okl.path = {3, 1, 4, 15};
+  okl.hops = 3;
+  okl.ok = true;
+  okl.dead_links_skipped = 2;
+  okl.duration_ns = 987;
+
+  // Sub 1: probe-only (a root hit without any routing).
+  SubQueryTrace& s1 = t.subs.emplace_back();
+  s1.attr = 0;
+  s1.probes.push_back({9, 5, 120});
+  s1.probes.push_back({kNoNode, 0, 0});
+
+  ExpectRoundTrips(t);
+
+  // Degenerate shells survive too.
+  QueryTrace empty;
+  empty.system = "";
+  ExpectRoundTrips(empty);
+}
+
+TEST(TraceRoundTrip, ParsedFieldsMatch) {
+  QueryTrace t;
+  t.system = "LORM";
+  t.query_id = 7;
+  t.duration_ns = 55;
+  SubQueryTrace& s = t.subs.emplace_back();
+  s.attr = 3;
+  LookupTrace& l = s.lookups.emplace_back();
+  l.path = {0, 2};
+  l.hops = 1;
+  l.ok = true;
+  l.duration_ns = 11;
+  s.probes.push_back({2, 1, 9});
+
+  QueryTrace parsed;
+  ASSERT_TRUE(ParseTraceLine(Serialize(t), parsed));
+  EXPECT_EQ(parsed.system, "LORM");
+  EXPECT_EQ(parsed.query_id, 7u);
+  EXPECT_EQ(parsed.duration_ns, 55u);
+  ASSERT_EQ(parsed.subs.size(), 1u);
+  EXPECT_EQ(parsed.subs[0].attr, 3u);
+  ASSERT_EQ(parsed.subs[0].lookups.size(), 1u);
+  EXPECT_EQ(parsed.subs[0].lookups[0].path, (std::vector<NodeAddr>{0, 2}));
+  EXPECT_EQ(parsed.subs[0].lookups[0].hops, 1u);
+  EXPECT_TRUE(parsed.subs[0].lookups[0].ok);
+  EXPECT_EQ(parsed.subs[0].lookups[0].duration_ns, 11u);
+  ASSERT_EQ(parsed.subs[0].probes.size(), 1u);
+  EXPECT_EQ(parsed.subs[0].probes[0].node, 2u);
+  EXPECT_EQ(parsed.subs[0].probes[0].hits, 1u);
+  EXPECT_EQ(parsed.subs[0].probes[0].dir_size, 9u);
+}
+
+TEST(TraceRoundTrip, RejectsMalformedLines) {
+  QueryTrace out;
+  std::string err;
+  EXPECT_FALSE(ParseTraceLine("", out, &err));
+  EXPECT_FALSE(err.empty());
+  EXPECT_FALSE(ParseTraceLine("{", out, &err));
+  EXPECT_FALSE(ParseTraceLine("[]", out, &err));
+  EXPECT_FALSE(ParseTraceLine(R"({"system":"X"})", out, &err));
+  // Well-formed object followed by trailing garbage.
+  const std::string good = Serialize(QueryTrace{});
+  EXPECT_TRUE(ParseTraceLine(good, out, &err)) << err;
+  EXPECT_FALSE(ParseTraceLine(good + "x", out, &err));
+}
+
+TEST(TraceRoundTrip, EverySystemsRealTracesSurvive) {
+  // Real traces from all four systems — notably MAAN's two lookups per
+  // sub-query (one per range bound) — must round-trip byte-exact.
+  for (const auto kind :
+       {harness::SystemKind::kLorm, harness::SystemKind::kMercury,
+        harness::SystemKind::kSword, harness::SystemKind::kMaan}) {
+    auto bed = testutil::MakeBed(kind);
+    MemoryTraceSink sink;
+    SetGlobalTraceSink(&sink);
+    harness::QueryExperimentConfig cfg;
+    cfg.requesters = 4;
+    cfg.queries_per_requester = 2;
+    cfg.attrs_per_query = 2;
+    cfg.range = true;
+    cfg.jobs = 1;
+    harness::RunQueries(*bed.service, *bed.workload, cfg);
+    SetGlobalTraceSink(nullptr);
+    const auto traces = sink.Take();
+    ASSERT_EQ(traces.size(), 8u);
+    for (const QueryTrace& t : traces) {
+      ExpectRoundTrips(t);
+      if (kind == harness::SystemKind::kMaan) {
+        for (const SubQueryTrace& sub : t.subs) {
+          EXPECT_EQ(sub.lookups.size(), 2u)
+              << "MAAN resolves a range with one lookup per bound";
+        }
+      }
+    }
+  }
+}
+
+TEST(MetricsParse, RoundTripsRegistryDump) {
+  MetricsOn on;
+  Registry::Global().GetCounter("test.parse.counter").Add(17);
+  Histogram& h = Registry::Global().GetHistogram(
+      "test.parse.hist", Histogram::LinearBounds(0.0, 1.0, 3));
+  h.Record(0.5);
+  h.Record(99.0);
+  std::ostringstream os;
+  Registry::Global().WriteJson(os);
+
+  ParsedMetrics m;
+  std::string err;
+  ASSERT_TRUE(ParseMetricsJson(os.str(), m, &err)) << err;
+  ASSERT_EQ(m.counters.count("test.parse.counter"), 1u);
+  EXPECT_EQ(m.counters.at("test.parse.counter"), 17u);
+  ASSERT_EQ(m.histograms.count("test.parse.hist"), 1u);
+  const auto& hist = m.histograms.at("test.parse.hist");
+  EXPECT_EQ(hist.bounds, (std::vector<double>{1, 2, 3}));
+  ASSERT_EQ(hist.counts.size(), 4u);
+  EXPECT_EQ(hist.count, 2u);
+  EXPECT_DOUBLE_EQ(hist.sum, 99.5);
+  EXPECT_FALSE(ParseMetricsJson("{\"x\":", m, &err));
+}
+
+// ---- Anomaly detectors ----------------------------------------------------
+
+QueryTrace CleanTrace(std::uint64_t id) {
+  QueryTrace t;
+  t.system = "SWORD";
+  t.query_id = id;
+  SubQueryTrace& s = t.subs.emplace_back();
+  s.attr = 1;
+  LookupTrace& l = s.lookups.emplace_back();
+  l.path = {0, 5, 9};
+  l.hops = 2;
+  l.ok = true;
+  s.probes.push_back({9, 3, 40});
+  return t;
+}
+
+TEST(Anomalies, CleanTracesRaiseNothing) {
+  std::vector<QueryTrace> traces;
+  for (std::uint64_t i = 0; i < 4; ++i) traces.push_back(CleanTrace(i));
+  AnomalyConfig cfg;
+  cfg.nodes = 16;
+  const TraceReport report = AnalyzeTraces(std::move(traces), cfg);
+  EXPECT_TRUE(report.anomalies.empty());
+  EXPECT_TRUE(GatePasses(report, {}));
+}
+
+TEST(Anomalies, EachDetectorFires) {
+  AnomalyConfig cfg;
+  cfg.nodes = 16;     // chord bound: 2*ceil(log2 16) + 4 = 12 hops
+  cfg.dimension = 2;  // cycloid bound: 4*2 + 8 = 16 hops
+  std::vector<QueryTrace> traces;
+
+  QueryTrace loop = CleanTrace(0);
+  loop.subs[0].lookups[0].path = {1, 6, 3, 6, 2};
+  loop.subs[0].lookups[0].hops = 4;
+  traces.push_back(loop);
+
+  QueryTrace chord_over = CleanTrace(1);
+  chord_over.subs[0].lookups[0].path.clear();
+  for (NodeAddr a = 0; a < 14; ++a) {
+    chord_over.subs[0].lookups[0].path.push_back(a);
+  }
+  chord_over.subs[0].lookups[0].hops = 13;  // > 12
+  traces.push_back(chord_over);
+
+  QueryTrace cycloid_over = CleanTrace(2);
+  cycloid_over.system = "LORM";
+  cycloid_over.subs[0].lookups[0].hops = 17;  // > 16
+  traces.push_back(cycloid_over);
+
+  QueryTrace burst = CleanTrace(3);
+  burst.subs[0].lookups[0].dead_links_skipped = 8;  // >= default burst 8
+  traces.push_back(burst);
+
+  QueryTrace overrun = CleanTrace(4);
+  overrun.subs[0].probes.clear();
+  for (NodeAddr a = 0; a < 32; ++a) {
+    overrun.subs[0].probes.push_back({a, 0, 10});  // 32 probes, zero hits
+  }
+  traces.push_back(overrun);
+
+  const TraceReport report = AnalyzeTraces(std::move(traces), cfg);
+  ASSERT_EQ(report.anomalies.size(), 5u);
+  // Sorted by (system, query id): LORM first, then the SWORD traces.
+  EXPECT_EQ(report.anomalies[0].kind, Anomaly::Kind::kHopBoundExceeded);
+  EXPECT_EQ(report.anomalies[0].system, "LORM");
+  EXPECT_EQ(report.anomalies[1].kind, Anomaly::Kind::kRoutingLoop);
+  EXPECT_EQ(report.anomalies[1].query_id, 0u);
+  EXPECT_EQ(report.anomalies[2].kind, Anomaly::Kind::kHopBoundExceeded);
+  EXPECT_EQ(report.anomalies[2].query_id, 1u);
+  EXPECT_EQ(report.anomalies[3].kind, Anomaly::Kind::kDeadLinkBurst);
+  EXPECT_EQ(report.anomalies[3].query_id, 3u);
+  EXPECT_EQ(report.anomalies[4].kind, Anomaly::Kind::kZeroHitWalkOverrun);
+  EXPECT_EQ(report.anomalies[4].query_id, 4u);
+  EXPECT_FALSE(GatePasses(report, {}));
+}
+
+TEST(Anomalies, DriftRowsGateTheReport) {
+  const auto ok = EvaluateDrift("LORM", "hops/lookup", 6.5, 6.0, 0.35);
+  EXPECT_TRUE(ok.ok);
+  EXPECT_NEAR(ok.drift, 0.5 / 6.0, 1e-12);
+  const auto bad = EvaluateDrift("MAAN", "hops/lookup", 9.0, 4.3, 0.35);
+  EXPECT_FALSE(bad.ok);
+  TraceReport clean;
+  EXPECT_TRUE(GatePasses(clean, {ok}));
+  EXPECT_FALSE(GatePasses(clean, {ok, bad}));
+}
+
+// ---- Trace timing ---------------------------------------------------------
+
+TEST(TraceTiming, DurationsRecordedWhenTracing) {
+  auto bed = testutil::MakeBed(harness::SystemKind::kMercury);
+  MemoryTraceSink sink;
+  SetGlobalTraceSink(&sink);
+  Rng rng(0xC10CC);
+  const resource::MultiQuery q = bed.workload->MakeRangeQuery(
+      2, 3, resource::RangeStyle::kBounded, rng);
+  {
+    QueryTraceScope scope(bed.service->name());
+    bed.service->Query(q);
+  }
+  SetGlobalTraceSink(nullptr);
+  const auto traces = sink.Take();
+  ASSERT_EQ(traces.size(), 1u);
+  EXPECT_GT(traces[0].duration_ns, 0u);
+  std::uint64_t lookup_total = 0;
+  for (const SubQueryTrace& sub : traces[0].subs) {
+    for (const LookupTrace& l : sub.lookups) {
+      lookup_total += l.duration_ns;
+      // Each routing walk fits inside the query that issued it.
+      EXPECT_LE(l.duration_ns, traces[0].duration_ns);
+    }
+  }
+  EXPECT_GT(lookup_total, 0u);
+}
+
+// ---- Analyzer determinism -------------------------------------------------
+
+std::vector<QueryTrace> ReplayTraces(std::size_t jobs) {
+  auto bed = testutil::MakeBed(harness::SystemKind::kMercury);
+  MemoryTraceSink sink;
+  SetGlobalTraceSink(&sink);
+  harness::QueryExperimentConfig cfg;
+  cfg.requesters = 8;
+  cfg.queries_per_requester = 4;
+  cfg.attrs_per_query = 2;
+  cfg.range = true;
+  cfg.jobs = jobs;
+  harness::RunQueries(*bed.service, *bed.workload, cfg);
+  SetGlobalTraceSink(nullptr);
+  auto traces = sink.Take();
+  // Wall-clock durations are the one legitimately nondeterministic field;
+  // zero them so what remains must be byte-identical.
+  for (QueryTrace& t : traces) {
+    t.duration_ns = 0;
+    for (SubQueryTrace& sub : t.subs) {
+      for (LookupTrace& l : sub.lookups) l.duration_ns = 0;
+    }
+  }
+  // The process-wide id counter advanced between the two replays; reports
+  // must depend only on id order, so rebase each block to 0.
+  const std::uint64_t base =
+      std::min_element(traces.begin(), traces.end(),
+                       [](const QueryTrace& a, const QueryTrace& b) {
+                         return a.query_id < b.query_id;
+                       })
+          ->query_id;
+  for (QueryTrace& t : traces) t.query_id -= base;
+  return traces;
+}
+
+std::string RenderedReport(std::vector<QueryTrace> traces) {
+  const TraceReport report = AnalyzeTraces(std::move(traces));
+  std::ostringstream os;
+  RenderReport(os, report);
+  RenderReportJson(os, report);
+  return os.str();
+}
+
+TEST(AnalyzerDeterminism, ByteIdenticalReportAcrossJobsAndTraceOrder) {
+  const auto seq = ReplayTraces(1);
+  const auto par = ReplayTraces(2);
+  ASSERT_EQ(seq.size(), par.size());
+  const std::string report = RenderedReport(seq);
+  EXPECT_EQ(report, RenderedReport(par));
+
+  // Consumption order must not matter either: the analyzer re-sorts.
+  auto reversed = seq;
+  std::reverse(reversed.begin(), reversed.end());
+  EXPECT_EQ(report, RenderedReport(reversed));
 }
 
 // ---- --jobs independence --------------------------------------------------
