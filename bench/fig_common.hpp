@@ -30,6 +30,7 @@ namespace lorm::bench {
 
 struct BenchOptions {
   bool quick = false;   ///< reduced-scale smoke run
+  bool cache = false;   ///< enable the adaptive caching layer (--cache)
   bool csv = false;     ///< machine-readable table rows
   bool json = false;    ///< emit a machine-readable summary line at exit
   std::size_t jobs = 1; ///< worker threads (--jobs; default hw concurrency)
@@ -68,6 +69,7 @@ inline BenchOptions ParseOptions(int argc, char** argv) {
   opt.jobs = ResolveJobs(0);
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) opt.quick = true;
+    if (std::strcmp(argv[i], "--cache") == 0) opt.cache = true;
     if (std::strcmp(argv[i], "--csv") == 0) opt.csv = true;
     if (std::strcmp(argv[i], "--json") == 0) opt.json = true;
     if (std::strcmp(argv[i], "--metrics") == 0) opt.metrics = true;
@@ -185,7 +187,9 @@ inline void FinishBench(const BenchOptions& opt, const std::string& name,
 
 /// The paper's setup, or a proportionally reduced one for --quick runs.
 inline harness::Setup FigureSetup(const BenchOptions& opt) {
-  return opt.quick ? harness::Setup::Quick() : harness::Setup::Paper();
+  harness::Setup s = opt.quick ? harness::Setup::Quick() : harness::Setup::Paper();
+  s.cache = opt.cache;
+  return s;
 }
 
 inline analysis::SystemModel ModelOf(const harness::Setup& s) {

@@ -31,6 +31,7 @@ ChordRing::ChordRing(Config cfg) : cfg_(cfg) {
     throw ConfigError("ChordRing successor list must be non-empty");
   }
   space_ = std::uint64_t{1} << cfg_.bits;
+  if (cfg_.route_cache) route_cache_.Enable();
 }
 
 ChordRing::Slot ChordRing::SlotOf(NodeAddr addr) const {
@@ -79,6 +80,7 @@ ChordRing::Slot ChordRing::AllocateSlot(NodeAddr addr, Key id) {
   n.predecessor = Link{};
   n.fingers.clear();
   n.successors.clear();
+  route_cache_.EnsureSlots(slots_.size());
   return s;
 }
 
@@ -91,6 +93,9 @@ void ChordRing::ReleaseSlot(Slot s) {
   n.fingers.clear();     // keeps capacity for the next occupant
   n.successors.clear();
   free_slots_.push_back(s);
+  // The generation bump above already invalidates shortcuts *to* this slot;
+  // drop what the departed occupant had learned as well.
+  route_cache_.ClearNode(s);
 }
 
 Key ChordRing::FingerStart(Key id, unsigned i) const {
@@ -485,7 +490,7 @@ struct LookupRecorder {
     }
     const std::uint64_t dur_ns =
         start_ns != 0 ? obs::MonotonicNowNs() - start_ns : 0;
-    obs::OnLookup(r.path, r.hops, r.ok, dead_delta, dur_ns);
+    obs::OnLookup(r.path, r.hops, r.ok, dead_delta, dur_ns, r.cache_hits);
   }
 };
 
@@ -497,14 +502,36 @@ void ChordRing::LookupInto(Key key, NodeAddr origin, LookupResult& r) const {
   r.key = key & (space_ - 1);
   r.owner = kNoNode;
   r.hops = 0;
+  r.cache_hits = 0;
   r.path.clear();
   const Slot origin_slot = SlotOf(origin);
   if (origin_slot == kNoSlot) return;
 
+  const bool cached = route_cache_.enabled();
   const std::size_t max_hops = by_addr_.size() + 4 * cfg_.bits + 8;
   Slot cur = origin_slot;
   r.path.push_back(origin);
   while (!OwnsNode(slots_[cur], r.key)) {
+    if (cached) {
+      Link shortcut;
+      if (route_cache_.Probe(cur, r.key, shortcut)) {
+        // Same liveness discipline as a finger, plus an ownership re-check
+        // with the walk's own termination predicate: a stale or wrong
+        // shortcut can never route to an owner the plain walk would reject.
+        if (shortcut.slot != kNoSlot && shortcut.slot != cur &&
+            slots_[shortcut.slot].gen == shortcut.gen &&
+            OwnsNode(slots_[shortcut.slot], r.key)) {
+          cache::TickRouteHit();
+          cur = shortcut.slot;
+          ++r.hops;
+          ++r.cache_hits;
+          r.path.push_back(slots_[cur].addr);
+          continue;
+        }
+        route_cache_.Evict(cur, r.key);
+      }
+      cache::TickRouteMiss();
+    }
     const Node& n = slots_[cur];
     const Slot succ = FirstLiveSuccessorSlot(n);
     Slot next;
@@ -528,6 +555,14 @@ void ChordRing::LookupInto(Key key, NodeAddr origin, LookupResult& r) const {
   }
   r.owner = slots_[cur].addr;
   r.ok = true;
+  if (cached && r.hops > 0) {
+    // Teach every node on the path a direct link to the owner.
+    const Link owner_link = MakeLink(cur);
+    for (std::size_t i = 0; i + 1 < r.path.size(); ++i) {
+      const Slot s = SlotOf(r.path[i]);
+      if (s != kNoSlot && s != cur) route_cache_.Insert(s, r.key, owner_link);
+    }
+  }
 }
 
 void ChordRing::BuildState(Node& n) {

@@ -37,6 +37,7 @@
 #include <utility>
 #include <vector>
 
+#include "cache/route_cache.hpp"
 #include "common/maintenance.hpp"
 #include "common/types.hpp"
 
@@ -59,6 +60,10 @@ struct Config {
   std::size_t successor_list = 4;
   /// Seed for ID assignment in random-ID mode.
   std::uint64_t seed = 0x5EEDC0DEull;
+  /// Learn per-node shortcut links from completed lookups and consult them
+  /// before the finger tables (see cache/route_cache.hpp). Off by default:
+  /// the uncached walk is the paper's protocol and stays byte-identical.
+  bool route_cache = false;
 };
 
 /// Result of routing a lookup through the overlay.
@@ -68,6 +73,8 @@ struct LookupResult {
   NodeAddr owner = kNoNode;     ///< node whose ID sector contains the key
   HopCount hops = 0;            ///< inter-node hops from origin to owner
   std::vector<NodeAddr> path;   ///< origin first, owner last
+  /// Hops taken through route-cache shortcuts (0 with the cache off).
+  std::uint64_t cache_hits = 0;
 };
 
 /// Observer of ring membership changes; the discovery layer uses this to
@@ -251,6 +258,8 @@ class ChordRing {
   std::unordered_map<NodeAddr, Slot> by_addr_;  // resolved once per change
   std::vector<MembershipObserver*> observers_;
   mutable MaintenanceStats maintenance_;  // mutable: routing is const
+  /// Learned shortcuts (cfg_.route_cache); mutable: lookups teach it.
+  mutable cache::RouteCacheTable<Link> route_cache_;
 };
 
 /// Populates a ring with `n` nodes and addresses base..base+n-1.

@@ -24,6 +24,7 @@ CycloidNetwork::CycloidNetwork(Config cfg) : cfg_(cfg) {
     throw ConfigError("Cycloid dimension must be in [2, 24]");
   }
   cluster_space_ = std::uint64_t{1} << cfg_.dimension;
+  if (cfg_.route_cache) route_cache_.Enable();
 }
 
 CycloidNetwork::Slot CycloidNetwork::SlotOf(NodeAddr addr) const {
@@ -69,6 +70,7 @@ CycloidNetwork::Slot CycloidNetwork::AllocateSlot(NodeAddr addr, CycloidId id) {
   n.inside_succ = n.inside_pred = Link{};
   n.outside_succ = n.outside_pred = Link{};
   n.cubical = n.cyclic_succ = n.cyclic_pred = Link{};
+  route_cache_.EnsureSlots(slots_.size());
   return s;
 }
 
@@ -77,6 +79,9 @@ void CycloidNetwork::ReleaseSlot(Slot s) {
   ++n.gen;  // invalidates every link that points here
   n.live = false;
   n.addr = kNoNode;
+  // The generation bump already invalidates shortcuts *to* this slot; drop
+  // what the departed occupant had learned as well.
+  route_cache_.ClearNode(s);
 }
 
 const CycloidNetwork::Cluster& CycloidNetwork::MustCluster(
@@ -525,7 +530,7 @@ struct LookupRecorder {
     }
     const std::uint64_t dur_ns =
         start_ns != 0 ? obs::MonotonicNowNs() - start_ns : 0;
-    obs::OnLookup(r.path, r.hops, r.ok, dead_delta, dur_ns);
+    obs::OnLookup(r.path, r.hops, r.ok, dead_delta, dur_ns, r.cache_hits);
   }
 };
 
@@ -538,10 +543,14 @@ void CycloidNetwork::LookupInto(CycloidId key, NodeAddr origin,
   r.key = CycloidId{key.k % cfg_.dimension, key.a % cluster_space_};
   r.owner = kNoNode;
   r.hops = 0;
+  r.cache_hits = 0;
   r.path.clear();
   const Slot origin_slot = SlotOf(origin);
   if (origin_slot == kNoSlot) return;
 
+  const bool cached = route_cache_.enabled();
+  // (cubical, cyclic) packed as one cache key; unique because k < d.
+  const std::uint64_t cache_key = r.key.a * cfg_.dimension + r.key.k;
   const unsigned d = cfg_.dimension;
   const std::size_t structured_cap = 4 * d + 8;
   const std::size_t total_cap =
@@ -555,6 +564,28 @@ void CycloidNetwork::LookupInto(CycloidId key, NodeAddr origin,
   // previous node would cycle forever in a churn-degraded neighborhood).
   bool walk_mode = false;
   while (!OwnsNode(slots_[cur], r.key)) {
+    if (cached) {
+      Link shortcut;
+      if (route_cache_.Probe(cur, cache_key, shortcut)) {
+        // Same liveness discipline as a leaf-set entry, plus an ownership
+        // re-check with the walk's own termination predicate: a stale or
+        // wrong shortcut can never route to an owner the plain walk would
+        // reject.
+        if (shortcut.slot != kNoSlot && shortcut.slot != cur &&
+            slots_[shortcut.slot].gen == shortcut.gen &&
+            OwnsNode(slots_[shortcut.slot], r.key)) {
+          cache::TickRouteHit();
+          prev = cur;
+          cur = shortcut.slot;
+          ++r.hops;
+          ++r.cache_hits;
+          r.path.push_back(slots_[cur].addr);
+          continue;
+        }
+        route_cache_.Evict(cur, cache_key);
+      }
+      cache::TickRouteMiss();
+    }
     const Node& n = slots_[cur];
     walk_mode = walk_mode || r.hops >= structured_cap;
     Slot next = NextHopSlot(n, r.key, walk_mode);
@@ -571,6 +602,16 @@ void CycloidNetwork::LookupInto(CycloidId key, NodeAddr origin,
   }
   r.owner = slots_[cur].addr;
   r.ok = true;
+  if (cached && r.hops > 0) {
+    // Teach every node on the path a direct link to the owner.
+    const Link owner_link = MakeLink(cur);
+    for (std::size_t i = 0; i + 1 < r.path.size(); ++i) {
+      const Slot s = SlotOf(r.path[i]);
+      if (s != kNoSlot && s != cur) {
+        route_cache_.Insert(s, cache_key, owner_link);
+      }
+    }
+  }
 }
 
 void CycloidNetwork::FixNode(NodeAddr addr) {

@@ -51,6 +51,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "cache/route_cache.hpp"
 #include "common/maintenance.hpp"
 #include "common/types.hpp"
 
@@ -71,6 +72,10 @@ struct Config {
   /// (2048 nodes). Must be in [2, 24].
   unsigned dimension = 8;
   std::uint64_t seed = 0xC1C101Dull;
+  /// Learn per-node shortcut links from completed lookups and consult them
+  /// before NextHop (see cache/route_cache.hpp). Off by default: the
+  /// uncached walk is the paper's protocol and stays byte-identical.
+  bool route_cache = false;
 };
 
 struct LookupResult {
@@ -79,6 +84,8 @@ struct LookupResult {
   NodeAddr owner = kNoNode;
   HopCount hops = 0;
   std::vector<NodeAddr> path;  ///< origin first, owner last
+  /// Hops taken through route-cache shortcuts (0 with the cache off).
+  std::uint64_t cache_hits = 0;
 };
 
 /// Observer of membership changes.
@@ -254,6 +261,8 @@ class CycloidNetwork {
   std::unordered_map<NodeAddr, Slot> by_addr_;  // resolved once per change
   std::vector<MembershipObserver*> observers_;
   mutable MaintenanceStats maintenance_;  // mutable: routing is const
+  /// Learned shortcuts (cfg_.route_cache); mutable: lookups teach it.
+  mutable cache::RouteCacheTable<Link> route_cache_;
 };
 
 /// Evenly populates a Cycloid with `n` nodes (addresses base..base+n-1) over

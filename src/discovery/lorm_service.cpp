@@ -20,6 +20,7 @@ LormService::LormService(std::size_t n,
   for (AttrId a = 0; a < registry_.size(); ++a) {
     attr_cubical_.push_back(ch(registry_.Get(a).name()));
   }
+  if (cfg_.result_cache) result_cache_.Enable();
   net_.AddObserver(this);
 }
 
@@ -84,6 +85,8 @@ HopCount LormService::Advertise(const resource::ResourceInfo& info) {
     e.replica = static_cast<std::uint8_t>(copy);
     store_.Insert(target, std::move(e));
   }
+  // A new advertisement changes the attribute's ground truth.
+  result_cache_.InvalidateAttr(info.attr);
   static AdvertiseInstruments advertise_obs("LORM");
   advertise_obs.Record(hops);
   return hops;
@@ -102,12 +105,22 @@ QueryResult LormService::Query(const resource::MultiQuery& q,
     const auto& schema = registry_.Get(sub.attr);
     const double lo = schema.OrdinalOf(sub.range.lo);
     const double hi = schema.OrdinalOf(sub.range.hi);
+
+    std::vector<resource::ResourceInfo> matches;
+    if (result_cache_.enabled() &&
+        result_cache_.Lookup(sub.attr, lo, hi, matches)) {
+      // Served from the result cache: no routing, no walk, no probes. The
+      // cached matches are exactly what a fresh walk would find (the walk
+      // root depends on the range, never on the requester).
+      result.per_sub.push_back(std::move(matches));
+      result.stats.sub_costs.push_back(0);
+      continue;
+    }
     const auto key_lo = cycloid::CycloidId{CyclicOf(sub.attr, lo),
                                            CubicalOf(sub.attr)};
     const auto key_hi = cycloid::CycloidId{CyclicOf(sub.attr, hi),
                                            CubicalOf(sub.attr)};
-
-    std::vector<resource::ResourceInfo> matches;
+    const bool failed_before = result.stats.failed;
     cycloid::LookupResult& res = scratch.cycloid;
     net_.LookupInto(key_lo, q.requester, res);
     result.stats.lookups += 1;
@@ -156,6 +169,11 @@ QueryResult LormService::Query(const resource::MultiQuery& q,
       result.stats.walk_steps += 1;
     }
     DedupMatches(matches);  // replicas may repeat tuples along the walk
+    if (result.stats.failed == failed_before) {
+      // Only fully resolved sub-queries are cacheable; a truncated walk
+      // would freeze an incomplete answer.
+      result_cache_.Store(sub.attr, lo, hi, matches);
+    }
     result.per_sub.push_back(std::move(matches));
     result.stats.sub_costs.push_back(
         result.stats.dht_hops + static_cast<HopCount>(result.stats.walk_steps) -
@@ -206,11 +224,13 @@ std::size_t LormService::TotalInfoPieces() const {
 }
 
 std::size_t LormService::WithdrawProvider(NodeAddr provider) {
+  result_cache_.InvalidateAll();
   return store_.EraseProviderEverywhere(provider);
 }
 
 void LormService::OnJoin(NodeAddr node,
                          const std::vector<NodeAddr>& possible_sources) {
+  result_cache_.InvalidateAll();  // a join re-homes part of some arc
   for (NodeAddr src : possible_sources) {
     auto moved = store_.TakeIf(src, [&](const Store::Entry& e) {
       return e.replica == 0 && net_.OwnerOf(e.key) == node;
@@ -222,10 +242,12 @@ void LormService::OnJoin(NodeAddr node,
 void LormService::OnFail(NodeAddr node) {
   // No handoff: whatever the failed node stored is gone until providers
   // re-advertise in a later epoch.
+  result_cache_.InvalidateAll();
   store_.Drop(node);
 }
 
 void LormService::OnLeave(NodeAddr node) {
+  result_cache_.InvalidateAll();
   auto orphaned = store_.TakeAll(node);
   store_.Drop(node);
   if (net_.ClusterCount() == 0) return;  // last node left: information is lost

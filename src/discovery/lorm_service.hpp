@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "cache/result_cache.hpp"
 #include "common/hashing.hpp"
 #include "cycloid/cycloid.hpp"
 #include "discovery/directory.hpp"
@@ -44,6 +45,9 @@ class LormService final : public DiscoveryService,
     /// the value distribution (load-balance ablation, DESIGN.md §5.2); the
     /// default is MAAN's linear construction, as in the paper.
     std::function<double(double)> value_cdf;
+    /// Serve repeated (attribute, range) sub-queries from a result cache,
+    /// invalidated on every membership/advertise/expiry event (`--cache`).
+    bool result_cache = false;
   };
 
   /// Builds a LORM system of `n` nodes (addresses 0..n-1), evenly populated
@@ -70,7 +74,9 @@ class LormService final : public DiscoveryService,
   void SetEpoch(std::uint64_t epoch) override { epoch_ = epoch; }
   std::uint64_t CurrentEpoch() const override { return epoch_; }
   std::size_t ExpireEntriesBefore(std::uint64_t cutoff) override {
-    return store_.ExpireBefore(cutoff);
+    const std::size_t expired = store_.ExpireBefore(cutoff);
+    if (expired != 0) result_cache_.InvalidateAll();
+    return expired;
   }
 
   HopCount Advertise(const resource::ResourceInfo& info) override;
@@ -114,6 +120,9 @@ class LormService final : public DiscoveryService,
   /// is const, internally synchronized because the parallel experiment
   /// engine replays queries from many threads.
   mutable VisitCounter visit_counts_;
+  /// (attr, range) -> matches (cfg_.result_cache); mutable because Query is
+  /// const. Invalidated on every event that can change ground truth.
+  mutable cache::ResultCache result_cache_;
 };
 
 }  // namespace lorm::discovery

@@ -25,6 +25,7 @@ MaanService::MaanService(std::size_t n,
     lph_.emplace_back(cfg_.ring.bits, schema.ordinal_min(),
                       schema.ordinal_max());
   }
+  if (cfg_.result_cache) result_cache_.Enable();
   ring_.AddObserver(this);
 }
 
@@ -82,6 +83,8 @@ HopCount MaanService::Advertise(const resource::ResourceInfo& info) {
         "MAAN attribute-record insert failed to route");
   place(ValueKeyFor(info.attr, info.value), kValueRecord,
         "MAAN value-record insert failed to route");
+  // A new advertisement changes the attribute's ground truth.
+  result_cache_.InvalidateAttr(info.attr);
   static AdvertiseInstruments advertise_obs("MAAN");
   advertise_obs.Record(hops);
   return hops;
@@ -102,6 +105,16 @@ QueryResult MaanService::Query(const resource::MultiQuery& q,
     const double hi = schema.OrdinalOf(sub.range.hi);
 
     std::vector<resource::ResourceInfo> matches;
+    if (result_cache_.enabled() &&
+        result_cache_.Lookup(sub.attr, lo, hi, matches)) {
+      // Served from the result cache: no routing, no walk, no probes. The
+      // cached matches are exactly what a fresh resolution would find (the
+      // range root depends on the range, never on the requester).
+      result.per_sub.push_back(std::move(matches));
+      result.stats.sub_costs.push_back(0);
+      continue;
+    }
+    const bool failed_before = result.stats.failed;
 
     // Lookup 1: the attribute root (resolves the attribute name).
     {
@@ -154,6 +167,11 @@ QueryResult MaanService::Query(const resource::MultiQuery& q,
                          dir != nullptr ? dir->size() : 0);
                    });
     DedupMatches(matches);  // replicas may repeat tuples along the walk
+    if (result.stats.failed == failed_before) {
+      // Only fully resolved sub-queries are cacheable; a truncated
+      // resolution would freeze an incomplete answer.
+      result_cache_.Store(sub.attr, lo, hi, matches);
+    }
     result.per_sub.push_back(std::move(matches));
     result.stats.sub_costs.push_back(
         result.stats.dht_hops + static_cast<HopCount>(result.stats.walk_steps) -
@@ -199,10 +217,12 @@ std::size_t MaanService::TotalInfoPieces() const {
 }
 
 std::size_t MaanService::WithdrawProvider(NodeAddr provider) {
+  result_cache_.InvalidateAll();
   return store_.EraseProviderEverywhere(provider);
 }
 
 void MaanService::OnJoin(NodeAddr node, NodeAddr successor) {
+  result_cache_.InvalidateAll();  // the join re-homed part of some arc
   if (node == successor) return;
   auto moved = store_.TakeIf(successor, [&](const Store::Entry& e) {
     return e.replica == 0 && ring_.Owns(node, e.key);
@@ -211,10 +231,12 @@ void MaanService::OnJoin(NodeAddr node, NodeAddr successor) {
 }
 
 void MaanService::OnFail(NodeAddr node) {
+  result_cache_.InvalidateAll();
   store_.Drop(node);  // nothing survives; no need to materialize the entries
 }
 
 void MaanService::OnLeave(NodeAddr node, NodeAddr successor) {
+  result_cache_.InvalidateAll();
   auto orphaned = store_.TakeAll(node);
   store_.Drop(node);
   if (successor == kNoNode) return;

@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "cache/result_cache.hpp"
 #include "chord/chord.hpp"
 #include "common/hashing.hpp"
 #include "discovery/directory.hpp"
@@ -38,6 +39,9 @@ class MaanService final : public DiscoveryService,
     /// Copies of each record (1 = primary only; replicas go to the owner's
     /// ring successors; both record kinds replicate).
     std::size_t replicas = 1;
+    /// Serve repeated (attribute, range) sub-queries from a result cache,
+    /// invalidated on every membership/advertise/expiry event (`--cache`).
+    bool result_cache = false;
   };
 
   /// Entry tags distinguishing the two record kinds.
@@ -66,7 +70,9 @@ class MaanService final : public DiscoveryService,
   void SetEpoch(std::uint64_t epoch) override { epoch_ = epoch; }
   std::uint64_t CurrentEpoch() const override { return epoch_; }
   std::size_t ExpireEntriesBefore(std::uint64_t cutoff) override {
-    return store_.ExpireBefore(cutoff);
+    const std::size_t expired = store_.ExpireBefore(cutoff);
+    if (expired != 0) result_cache_.InvalidateAll();
+    return expired;
   }
 
   HopCount Advertise(const resource::ResourceInfo& info) override;
@@ -105,6 +111,9 @@ class MaanService final : public DiscoveryService,
   /// is const, internally synchronized because the parallel experiment
   /// engine replays queries from many threads.
   mutable VisitCounter visit_counts_;
+  /// (attr, range) -> matches (cfg_.result_cache); mutable because Query is
+  /// const. Invalidated on every event that can change ground truth.
+  mutable cache::ResultCache result_cache_;
 };
 
 }  // namespace lorm::discovery

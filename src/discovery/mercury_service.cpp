@@ -31,6 +31,7 @@ MercuryService::MercuryService(std::size_t n,
     hubs_.push_back(std::move(hub));
   }
   LORM_CHECK_MSG(!hubs_.empty(), "Mercury needs at least one attribute hub");
+  if (cfg_.result_cache) result_cache_.Enable();
 }
 
 MercuryService::~MercuryService() {
@@ -109,6 +110,8 @@ HopCount MercuryService::Advertise(const resource::ResourceInfo& info) {
     e.replica = static_cast<std::uint8_t>(copy);
     store_.Insert(target, std::move(e));
   }
+  // A new advertisement changes the attribute's ground truth.
+  result_cache_.InvalidateAttr(info.attr);
   static AdvertiseInstruments advertise_obs("Mercury");
   advertise_obs.Record(hops);
   return hops;
@@ -131,6 +134,16 @@ QueryResult MercuryService::Query(const resource::MultiQuery& q,
     const chord::Key key_hi = lph_[sub.attr](hi);
 
     std::vector<resource::ResourceInfo> matches;
+    if (result_cache_.enabled() &&
+        result_cache_.Lookup(sub.attr, lo, hi, matches)) {
+      // Served from the result cache: no routing, no walk, no probes. The
+      // cached matches are exactly what a fresh resolution would find (the
+      // range root depends on the range, never on the requester).
+      result.per_sub.push_back(std::move(matches));
+      result.stats.sub_costs.push_back(0);
+      continue;
+    }
+    const bool failed_before = result.stats.failed;
     chord::LookupResult& res = scratch.chord;
     ring.LookupInto(key_lo, q.requester, res);
     result.stats.lookups += 1;
@@ -159,6 +172,11 @@ QueryResult MercuryService::Query(const resource::MultiQuery& q,
                          dir != nullptr ? dir->size() : 0);
                    });
     DedupMatches(matches);  // replicas may repeat tuples along the walk
+    if (result.stats.failed == failed_before) {
+      // Only fully resolved sub-queries are cacheable; a truncated
+      // resolution would freeze an incomplete answer.
+      result_cache_.Store(sub.attr, lo, hi, matches);
+    }
     result.per_sub.push_back(std::move(matches));
     result.stats.sub_costs.push_back(
         result.stats.dht_hops + static_cast<HopCount>(result.stats.walk_steps) -
@@ -206,11 +224,13 @@ std::size_t MercuryService::TotalInfoPieces() const {
 }
 
 std::size_t MercuryService::WithdrawProvider(NodeAddr provider) {
+  result_cache_.InvalidateAll();
   return store_.EraseProviderEverywhere(provider);
 }
 
 void MercuryService::HubObserver::OnFail(NodeAddr node) {
   // Fired once per hub; dropping the directory is idempotent.
+  svc_->result_cache_.InvalidateAll();
   svc_->store_.Drop(node);
 }
 
@@ -223,6 +243,7 @@ void MercuryService::HubObserver::OnLeave(NodeAddr node, NodeAddr successor) {
 }
 
 void MercuryService::HubJoin(AttrId attr, NodeAddr node, NodeAddr successor) {
+  result_cache_.InvalidateAll();  // the join re-homed part of some hub arc
   if (node == successor) return;  // first node of the hub
   const auto& ring = hub(attr);
   auto moved = store_.TakeIf(successor, [&](const Store::Entry& e) {
@@ -232,6 +253,7 @@ void MercuryService::HubJoin(AttrId attr, NodeAddr node, NodeAddr successor) {
 }
 
 void MercuryService::HubLeave(AttrId attr, NodeAddr node, NodeAddr successor) {
+  result_cache_.InvalidateAll();
   auto moved = store_.TakeIf(node, [&](const Store::Entry& e) {
     return e.info.attr == attr;
   });

@@ -20,6 +20,7 @@ SwordService::SwordService(std::size_t n,
   for (AttrId a = 0; a < registry_.size(); ++a) {
     attr_key_.push_back(ch(registry_.Get(a).name()));
   }
+  if (cfg_.result_cache) result_cache_.Enable();
   ring_.AddObserver(this);
 }
 
@@ -62,6 +63,8 @@ HopCount SwordService::Advertise(const resource::ResourceInfo& info) {
     e.replica = static_cast<std::uint8_t>(copy);
     store_.Insert(target, std::move(e));
   }
+  // A new advertisement changes the attribute's ground truth.
+  result_cache_.InvalidateAttr(info.attr);
   static AdvertiseInstruments advertise_obs("SWORD");
   advertise_obs.Record(hops);
   return hops;
@@ -82,6 +85,16 @@ QueryResult SwordService::Query(const resource::MultiQuery& q,
     const double hi = schema.OrdinalOf(sub.range.hi);
 
     std::vector<resource::ResourceInfo> matches;
+    if (result_cache_.enabled() &&
+        result_cache_.Lookup(sub.attr, lo, hi, matches)) {
+      // Served from the result cache: no routing, no walk, no probes. The
+      // cached matches are exactly what a fresh resolution would find (the
+      // range root depends on the range, never on the requester).
+      result.per_sub.push_back(std::move(matches));
+      result.stats.sub_costs.push_back(0);
+      continue;
+    }
+    const bool failed_before = result.stats.failed;
     chord::LookupResult& res = scratch.chord;
     ring_.LookupInto(KeyFor(sub.attr), q.requester, res);
     result.stats.lookups += 1;
@@ -107,6 +120,11 @@ QueryResult SwordService::Query(const resource::MultiQuery& q,
     obs::OnDirectoryProbe(res.owner, matches.size(),
                           dir != nullptr ? dir->size() : 0);
     DedupMatches(matches);  // a replica can share the root after churn
+    if (result.stats.failed == failed_before) {
+      // Only fully resolved sub-queries are cacheable; a truncated
+      // resolution would freeze an incomplete answer.
+      result_cache_.Store(sub.attr, lo, hi, matches);
+    }
     result.per_sub.push_back(std::move(matches));
     result.stats.sub_costs.push_back(
         result.stats.dht_hops + static_cast<HopCount>(result.stats.walk_steps) -
@@ -152,10 +170,12 @@ std::size_t SwordService::TotalInfoPieces() const {
 }
 
 std::size_t SwordService::WithdrawProvider(NodeAddr provider) {
+  result_cache_.InvalidateAll();
   return store_.EraseProviderEverywhere(provider);
 }
 
 void SwordService::OnJoin(NodeAddr node, NodeAddr successor) {
+  result_cache_.InvalidateAll();  // the join re-homed part of some arc
   if (node == successor) return;
   auto moved = store_.TakeIf(successor, [&](const Store::Entry& e) {
     return e.replica == 0 && ring_.Owns(node, e.key);
@@ -164,10 +184,12 @@ void SwordService::OnJoin(NodeAddr node, NodeAddr successor) {
 }
 
 void SwordService::OnFail(NodeAddr node) {
+  result_cache_.InvalidateAll();
   store_.Drop(node);  // nothing survives; no need to materialize the entries
 }
 
 void SwordService::OnLeave(NodeAddr node, NodeAddr successor) {
+  result_cache_.InvalidateAll();
   auto orphaned = store_.TakeAll(node);
   store_.Drop(node);
   if (successor == kNoNode) return;  // last node: information is lost

@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "cache/result_cache.hpp"
 #include "chord/chord.hpp"
 #include "common/hashing.hpp"
 #include "discovery/directory.hpp"
@@ -30,6 +31,9 @@ class SwordService final : public DiscoveryService,
     /// Copies of each directory entry (1 = primary only; replicas go to the
     /// owner's ring successors).
     std::size_t replicas = 1;
+    /// Serve repeated (attribute, range) sub-queries from a result cache,
+    /// invalidated on every membership/advertise/expiry event (`--cache`).
+    bool result_cache = false;
   };
 
   SwordService(std::size_t n, const resource::AttributeRegistry& registry,
@@ -54,7 +58,9 @@ class SwordService final : public DiscoveryService,
   void SetEpoch(std::uint64_t epoch) override { epoch_ = epoch; }
   std::uint64_t CurrentEpoch() const override { return epoch_; }
   std::size_t ExpireEntriesBefore(std::uint64_t cutoff) override {
-    return store_.ExpireBefore(cutoff);
+    const std::size_t expired = store_.ExpireBefore(cutoff);
+    if (expired != 0) result_cache_.InvalidateAll();
+    return expired;
   }
 
   HopCount Advertise(const resource::ResourceInfo& info) override;
@@ -92,6 +98,9 @@ class SwordService final : public DiscoveryService,
   /// is const, internally synchronized because the parallel experiment
   /// engine replays queries from many threads.
   mutable VisitCounter visit_counts_;
+  /// (attr, range) -> matches (cfg_.result_cache); mutable because Query is
+  /// const. Invalidated on every event that can change ground truth.
+  mutable cache::ResultCache result_cache_;
 };
 
 }  // namespace lorm::discovery

@@ -61,16 +61,20 @@ FailureResult RunFailureExperiment(
     discovery::DiscoveryService& service, const resource::Workload& workload,
     const std::vector<resource::ResourceInfo>& infos,
     const FailureConfig& cfg) {
-  LORM_CHECK_MSG(cfg.fail_fraction >= 0.0 && cfg.fail_fraction < 1.0,
-                 "fail fraction must be in [0, 1)");
+  LORM_CHECK_MSG(cfg.fail_fraction >= 0.0 && cfg.fail_fraction <= 1.0,
+                 "fail fraction must be in [0, 1]");
   FailureResult result;
   Rng rng(cfg.seed);
 
-  // 1. Crash a random fraction of the nodes.
+  // 1. Crash a random fraction of the nodes. At least one node always
+  //    survives: the measurement phases need a live requester, and a
+  //    fraction of 1.0 would otherwise leave an empty network (and a 0/0
+  //    recall).
   const auto nodes = service.Nodes();
-  const auto kill_count =
+  const auto kill_count = std::min(
       static_cast<std::size_t>(cfg.fail_fraction *
-                               static_cast<double>(nodes.size()));
+                               static_cast<double>(nodes.size())),
+      nodes.empty() ? std::size_t{0} : nodes.size() - 1);
   const std::size_t before_pieces = service.TotalInfoPieces();
   for (std::uint64_t idx : rng.SampleWithoutReplacement(nodes.size(),
                                                         kill_count)) {

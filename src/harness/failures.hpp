@@ -23,7 +23,9 @@
 namespace lorm::harness {
 
 struct FailureConfig {
-  double fail_fraction = 0.1;    ///< fraction of nodes crashed at once
+  /// Fraction of nodes crashed at once, in [0, 1]. The kill count is
+  /// clamped so at least one node survives (1.0 crashes all but one).
+  double fail_fraction = 0.1;
   std::size_t queries = 200;
   std::size_t attrs_per_query = 2;
   resource::RangeStyle style = resource::RangeStyle::kBounded;

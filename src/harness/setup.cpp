@@ -84,7 +84,9 @@ std::unique_ptr<discovery::DiscoveryService> MakeService(
       discovery::LormService::Config cfg;
       cfg.overlay.dimension = setup.dimension;
       cfg.overlay.seed = setup.seed;
+      cfg.overlay.route_cache = setup.cache;
       cfg.replicas = setup.replicas;
+      cfg.result_cache = setup.cache;
       return std::make_unique<discovery::LormService>(setup.nodes, registry,
                                                       std::move(cfg));
     }
@@ -92,7 +94,9 @@ std::unique_ptr<discovery::DiscoveryService> MakeService(
       discovery::MercuryService::Config cfg;
       cfg.ring.bits = setup.chord_bits;
       cfg.ring.seed = setup.seed;
+      cfg.ring.route_cache = setup.cache;
       cfg.replicas = setup.replicas;
+      cfg.result_cache = setup.cache;
       return std::make_unique<discovery::MercuryService>(setup.nodes, registry,
                                                          cfg);
     }
@@ -100,7 +104,9 @@ std::unique_ptr<discovery::DiscoveryService> MakeService(
       discovery::SwordService::Config cfg;
       cfg.ring.bits = setup.chord_bits;
       cfg.ring.seed = setup.seed;
+      cfg.ring.route_cache = setup.cache;
       cfg.replicas = setup.replicas;
+      cfg.result_cache = setup.cache;
       return std::make_unique<discovery::SwordService>(setup.nodes, registry,
                                                        cfg);
     }
@@ -108,7 +114,9 @@ std::unique_ptr<discovery::DiscoveryService> MakeService(
       discovery::MaanService::Config cfg;
       cfg.ring.bits = setup.chord_bits;
       cfg.ring.seed = setup.seed;
+      cfg.ring.route_cache = setup.cache;
       cfg.replicas = setup.replicas;
+      cfg.result_cache = setup.cache;
       return std::make_unique<discovery::MaanService>(setup.nodes, registry,
                                                       cfg);
     }

@@ -36,6 +36,10 @@ struct Setup {
   std::uint64_t seed = 0x5C1E17CEull;
   /// Directory replication factor (1 = paper behaviour, no replicas).
   std::size_t replicas = 1;
+  /// Enable the adaptive caching layer (`--cache`): per-node route caches in
+  /// the overlay plus the per-service (attribute, range) result cache. Off =
+  /// the paper's protocols, byte-identical to the committed goldens.
+  bool cache = false;
 
   /// The paper's exact §V setup.
   static Setup Paper() { return Setup{}; }

@@ -171,6 +171,7 @@ bool ParseLookup(Cursor& c, LookupTrace& l) {
   if (!c.Key("ok") || !c.Bool(l.ok)) return false;
   if (!c.Key("dead_skips") || !c.U64(l.dead_links_skipped)) return false;
   if (!c.OptionalU64Key("dur_ns", l.duration_ns)) return false;
+  if (!c.OptionalU64Key("cache_hits", l.cache_hits)) return false;
   return c.Literal("}");
 }
 

@@ -89,7 +89,8 @@ SubQueryTrace& CurrentSub(QueryTrace& t) {
 }  // namespace
 
 void OnLookup(const std::vector<NodeAddr>& path, HopCount hops, bool ok,
-              std::uint64_t dead_links_skipped, std::uint64_t duration_ns) {
+              std::uint64_t dead_links_skipped, std::uint64_t duration_ns,
+              std::uint64_t cache_hits) {
   QueryTrace* t = detail::t_active;
   if (t == nullptr) return;
   SubQueryTrace& sub = CurrentSub(*t);
@@ -99,6 +100,7 @@ void OnLookup(const std::vector<NodeAddr>& path, HopCount hops, bool ok,
   l.ok = ok;
   l.dead_links_skipped = dead_links_skipped;
   l.duration_ns = duration_ns;
+  l.cache_hits = cache_hits;
 }
 
 void OnDirectoryProbe(NodeAddr node, std::uint64_t hits,
@@ -178,7 +180,10 @@ void JsonLinesTraceSink::WriteJson(std::ostream& os, const QueryTrace& trace) {
       }
       os << "],\"hops\":" << l.hops << ",\"ok\":" << (l.ok ? "true" : "false")
          << ",\"dead_skips\":" << l.dead_links_skipped
-         << ",\"dur_ns\":" << l.duration_ns << "}";
+         << ",\"dur_ns\":" << l.duration_ns;
+      // Omitted when zero: cache-off traces keep the pre-cache wire format.
+      if (l.cache_hits != 0) os << ",\"cache_hits\":" << l.cache_hits;
+      os << "}";
     }
     os << "],\"probes\":[";
     for (std::size_t i = 0; i < sub.probes.size(); ++i) {

@@ -38,6 +38,10 @@ struct LookupTrace {
   bool ok = false;
   std::uint64_t dead_links_skipped = 0;
   std::uint64_t duration_ns = 0;  ///< monotonic wall time of the routing walk
+  /// Hops taken through route-cache shortcuts; always 0 with `--cache` off,
+  /// and the wire format omits the key then, so cache-off trace files are
+  /// byte-identical to pre-cache builds.
+  std::uint64_t cache_hits = 0;
 };
 
 /// One directory check (sub-query root or range-walk probe).
@@ -181,7 +185,8 @@ class SubQueryScope {
 /// that did not time the walk (tracing was off when it started) pass 0.
 void OnLookup(const std::vector<NodeAddr>& path, HopCount hops, bool ok,
               std::uint64_t dead_links_skipped,
-              std::uint64_t duration_ns = 0);
+              std::uint64_t duration_ns = 0,
+              std::uint64_t cache_hits = 0);
 
 /// Records one directory probe (called by the services per visited node).
 void OnDirectoryProbe(NodeAddr node, std::uint64_t hits, std::uint64_t dir_size);

@@ -1,0 +1,283 @@
+// Adaptive caching layer tests: route-cache hit/miss accounting and
+// liveness discipline, result-cache churn invalidation in all four
+// services (a join, a leave, a crash and an epoch expiry each force a
+// re-lookup — never a stale answer), and the golden-equivalence guarantee
+// that --cache on/off produce identical QueryResults on the quick
+// fig4a/fig5a workloads.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "chord/chord.hpp"
+#include "common/random.hpp"
+#include "cycloid/cycloid.hpp"
+#include "harness/experiments.hpp"
+#include "obs/metrics.hpp"
+#include "service_test_util.hpp"
+
+namespace lorm {
+namespace {
+
+using harness::SystemKind;
+using resource::RangeStyle;
+using testutil::MakeBed;
+
+std::uint64_t CounterValue(const char* name) {
+  return obs::Registry::Global().GetCounter(name).Value();
+}
+
+/// Scoped metrics recording (the registry is process-global; tests read
+/// counter deltas, never absolute values).
+struct MetricsScope {
+  MetricsScope() { obs::SetMetricsEnabled(true); }
+  ~MetricsScope() { obs::SetMetricsEnabled(false); }
+};
+
+// ---- Route cache (overlay level) -------------------------------------------
+
+TEST(RouteCache, ChordRepeatLookupHitsAndShortens) {
+  MetricsScope metrics;
+  chord::Config cfg;
+  cfg.bits = 16;
+  cfg.route_cache = true;
+  auto ring = chord::MakeRing(512, cfg, /*deterministic_ids=*/false);
+  const auto members = ring.Members();
+
+  // Find a (key, origin) pair whose cold walk takes several hops.
+  Rng rng(41);
+  chord::Key key = 0;
+  NodeAddr origin = kNoNode;
+  chord::LookupResult cold;
+  do {
+    key = rng.NextBelow(ring.space());
+    origin = members[rng.NextBelow(members.size())];
+    cold = ring.Lookup(key, origin);
+    ASSERT_TRUE(cold.ok);
+  } while (cold.hops < 3);
+  EXPECT_EQ(cold.cache_hits, 0u);  // nothing learned before the first walk
+
+  const std::uint64_t hits_before = CounterValue("lorm.cache.route.hits");
+  const auto warm = ring.Lookup(key, origin);
+  ASSERT_TRUE(warm.ok);
+  EXPECT_EQ(warm.owner, cold.owner);
+  // The completed walk taught every path node a shortcut to the owner, so
+  // the repeat jumps straight there.
+  EXPECT_EQ(warm.hops, 1u);
+  EXPECT_EQ(warm.cache_hits, 1u);
+  EXPECT_EQ(CounterValue("lorm.cache.route.hits"), hits_before + 1);
+}
+
+TEST(RouteCache, ChordShortcutDiesWithItsTarget) {
+  chord::Config cfg;
+  cfg.bits = 16;
+  cfg.route_cache = true;
+  auto ring = chord::MakeRing(256, cfg, /*deterministic_ids=*/false);
+  Rng rng(43);
+  const auto members = ring.Members();
+  const chord::Key key = rng.NextBelow(ring.space());
+  const NodeAddr origin = members[rng.NextBelow(members.size())];
+  const auto cold = ring.Lookup(key, origin);
+  ASSERT_TRUE(cold.ok);
+  if (cold.owner == origin) GTEST_SKIP() << "origin owns the key";
+
+  // Crash the learned target: the cached shortcut must fail validation (its
+  // generation died with the slot) and the lookup re-route to the new owner.
+  ring.FailNode(cold.owner);
+  const auto after = ring.Lookup(key, origin);
+  ASSERT_TRUE(after.ok);
+  EXPECT_NE(after.owner, cold.owner);
+  EXPECT_EQ(after.owner, ring.OwnerOf(key));
+}
+
+TEST(RouteCache, CycloidRepeatLookupHitsAndNeverMisroutes) {
+  MetricsScope metrics;
+  cycloid::Config cfg;
+  cfg.dimension = 7;
+  cfg.route_cache = true;
+  auto net = cycloid::MakeCycloid(7 * 128, cfg);
+  const auto members = net.Members();
+
+  Rng rng(47);
+  cycloid::CycloidId key;
+  NodeAddr origin = kNoNode;
+  cycloid::LookupResult cold;
+  do {
+    key = cycloid::CycloidId{static_cast<unsigned>(rng.NextBelow(7)),
+                             rng.NextBelow(net.cluster_space())};
+    origin = members[rng.NextBelow(members.size())];
+    cold = net.Lookup(key, origin);
+    ASSERT_TRUE(cold.ok);
+  } while (cold.hops < 3);
+
+  const auto warm = net.Lookup(key, origin);
+  ASSERT_TRUE(warm.ok);
+  EXPECT_EQ(warm.owner, cold.owner);
+  EXPECT_EQ(warm.hops, 1u);
+  EXPECT_EQ(warm.cache_hits, 1u);
+
+  // Crash the owner; the stale shortcut must be skipped, not followed.
+  net.FailNode(cold.owner);
+  net.StabilizeAll();
+  const auto after = net.Lookup(key, origin);
+  ASSERT_TRUE(after.ok);
+  EXPECT_EQ(after.owner, net.OwnerOf(key));
+  EXPECT_NE(after.owner, cold.owner);
+}
+
+// ---- Result cache (service level) ------------------------------------------
+
+class ResultCachePerSystem : public ::testing::TestWithParam<SystemKind> {};
+
+TEST_P(ResultCachePerSystem, RepeatQueryServedFromCacheIdentically) {
+  MetricsScope metrics;
+  auto setup = harness::Setup::Small();
+  setup.cache = true;
+  auto bed = MakeBed(GetParam(), setup);
+
+  Rng rng(53);
+  const auto q =
+      bed.workload->MakeRangeQuery(2, 7, RangeStyle::kBounded, rng);
+  const std::uint64_t h0 = CounterValue("lorm.cache.result.hits");
+  const std::uint64_t m0 = CounterValue("lorm.cache.result.misses");
+  const auto fresh = bed.service->Query(q);
+  ASSERT_FALSE(fresh.stats.failed);
+  EXPECT_EQ(CounterValue("lorm.cache.result.hits"), h0);
+  EXPECT_GE(CounterValue("lorm.cache.result.misses"), m0 + q.subs.size());
+
+  // Same ranges from a different requester: answers must be identical (the
+  // walk root depends on the range, never on the requester) and free.
+  auto repeat = q;
+  repeat.requester = 301;
+  const auto cached = bed.service->Query(repeat);
+  ASSERT_FALSE(cached.stats.failed);
+  EXPECT_EQ(cached.per_sub, fresh.per_sub);
+  EXPECT_EQ(cached.providers, fresh.providers);
+  for (const auto cost : cached.stats.sub_costs) EXPECT_EQ(cost, 0u);
+  EXPECT_EQ(CounterValue("lorm.cache.result.hits"), h0 + q.subs.size());
+}
+
+TEST_P(ResultCachePerSystem, JoinLeaveFailEachInvalidate) {
+  MetricsScope metrics;
+  auto setup = harness::Setup::Small();
+  setup.cache = true;
+  auto bed = MakeBed(GetParam(), setup);
+
+  Rng rng(59);
+  const auto q =
+      bed.workload->MakeRangeQuery(2, 11, RangeStyle::kBounded, rng);
+  (void)bed.service->Query(q);  // prime the cache
+
+  const auto expect_recomputed = [&](const char* event) {
+    const std::uint64_t misses = CounterValue("lorm.cache.result.misses");
+    const auto res = bed.service->Query(q);
+    EXPECT_GE(CounterValue("lorm.cache.result.misses"),
+              misses + q.subs.size())
+        << event << " did not invalidate the result cache";
+    // Zero stale results: everything returned matches ground truth over the
+    // live network.
+    const auto truth =
+        harness::BruteForceProviders(bed.infos, q, *bed.service);
+    for (const NodeAddr p : res.providers) {
+      EXPECT_TRUE(std::binary_search(truth.begin(), truth.end(), p))
+          << event << " left a stale provider in the cache";
+    }
+    return res;
+  };
+
+  // Leave first: LORM's Small network is at full Cycloid capacity, so a
+  // join only fits once a position has been vacated.
+  const auto live = bed.service->Nodes();
+  bed.service->LeaveNode(live[live.size() / 2]);
+  bed.service->Maintain();
+  expect_recomputed("leave");
+  (void)bed.service->Query(q);  // re-prime
+
+  ASSERT_TRUE(bed.service->JoinNode(9'001));
+  bed.service->Maintain();
+  expect_recomputed("join");
+  (void)bed.service->Query(q);
+
+  const auto live2 = bed.service->Nodes();
+  bed.service->FailNode(live2[live2.size() / 3]);
+  bed.service->Maintain();
+  expect_recomputed("fail");
+}
+
+TEST_P(ResultCachePerSystem, EpochExpiryEvictsCachedAnswers) {
+  auto setup = harness::Setup::Small();
+  setup.cache = true;
+  auto bed = MakeBed(GetParam(), setup);
+
+  Rng rng(61);
+  const auto q =
+      bed.workload->MakeRangeQuery(2, 13, RangeStyle::kFullSpan, rng);
+  const auto before = bed.service->Query(q);
+  ASSERT_FALSE(before.stats.failed);
+  bool had_matches = false;
+  for (const auto& sub : before.per_sub) had_matches |= !sub.empty();
+  ASSERT_TRUE(had_matches) << "full-span query found nothing to cache";
+
+  // Expire every advertised entry without re-advertising: a cached answer
+  // surviving this would be the textbook stale result.
+  bed.service->SetEpoch(1);
+  ASSERT_GT(bed.service->ExpireEntriesBefore(1), 0u);
+  const auto after = bed.service->Query(q);
+  for (const auto& sub : after.per_sub) {
+    EXPECT_TRUE(sub.empty()) << "expired entries served from the cache";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Systems, ResultCachePerSystem,
+    ::testing::Values(SystemKind::kLorm, SystemKind::kMercury,
+                      SystemKind::kSword, SystemKind::kMaan),
+    [](const auto& info) { return std::string(SystemName(info.param)); });
+
+// ---- Golden equivalence: cache on/off, identical QueryResults --------------
+
+class CacheEquivalence : public ::testing::TestWithParam<SystemKind> {};
+
+TEST_P(CacheEquivalence, QuickWorkloadResultsAreIdentical) {
+  // The quick fig4a (point) and fig5a (wide-range) workloads, replayed
+  // against two copies of the same system — caching on and off. Hop counts
+  // may differ (that is the point of the cache); the answers may not.
+  auto setup_off = harness::Setup::Quick();
+  auto setup_on = setup_off;
+  setup_on.cache = true;
+  auto off = MakeBed(GetParam(), setup_off);
+  auto on = MakeBed(GetParam(), setup_on);
+
+  Rng rng_off(0xF16u);
+  Rng rng_on(0xF16u);
+  const auto n = static_cast<NodeAddr>(setup_off.nodes);
+  for (int i = 0; i < 30; ++i) {
+    const NodeAddr requester = static_cast<NodeAddr>(
+        rng_off.NextBelow(n));
+    ASSERT_EQ(requester, static_cast<NodeAddr>(rng_on.NextBelow(n)));
+    const bool range = i % 2 == 0;  // alternate fig5a / fig4a shapes
+    const auto q_off =
+        range ? off.workload->MakeRangeQuery(2, requester,
+                                             RangeStyle::kBounded, rng_off)
+              : off.workload->MakePointQuery(2, requester, rng_off);
+    const auto q_on =
+        range ? on.workload->MakeRangeQuery(2, requester,
+                                            RangeStyle::kBounded, rng_on)
+              : on.workload->MakePointQuery(2, requester, rng_on);
+    const auto r_off = off.service->Query(q_off);
+    const auto r_on = on.service->Query(q_on);
+    ASSERT_EQ(r_off.stats.failed, r_on.stats.failed) << "query " << i;
+    ASSERT_EQ(r_off.per_sub, r_on.per_sub) << "query " << i;
+    ASSERT_EQ(r_off.providers, r_on.providers) << "query " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Systems, CacheEquivalence,
+    ::testing::Values(SystemKind::kLorm, SystemKind::kMercury,
+                      SystemKind::kSword, SystemKind::kMaan),
+    [](const auto& info) { return std::string(SystemName(info.param)); });
+
+}  // namespace
+}  // namespace lorm

@@ -2,8 +2,10 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 
 #include "chord/chord.hpp"
+#include "common/error.hpp"
 #include "cycloid/cycloid.hpp"
 #include "harness/failures.hpp"
 #include "service_test_util.hpp"
@@ -189,6 +191,56 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(SystemKind::kLorm, SystemKind::kMercury,
                       SystemKind::kSword, SystemKind::kMaan),
     [](const auto& info) { return std::string(SystemName(info.param)); });
+
+TEST(FailureEdgeCases, ZeroFractionCrashesNobody) {
+  auto bed = MakeBed(SystemKind::kLorm,
+                     Setup::Small().WithNodes(64));
+  FailureConfig cfg;
+  cfg.fail_fraction = 0.0;
+  cfg.queries = 10;
+  const std::size_t before = bed.service->TotalInfoPieces();
+  const auto result =
+      RunFailureExperiment(*bed.service, *bed.workload, bed.infos, cfg);
+  EXPECT_EQ(result.failed_nodes, 0u);
+  EXPECT_EQ(result.lost_entries, 0u);
+  EXPECT_EQ(bed.service->TotalInfoPieces(), before);
+  EXPECT_EQ(result.degraded.routing_failures, 0u);
+  EXPECT_DOUBLE_EQ(result.degraded.recall, 1.0);
+  EXPECT_DOUBLE_EQ(result.recovered.recall, 1.0);
+}
+
+TEST(FailureEdgeCases, FullFractionLeavesOneSurvivor) {
+  // fail_fraction = 1.0 used to crash every node, leaving MeasurePhase with
+  // no requester to pick and a 0/0 recall. The clamp keeps one survivor.
+  auto bed = MakeBed(SystemKind::kSword,
+                     Setup::Small().WithNodes(64));
+  FailureConfig cfg;
+  cfg.fail_fraction = 1.0;
+  cfg.queries = 10;
+  const auto result =
+      RunFailureExperiment(*bed.service, *bed.workload, bed.infos, cfg);
+  EXPECT_EQ(result.failed_nodes, 63u);
+  EXPECT_EQ(bed.service->Nodes().size(), 1u);
+  for (const auto* phase :
+       {&result.degraded, &result.repaired, &result.recovered}) {
+    EXPECT_FALSE(std::isnan(phase->recall));
+    EXPECT_GE(phase->recall, 0.0);
+    EXPECT_LE(phase->recall, 1.0);
+  }
+  // The lone survivor re-advertises what it still provides; against ground
+  // truth restricted to live providers that is full recall again.
+  EXPECT_EQ(result.recovered.routing_failures, 0u);
+  EXPECT_DOUBLE_EQ(result.recovered.recall, 1.0);
+}
+
+TEST(FailureEdgeCases, OutOfRangeFractionIsRejected) {
+  auto bed = MakeBed(SystemKind::kLorm, Setup::Small().WithNodes(64));
+  FailureConfig cfg;
+  cfg.fail_fraction = 1.5;
+  EXPECT_THROW(
+      RunFailureExperiment(*bed.service, *bed.workload, bed.infos, cfg),
+      InvariantError);
+}
 
 TEST(SoftState, EpochExpiryDropsOldEntries) {
   auto bed = MakeBed(SystemKind::kSword);

@@ -103,6 +103,69 @@ TEST(LookupAllocFree, CycloidWarmLookupLoopDoesNotAllocate) {
   EXPECT_EQ(allocs, 0u);
 }
 
+TEST(LookupAllocFree, ChordCachedWarmLookupLoopDoesNotAllocate) {
+  // Same contract with the route cache on: probes, shortcut jumps and
+  // teaching inserts all work in the table pre-sized at AllocateSlot time,
+  // so the warm cache-on path is allocation-free too.
+  chord::Config cfg;
+  cfg.bits = 20;
+  cfg.route_cache = true;
+  auto ring = chord::MakeRing(2048, cfg, /*deterministic_ids=*/false);
+  const auto members = ring.Members();
+
+  Rng rng(29);
+  chord::LookupResult res;
+  for (int i = 0; i < 2000; ++i) {
+    ring.LookupInto(rng.NextBelow(ring.space()),
+                    members[rng.NextBelow(members.size())], res);
+  }
+
+  Rng replay(29);
+  std::uint64_t shortcut_hops = 0;
+  const std::uint64_t allocs = CountAllocations([&] {
+    for (int i = 0; i < 2000; ++i) {
+      ring.LookupInto(replay.NextBelow(ring.space()),
+                      members[replay.NextBelow(members.size())], res);
+      shortcut_hops += res.cache_hits;
+    }
+  });
+  EXPECT_EQ(allocs, 0u);
+  // The replay repeats the warm-up stream, so the taught shortcuts must
+  // actually fire (proving the zero above measured the cache-on path).
+  EXPECT_GT(shortcut_hops, 0u);
+}
+
+TEST(LookupAllocFree, CycloidCachedWarmLookupLoopDoesNotAllocate) {
+  cycloid::Config cfg;
+  cfg.dimension = 8;
+  cfg.route_cache = true;
+  auto net = cycloid::MakeCycloid(2048, cfg);
+  const auto members = net.Members();
+  const auto d = net.dimension();
+
+  Rng rng(31);
+  cycloid::LookupResult res;
+  for (int i = 0; i < 2000; ++i) {
+    const cycloid::CycloidId key{static_cast<unsigned>(rng.NextBelow(d)),
+                                 rng.NextBelow(std::uint64_t{1} << d)};
+    net.LookupInto(key, members[rng.NextBelow(members.size())], res);
+  }
+
+  Rng replay(31);
+  std::uint64_t shortcut_hops = 0;
+  const std::uint64_t allocs = CountAllocations([&] {
+    for (int i = 0; i < 2000; ++i) {
+      const cycloid::CycloidId key{
+          static_cast<unsigned>(replay.NextBelow(d)),
+          replay.NextBelow(std::uint64_t{1} << d)};
+      net.LookupInto(key, members[replay.NextBelow(members.size())], res);
+      shortcut_hops += res.cache_hits;
+    }
+  });
+  EXPECT_EQ(allocs, 0u);
+  EXPECT_GT(shortcut_hops, 0u);
+}
+
 TEST(LookupAllocFree, FreshResultStillAllocatesOnlyForThePath) {
   // Sanity-check the counter itself: a cold LookupResult must allocate
   // (its path vector grows), proving the zero above is not a dead counter.
