@@ -26,7 +26,8 @@ int main(int argc, char** argv) {
 
   const auto points = bench::RunQuerySweep(
       setup, workload, harness::AllSystems(), /*range=*/false,
-      bench::Metric::kAvgHops, attr_counts, opt.quick ? 20 : 100, 10, opt.jobs);
+      bench::Metric::kAvgHops, attr_counts, opt.quick ? 20 : 100, 10,
+      opt.jobs, opt.batch);
 
   harness::TablePrinter table(std::cout,
                               {"attrs", "MAAN", "Analysis-LORM", "LORM",

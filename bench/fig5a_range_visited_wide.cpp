@@ -29,7 +29,7 @@ int main(int argc, char** argv) {
   const auto points = bench::RunQuerySweep(
       setup, workload, {SystemKind::kMaan, SystemKind::kMercury},
       /*range=*/true, bench::Metric::kTotalVisited, attr_counts,
-      queries / 10, 10, opt.jobs);
+      queries / 10, 10, opt.jobs, opt.batch);
 
   harness::TablePrinter table(
       std::cout,

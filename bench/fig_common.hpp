@@ -34,6 +34,10 @@ struct BenchOptions {
   bool csv = false;     ///< machine-readable table rows
   bool json = false;    ///< emit a machine-readable summary line at exit
   std::size_t jobs = 1; ///< worker threads (--jobs; default hw concurrency)
+  /// Lookup/trial batch width (--batch). Figure benches feed this to
+  /// QueryExperimentConfig::batch (block-granular trial scheduling);
+  /// fig_scale drives the BatchLookupEngine with it. 0 = bench default.
+  std::size_t batch = 0;
   bool metrics = false;          ///< record + emit the metrics registry
   std::string metrics_file;      ///< --metrics=<file>: write JSON there
   std::string trace_file;        ///< --trace=<file>: per-query JSON lines
@@ -85,6 +89,13 @@ inline BenchOptions ParseOptions(int argc, char** argv) {
     } else if (std::strncmp(argv[i], "--jobs=", 7) == 0) {
       opt.jobs = ResolveJobs(
           static_cast<std::size_t>(std::strtoull(argv[i] + 7, nullptr, 10)));
+    }
+    if (std::strcmp(argv[i], "--batch") == 0 && i + 1 < argc) {
+      opt.batch =
+          static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else if (std::strncmp(argv[i], "--batch=", 8) == 0) {
+      opt.batch =
+          static_cast<std::size_t>(std::strtoull(argv[i] + 8, nullptr, 10));
     }
   }
   harness::TablePrinter::SetCsvMode(opt.csv);

@@ -37,6 +37,7 @@ int main(int argc, char** argv) {
       cfg.range = range;
       cfg.seed = 0x1A7E;
       cfg.jobs = opt.jobs;
+      cfg.batch = opt.batch == 0 ? 1 : opt.batch;
       const auto lat =
           harness::MeasureQueryLatency(*service, workload, cfg, model);
       table.Row({harness::SystemName(kind), range ? "range" : "point",

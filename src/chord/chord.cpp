@@ -1,7 +1,21 @@
 #include "chord/chord.hpp"
 
+#if defined(__linux__)
+#include <sys/mman.h>
+// Kernel 6.1+ supports synchronous THP collapse; older glibc headers
+// (< 2.38) just don't expose the constant. The value is kernel ABI.
+#ifndef MADV_COLLAPSE
+#define MADV_COLLAPSE 25
+#endif
+#endif
+
+#if defined(__x86_64__)
+#include <immintrin.h>
+#endif
+
 #include <algorithm>
 #include <array>
+#include <unordered_set>
 
 #include "common/error.hpp"
 #include "common/hashing.hpp"
@@ -23,6 +37,55 @@ bool InIntervalOO(Key x, Key lo, Key hi) {
   return x > lo || x < hi;  // wrapped
 }
 
+namespace {
+
+int ScanFingerIdsScalar(const Key* ids, std::size_t count, Key lo, Key hi) {
+  for (std::size_t i = count; i-- > 0;) {
+    if (InIntervalOO(ids[i], lo, hi)) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+#if defined(__x86_64__)
+/// Four-wide version of the scalar scan. Identifier-space keys fit in 63
+/// bits (the ring caps bits at 63), so signed 64-bit compares order the
+/// same as unsigned ones. `wrapped` folds the lo==hi case correctly:
+/// (x > lo || x < lo) == (x != lo), matching InIntervalOO.
+__attribute__((target("avx2"))) int ScanFingerIdsAvx2(const Key* ids,
+                                                      std::size_t count,
+                                                      Key lo, Key hi) {
+  const bool wrapped = lo >= hi;
+  const __m256i vlo = _mm256_set1_epi64x(static_cast<long long>(lo));
+  const __m256i vhi = _mm256_set1_epi64x(static_cast<long long>(hi));
+  std::size_t i = count;
+  while (i >= 4) {
+    i -= 4;
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(ids + i));
+    const __m256i gt = _mm256_cmpgt_epi64(v, vlo);
+    const __m256i lt = _mm256_cmpgt_epi64(vhi, v);
+    const __m256i m =
+        wrapped ? _mm256_or_si256(gt, lt) : _mm256_and_si256(gt, lt);
+    const unsigned mask =
+        static_cast<unsigned>(_mm256_movemask_pd(_mm256_castsi256_pd(m)));
+    if (mask != 0) return static_cast<int>(i) + 31 - __builtin_clz(mask);
+  }
+  return ScanFingerIdsScalar(ids, i, lo, hi);
+}
+#endif
+
+/// Highest index i < count with ids[i] inside the open ring interval
+/// (lo, hi) — the closest-preceding-finger scan — or -1 if none.
+inline int ScanFingerIds(const Key* ids, std::size_t count, Key lo, Key hi) {
+#if defined(__x86_64__)
+  static const bool kHaveAvx2 = __builtin_cpu_supports("avx2") != 0;
+  if (kHaveAvx2) return ScanFingerIdsAvx2(ids, count, lo, hi);
+#endif
+  return ScanFingerIdsScalar(ids, count, lo, hi);
+}
+
+}  // namespace
+
 ChordRing::ChordRing(Config cfg) : cfg_(cfg) {
   if (cfg_.bits == 0 || cfg_.bits > 63) {
     throw ConfigError("ChordRing bits must be in [1, 63]");
@@ -30,13 +93,17 @@ ChordRing::ChordRing(Config cfg) : cfg_(cfg) {
   if (cfg_.successor_list == 0) {
     throw ConfigError("ChordRing successor list must be non-empty");
   }
+  if (cfg_.successor_list > 0xffff) {
+    throw ConfigError("ChordRing successor list exceeds the u16 slab count");
+  }
   space_ = std::uint64_t{1} << cfg_.bits;
+  link_stride_ = cfg_.bits + cfg_.successor_list;
   if (cfg_.route_cache) route_cache_.Enable();
 }
 
 ChordRing::Slot ChordRing::SlotOf(NodeAddr addr) const {
-  auto it = by_addr_.find(addr);
-  return it == by_addr_.end() ? kNoSlot : it->second;
+  const std::uint32_t v = by_addr_.Find(addr);
+  return v == AddrIndexMap::kAbsent ? kNoSlot : static_cast<Slot>(v);
 }
 
 ChordRing::Node& ChordRing::MustGet(NodeAddr addr) {
@@ -72,14 +139,19 @@ ChordRing::Slot ChordRing::AllocateSlot(NodeAddr addr, Key id) {
   } else {
     s = static_cast<Slot>(slots_.size());
     slots_.emplace_back();
+    links_.resize(slots_.size() * link_stride_);
+    finger_ids_.resize(slots_.size() * cfg_.bits);
   }
   Node& n = slots_[s];
   n.id = id;
   n.addr = addr;
   n.live = true;  // gen was already bumped when the slot was vacated
   n.predecessor = Link{};
-  n.fingers.clear();
-  n.successors.clear();
+  n.finger_count = 0;
+  n.succ_count = 0;
+  n.s0_id = 0;
+  n.s0_slot = kNoSlot;
+  n.s0_addr = kNoNode;
   route_cache_.EnsureSlots(slots_.size());
   return s;
 }
@@ -90,8 +162,11 @@ void ChordRing::ReleaseSlot(Slot s) {
   n.live = false;
   n.addr = kNoNode;
   n.predecessor = Link{};
-  n.fingers.clear();     // keeps capacity for the next occupant
-  n.successors.clear();
+  n.finger_count = 0;  // the slab extent stays in place for the next occupant
+  n.succ_count = 0;
+  n.s0_id = 0;
+  n.s0_slot = kNoSlot;
+  n.s0_addr = kNoNode;
   free_slots_.push_back(s);
   // The generation bump above already invalidates shortcuts *to* this slot;
   // drop what the departed occupant had learned as well.
@@ -120,16 +195,27 @@ void ChordRing::AddNodeWithId(NodeAddr addr, Key id) {
   if (Contains(addr)) throw ConfigError("node address already in ring");
   if (OracleContains(id)) throw ConfigError("chord id collision");
 
+  // Joining splices neighbors but leaves remote finger tables stale.
+  links_fresh_ = false;
   const bool first = by_addr_.empty();
   const Slot self_slot = AllocateSlot(addr, id);
   OracleInsert(id, self_slot);
-  by_addr_[addr] = self_slot;
+  by_addr_.Put(addr, self_slot);
 
   if (first) {
     Node& n = slots_[self_slot];
     n.predecessor = MakeLink(self_slot);
-    n.successors.assign(1, MakeLink(self_slot));
-    n.fingers.assign(cfg_.bits, MakeLink(self_slot));
+    const Link self_link = MakeLink(self_slot);
+    SlotSuccessors(self_slot)[0] = self_link;
+    n.succ_count = 1;
+    SyncSucc0(n);
+    Link* fingers = SlotFingers(self_slot);
+    Key* fids = SlotFingerIds(self_slot);
+    for (unsigned i = 0; i < cfg_.bits; ++i) {
+      fingers[i] = self_link;
+      fids[i] = self_link.id;
+    }
+    n.finger_count = static_cast<std::uint16_t>(cfg_.bits);
     maintenance_.join_messages += 1;  // bootstrap announcement
     for (auto* obs : observers_) obs->OnJoin(addr, addr);
     return;
@@ -142,8 +228,8 @@ void ChordRing::AddNodeWithId(NodeAddr addr, Key id) {
   // Join cost: the bootstrap lookup (~log n hops), one message per table
   // entry built, and the two notify messages below.
   maintenance_.join_messages +=
-      cfg_.bits / 2 + self.fingers.size() + self.successors.size() + 2;
-  const Slot succ_slot = ResolveLink(self.successors.front());
+      cfg_.bits / 2 + self.finger_count + self.succ_count + 2;
+  const Slot succ_slot = ResolveLink(SlotSuccessors(self_slot)[0]);
   Node& s = slots_[succ_slot];
   const NodeAddr succ = s.addr;
   const Link pred = s.predecessor;
@@ -153,18 +239,44 @@ void ChordRing::AddNodeWithId(NodeAddr addr, Key id) {
     const Slot pred_slot = ResolveLink(pred);
     LORM_CHECK_MSG(pred_slot != kNoSlot, "unknown chord node");
     Node& p = slots_[pred_slot];
-    if (!p.successors.empty()) {
-      p.successors.front() = MakeLink(self_slot);
-    } else {
-      p.successors.assign(1, MakeLink(self_slot));
-    }
+    SlotSuccessors(pred_slot)[0] = MakeLink(self_slot);
+    if (p.succ_count == 0) p.succ_count = 1;
+    SyncSucc0(p);
   }
   for (auto* obs : observers_) obs->OnJoin(addr, succ);
+}
+
+void ChordRing::BulkAssign(
+    const std::vector<std::pair<NodeAddr, Key>>& members) {
+  LORM_CHECK_MSG(by_addr_.empty(), "BulkAssign requires an empty ring");
+  LORM_CHECK_MSG(observers_.empty(),
+                 "BulkAssign does not notify membership observers");
+  slots_.reserve(members.size());
+  links_.reserve(members.size() * link_stride_);
+  finger_ids_.reserve(members.size() * cfg_.bits);
+  oracle_.reserve(members.size());
+  by_addr_.reserve(members.size());
+  for (const auto& [addr, id] : members) {
+    LORM_CHECK_MSG(id < space_, "chord id outside the identifier space");
+    if (Contains(addr)) throw ConfigError("node address already in ring");
+    const Slot s = AllocateSlot(addr, id);
+    by_addr_.Put(addr, s);
+    oracle_.push_back({id, s});
+  }
+  std::sort(oracle_.begin(), oracle_.end());
+  for (std::size_t i = 1; i < oracle_.size(); ++i) {
+    if (oracle_[i].first == oracle_[i - 1].first) {
+      throw ConfigError("chord id collision");
+    }
+  }
+  StabilizeAll();
+  CollapseSlabs();
 }
 
 void ChordRing::RemoveNode(NodeAddr addr) {
   const Slot self_slot = SlotOf(addr);
   LORM_CHECK_MSG(self_slot != kNoSlot, "unknown chord node");
+  links_fresh_ = false;  // links to the vacated slot go stale
   Node& n = slots_[self_slot];
   const bool last = by_addr_.size() == 1;
   const Slot succ_slot =
@@ -182,25 +294,26 @@ void ChordRing::RemoveNode(NodeAddr addr) {
       const Slot pred_slot = ResolveLink(pred);
       LORM_CHECK_MSG(pred_slot != kNoSlot, "unknown chord node");
       Node& p = slots_[pred_slot];
-      if (!p.successors.empty() && p.successors.front().addr == addr) {
-        p.successors.front() = MakeLink(succ_slot);
+      if (p.succ_count != 0 && SlotSuccessors(pred_slot)[0].addr == addr) {
+        SlotSuccessors(pred_slot)[0] = MakeLink(succ_slot);
       }
     } else {
       s.predecessor = MakeLink(succ_slot);  // degenerate two-node case
     }
   }
   OracleErase(n.id);
-  by_addr_.erase(addr);
+  by_addr_.Erase(addr);
   ReleaseSlot(self_slot);
 }
 
 void ChordRing::FailNode(NodeAddr addr) {
   const Slot self_slot = SlotOf(addr);
   LORM_CHECK_MSG(self_slot != kNoSlot, "unknown chord node");
+  links_fresh_ = false;  // links to the vacated slot go stale
   for (auto* obs : observers_) obs->OnFail(addr);
   // No splice, no handoff: neighbors discover the failure lazily.
   OracleErase(slots_[self_slot].id);
-  by_addr_.erase(addr);
+  by_addr_.Erase(addr);
   ReleaseSlot(self_slot);
 }
 
@@ -275,6 +388,11 @@ bool ChordRing::OwnsNode(const Node& n, Key key) const {
   if (n.predecessor.addr == kNoNode || n.predecessor.addr == n.addr) {
     return true;
   }
+  if (links_fresh_) {
+    // The predecessor link is current by invariant: ResolveLink would return
+    // its slot and slots_[slot].id equals the cached id — skip both derefs.
+    return InIntervalOC(key, n.predecessor.id, n.id);
+  }
   const Slot pred_slot = ResolveLink(n.predecessor);
   Key pred_id;
   if (pred_slot == kNoSlot) {
@@ -310,7 +428,8 @@ std::size_t CountDistinct(NodeAddr* buf, std::size_t count) {
 
 std::size_t ChordRing::Outlinks(NodeAddr addr) const {
   const Node& n = MustGet(addr);
-  const std::size_t cap = n.fingers.size() + n.successors.size() + 1;
+  const Slot slot = SlotIndexOf(n);
+  const std::size_t cap = n.finger_count + n.succ_count + 1;
   std::array<NodeAddr, 128> stack;
   std::vector<NodeAddr> heap;  // only for oversized successor-list configs
   NodeAddr* buf = stack.data();
@@ -324,8 +443,10 @@ std::size_t ChordRing::Outlinks(NodeAddr addr) const {
       buf[count++] = l.addr;
     }
   };
-  for (const Link& f : n.fingers) consider(f);
-  for (const Link& s : n.successors) consider(s);
+  const Link* fingers = SlotFingers(slot);
+  const Link* succs = SlotSuccessors(slot);
+  for (std::size_t i = 0; i < n.finger_count; ++i) consider(fingers[i]);
+  for (std::size_t i = 0; i < n.succ_count; ++i) consider(succs[i]);
   consider(n.predecessor);
   return CountDistinct(buf, count);
 }
@@ -334,7 +455,9 @@ std::size_t ChordRing::FingerTableSize(NodeAddr addr) const {
   const Node& n = MustGet(addr);
   std::array<NodeAddr, 64> buf;  // bits <= 63 fingers, always fits
   std::size_t count = 0;
-  for (const Link& f : n.fingers) {
+  const Link* fingers = SlotFingers(SlotIndexOf(n));
+  for (std::size_t i = 0; i < n.finger_count; ++i) {
+    const Link& f = fingers[i];
     if (f.addr != kNoNode && f.addr != addr && LinkAlive(f)) {
       buf[count++] = f.addr;
     }
@@ -349,8 +472,11 @@ std::vector<NodeAddr> ChordRing::NeighborsOf(NodeAddr addr) const {
     if (a == kNoNode || a == addr) return;
     if (std::find(out.begin(), out.end(), a) == out.end()) out.push_back(a);
   };
-  for (const Link& f : n.fingers) consider(f.addr);
-  for (const Link& s : n.successors) consider(s.addr);
+  const Slot slot = SlotIndexOf(n);
+  const Link* fingers = SlotFingers(slot);
+  const Link* succs = SlotSuccessors(slot);
+  for (std::size_t i = 0; i < n.finger_count; ++i) consider(fingers[i].addr);
+  for (std::size_t i = 0; i < n.succ_count; ++i) consider(succs[i].addr);
   consider(n.predecessor.addr);
   return out;
 }
@@ -358,22 +484,25 @@ std::vector<NodeAddr> ChordRing::NeighborsOf(NodeAddr addr) const {
 std::vector<NodeAddr> ChordRing::FingersOf(NodeAddr addr) const {
   const Node& n = MustGet(addr);
   std::vector<NodeAddr> out;
-  out.reserve(n.fingers.size());
-  for (const Link& f : n.fingers) out.push_back(f.addr);
+  out.reserve(n.finger_count);
+  const Link* fingers = SlotFingers(SlotIndexOf(n));
+  for (std::size_t i = 0; i < n.finger_count; ++i) out.push_back(fingers[i].addr);
   return out;
 }
 
 std::vector<NodeAddr> ChordRing::SuccessorListOf(NodeAddr addr) const {
   const Node& n = MustGet(addr);
   std::vector<NodeAddr> out;
-  out.reserve(n.successors.size());
-  for (const Link& s : n.successors) out.push_back(s.addr);
+  out.reserve(n.succ_count);
+  const Link* succs = SlotSuccessors(SlotIndexOf(n));
+  for (std::size_t i = 0; i < n.succ_count; ++i) out.push_back(succs[i].addr);
   return out;
 }
 
 ChordRing::Slot ChordRing::FirstLiveSuccessorSlot(const Node& n) const {
-  for (const Link& s : n.successors) {
-    const Slot slot = ResolveLink(s);
+  const Link* succs = SlotSuccessors(SlotIndexOf(n));
+  for (std::size_t i = 0; i < n.succ_count; ++i) {
+    const Slot slot = ResolveLink(succs[i]);
     if (slot != kNoSlot) return slot;
     ++maintenance_.dead_links_skipped;
   }
@@ -387,7 +516,9 @@ ChordRing::Slot ChordRing::FirstLiveSuccessorSlot(const Node& n) const {
 
 ChordRing::Slot ChordRing::FirstLiveSuccessorSlotExcept(
     const Node& n, NodeAddr excluded) const {
-  for (const Link& s : n.successors) {
+  const Link* succs = SlotSuccessors(SlotIndexOf(n));
+  for (std::size_t i = 0; i < n.succ_count; ++i) {
+    const Link& s = succs[i];
     if (s.addr == excluded) continue;
     const Slot slot = ResolveLink(s);
     if (slot != kNoSlot) return slot;
@@ -406,8 +537,10 @@ ChordRing::Slot ChordRing::ClosestPrecedingSlot(const Node& n, Key key) const {
   // the live node whose ID most closely precedes the key. With a current
   // generation the target's ID comes straight from the link — the loop
   // touches no map.
-  for (auto it = n.fingers.rbegin(); it != n.fingers.rend(); ++it) {
-    const Link& f = *it;
+  const Slot self = SlotIndexOf(n);
+  const Link* fingers = SlotFingers(self);
+  for (std::size_t i = n.finger_count; i-- > 0;) {
+    const Link& f = fingers[i];
     if (f.addr == kNoNode || f.addr == n.addr) continue;
     Slot slot;
     Key fid;
@@ -426,7 +559,9 @@ ChordRing::Slot ChordRing::ClosestPrecedingSlot(const Node& n, Key key) const {
   }
   Slot best = kNoSlot;
   Key best_id = n.id;
-  for (const Link& s : n.successors) {
+  const Link* succs = SlotSuccessors(self);
+  for (std::size_t i = 0; i < n.succ_count; ++i) {
+    const Link& s = succs[i];
     if (s.addr == kNoNode || s.addr == n.addr) continue;
     Slot slot;
     Key sid;
@@ -447,147 +582,293 @@ ChordRing::Slot ChordRing::ClosestPrecedingSlot(const Node& n, Key key) const {
   return best;
 }
 
+const ChordRing::Link* ChordRing::ClosestPrecedingLinkFresh(const Node& n,
+                                                            Key key) const {
+  // Mirror of ClosestPrecedingSlot under the freshness invariant: every
+  // generation compare in the general scan would pass, so the candidate ID
+  // and slot come straight from the link. Same iteration order, same skip
+  // conditions, same interval tests — returns the link the general scan's
+  // returned slot belongs to (proved byte-identical in test_chord).
+  const Slot self = SlotIndexOf(n);
+  // Pure-id scan over the dense mirror: on a fresh ring every finger entry
+  // is a live link (finger_count == bits), a self-pointing finger carries
+  // id == n.id (which the open interval rejects), and kNoNode entries
+  // cannot exist — so the general loop's skip conditions reduce to the
+  // interval test and the scan vectorizes.
+  const int idx = ScanFingerIds(SlotFingerIds(self), n.finger_count, n.id, key);
+  if (idx >= 0) return &SlotFingers(self)[idx];
+  const Link* best = nullptr;
+  Key best_id = n.id;
+  const Link* succs = SlotSuccessors(self);
+  for (std::size_t i = 0; i < n.succ_count; ++i) {
+    const Link& s = succs[i];
+    if (s.addr == kNoNode || s.addr == n.addr) continue;
+    if (!InIntervalOO(s.id, n.id, key)) continue;
+    if (best == nullptr || InIntervalOO(best_id, n.id, s.id)) {
+      best = &s;
+      best_id = s.id;
+    }
+  }
+  return best;
+}
+
 LookupResult ChordRing::Lookup(Key key, NodeAddr origin) const {
   LookupResult r;
   LookupInto(key, origin, r);
   return r;
 }
 
-namespace {
-
-/// Reports the finished lookup to the observability layer on every exit
-/// path. Costs one flag load + one thread-local null check when obs is off;
-/// records nothing else, so routing behavior and results are untouched.
-struct LookupRecorder {
-  const LookupResult& r;
-  const std::uint64_t& dead_counter;
-  const std::uint64_t dead_before;
-  /// Timestamp taken only while a trace is active on this thread, so the
-  /// off-state cost stays the TLS null check.
-  const std::uint64_t start_ns;
-
-  LookupRecorder(const LookupResult& res, const std::uint64_t& dead)
-      : r(res),
-        dead_counter(dead),
-        dead_before(dead),
-        start_ns(obs::TracingActive() ? obs::MonotonicNowNs() : 0) {}
-
-  ~LookupRecorder() {
-    const std::uint64_t dead_delta = dead_counter - dead_before;
-    if (obs::MetricsEnabled()) {
-      static obs::Histogram& hops = obs::Registry::Global().GetHistogram(
-          "chord.lookup.hops", obs::Histogram::LinearBounds(0.0, 1.0, 32));
-      static obs::Counter& lookups =
-          obs::Registry::Global().GetCounter("chord.lookups");
-      static obs::Counter& failures =
-          obs::Registry::Global().GetCounter("chord.lookup.failures");
-      static obs::Counter& dead_skips = obs::Registry::Global().GetCounter(
-          "chord.lookup.dead_links_skipped");
-      lookups.AddUnchecked(1);
-      hops.RecordUnchecked(static_cast<double>(r.hops));
-      if (!r.ok) failures.AddUnchecked(1);
-      if (dead_delta != 0) dead_skips.AddUnchecked(dead_delta);
-    }
-    const std::uint64_t dur_ns =
-        start_ns != 0 ? obs::MonotonicNowNs() - start_ns : 0;
-    obs::OnLookup(r.path, r.hops, r.ok, dead_delta, dur_ns, r.cache_hits);
-  }
-};
-
-}  // namespace
-
-void ChordRing::LookupInto(Key key, NodeAddr origin, LookupResult& r) const {
-  const LookupRecorder recorder(r, maintenance_.dead_links_skipped);
+void ChordRing::LookupBegin(Key key, NodeAddr origin, LookupResult& r,
+                            LookupState& st) const {
+  st.out = &r;
+  st.dead_skips = 0;
+  // Timestamp taken only while a trace is active on this thread, so the
+  // off-state cost stays the TLS null check.
+  st.start_ns = obs::TracingActive() ? obs::MonotonicNowNs() : 0;
   r.ok = false;
   r.key = key & (space_ - 1);
   r.owner = kNoNode;
   r.hops = 0;
   r.cache_hits = 0;
   r.path.clear();
-  const Slot origin_slot = SlotOf(origin);
-  if (origin_slot == kNoSlot) return;
+  st.cur = SlotOf(origin);
+  st.max_hops = by_addr_.size() + 4 * cfg_.bits + 8;
+  st.done = st.cur == kNoSlot;
+  if (!st.done) r.path.push_back(origin);
+}
 
-  const bool cached = route_cache_.enabled();
-  const std::size_t max_hops = by_addr_.size() + 4 * cfg_.bits + 8;
-  Slot cur = origin_slot;
-  r.path.push_back(origin);
-  while (!OwnsNode(slots_[cur], r.key)) {
-    if (cached) {
-      Link shortcut;
-      if (route_cache_.Probe(cur, r.key, shortcut)) {
-        // Same liveness discipline as a finger, plus an ownership re-check
-        // with the walk's own termination predicate: a stale or wrong
-        // shortcut can never route to an owner the plain walk would reject.
-        if (shortcut.slot != kNoSlot && shortcut.slot != cur &&
-            slots_[shortcut.slot].gen == shortcut.gen &&
-            OwnsNode(slots_[shortcut.slot], r.key)) {
-          cache::TickRouteHit();
-          cur = shortcut.slot;
-          ++r.hops;
-          ++r.cache_hits;
-          r.path.push_back(slots_[cur].addr);
-          continue;
-        }
-        route_cache_.Evict(cur, r.key);
-      }
-      cache::TickRouteMiss();
-    }
-    const Node& n = slots_[cur];
-    const Slot succ = FirstLiveSuccessorSlot(n);
-    Slot next;
-    if (succ == cur) {
-      // Sole member believes it owns everything; Owns() should have caught
-      // this, but guard against a dangling predecessor pointer.
-      break;
-    }
-    if (InIntervalOC(r.key, n.id, slots_[succ].id)) {
-      next = succ;
-    } else {
-      next = ClosestPrecedingSlot(n, r.key);
-      if (next == kNoSlot || next == cur) next = succ;
-    }
-    cur = next;
-    ++r.hops;
-    r.path.push_back(slots_[cur].addr);
-    if (r.hops > max_hops) {
-      return;  // ok stays false: routing failure (should not happen)
-    }
+bool ChordRing::StepOnce(LookupState& st, LookupResult& r) const {
+  if (OwnsNode(slots_[st.cur], r.key)) {
+    r.owner = slots_[st.cur].addr;
+    r.ok = true;
+    return false;
   }
-  r.owner = slots_[cur].addr;
-  r.ok = true;
-  if (cached && r.hops > 0) {
+  if (route_cache_.enabled()) {
+    Link shortcut;
+    if (route_cache_.Probe(st.cur, r.key, shortcut)) {
+      // Same liveness discipline as a finger, plus an ownership re-check
+      // with the walk's own termination predicate: a stale or wrong
+      // shortcut can never route to an owner the plain walk would reject.
+      if (shortcut.slot != kNoSlot && shortcut.slot != st.cur &&
+          slots_[shortcut.slot].gen == shortcut.gen &&
+          OwnsNode(slots_[shortcut.slot], r.key)) {
+        cache::TickRouteHit();
+        st.cur = shortcut.slot;
+        ++r.hops;
+        ++r.cache_hits;
+        r.path.push_back(slots_[st.cur].addr);
+        return true;
+      }
+      route_cache_.Evict(st.cur, r.key);
+    }
+    cache::TickRouteMiss();
+  }
+  const Node& n = slots_[st.cur];
+  if (links_fresh_ && n.succ_count != 0) {
+    // Fresh ring: successors.front() is live and its cached id/addr are
+    // current, so the hop needs no generation derefs at all — not even the
+    // next node's header (its address comes from the link). The walk's only
+    // serialized load is this node's own state, which the batch engine
+    // prefetches a full pipeline round ahead.
+    if (n.s0_slot == st.cur) {
+      r.owner = n.addr;
+      r.ok = true;
+      return false;
+    }
+    Slot next;
+    NodeAddr next_addr;
+    if (InIntervalOC(r.key, n.id, n.s0_id)) {
+      next = n.s0_slot;
+      next_addr = n.s0_addr;
+    } else {
+      const Link* cp = ClosestPrecedingLinkFresh(n, r.key);
+      if (cp == nullptr || cp->slot == st.cur) {
+        next = n.s0_slot;
+        next_addr = n.s0_addr;
+      } else {
+        next = cp->slot;
+        next_addr = cp->addr;
+      }
+    }
+    st.cur = next;
+    ++r.hops;
+    r.path.push_back(next_addr);
+    return r.hops <= st.max_hops;
+  }
+  const Slot succ = FirstLiveSuccessorSlot(n);
+  if (succ == st.cur) {
+    // Sole member believes it owns everything; Owns() should have caught
+    // this, but guard against a dangling predecessor pointer.
+    r.owner = slots_[st.cur].addr;
+    r.ok = true;
+    return false;
+  }
+  Slot next;
+  if (InIntervalOC(r.key, n.id, slots_[succ].id)) {
+    next = succ;
+  } else {
+    next = ClosestPrecedingSlot(n, r.key);
+    if (next == kNoSlot || next == st.cur) next = succ;
+  }
+  st.cur = next;
+  ++r.hops;
+  r.path.push_back(slots_[st.cur].addr);
+  // Past the cap, ok stays false: routing failure (should not happen).
+  return r.hops <= st.max_hops;
+}
+
+bool ChordRing::LookupStep(LookupState& st) const {
+  if (st.done) return false;
+  if (links_fresh_) {
+    // A fresh ring resolves every link from its cached fields — no dead
+    // links can be detected, so skip the counter bookkeeping below.
+    const bool more = StepOnce(st, *st.out);
+    if (!more) st.done = true;
+    return more;
+  }
+  // Attribute dead-link detections to this walk step by step: exact even
+  // when a batch engine interleaves walks over the shared counter.
+  const std::uint64_t dead_before = maintenance_.dead_links_skipped;
+  const bool more = StepOnce(st, *st.out);
+  st.dead_skips += maintenance_.dead_links_skipped - dead_before;
+  if (!more) st.done = true;
+  return more;
+}
+
+void ChordRing::LookupFinish(LookupState& st) const {
+  LookupResult& r = *st.out;
+  if (r.ok && route_cache_.enabled() && r.hops > 0) {
     // Teach every node on the path a direct link to the owner.
-    const Link owner_link = MakeLink(cur);
+    const Link owner_link = MakeLink(st.cur);
     for (std::size_t i = 0; i + 1 < r.path.size(); ++i) {
       const Slot s = SlotOf(r.path[i]);
-      if (s != kNoSlot && s != cur) route_cache_.Insert(s, r.key, owner_link);
+      if (s != kNoSlot && s != st.cur) {
+        route_cache_.Insert(s, r.key, owner_link);
+      }
     }
+  }
+  // Report to the observability layer on every exit path. Costs one flag
+  // load + one thread-local null check when obs is off; records nothing
+  // else, so routing behavior and results are untouched.
+  if (obs::MetricsEnabled()) {
+    static obs::Histogram& hops = obs::Registry::Global().GetHistogram(
+        "chord.lookup.hops", obs::Histogram::LinearBounds(0.0, 1.0, 32));
+    static obs::Counter& lookups =
+        obs::Registry::Global().GetCounter("chord.lookups");
+    static obs::Counter& failures =
+        obs::Registry::Global().GetCounter("chord.lookup.failures");
+    static obs::Counter& dead_skips = obs::Registry::Global().GetCounter(
+        "chord.lookup.dead_links_skipped");
+    lookups.AddUnchecked(1);
+    hops.RecordUnchecked(static_cast<double>(r.hops));
+    if (!r.ok) failures.AddUnchecked(1);
+    if (st.dead_skips != 0) dead_skips.AddUnchecked(st.dead_skips);
+  }
+  const std::uint64_t dur_ns =
+      st.start_ns != 0 ? obs::MonotonicNowNs() - st.start_ns : 0;
+  obs::OnLookup(r.path, r.hops, r.ok, st.dead_skips, dur_ns, r.cache_hits);
+}
+
+void ChordRing::LookupPrefetch(const LookupState& st, unsigned stage) const {
+  if (st.done) return;
+  const Node& n = slots_[st.cur];
+  switch (stage) {
+    case 0: {
+      // Every address below is computed from the slot index alone — no
+      // dependent chase, so one stage covers the whole hop. A fresh step
+      // reads the header line (successor(0) is cached inside it), scans
+      // the id mirror tail-first, then reads the matched link from the
+      // finger extent.
+      __builtin_prefetch(&n, 0, 3);
+      const char* ids = reinterpret_cast<const char*>(SlotFingerIds(st.cur));
+      const std::size_t id_bytes = cfg_.bits * sizeof(Key);
+      const char* iend = ids + id_bytes;
+      constexpr std::size_t kIdTail = 192;  // 24 ids — deeper than most scans
+      for (std::size_t off = 1; off <= id_bytes && off <= kIdTail; off += 64) {
+        __builtin_prefetch(iend - off, 0, 3);
+      }
+      // The matched finger is then read from the full link extent; matches
+      // cluster at the top of the table, so fetch its last two lines.
+      const std::size_t link_bytes = cfg_.bits * sizeof(Link);
+      const char* fend =
+          reinterpret_cast<const char*>(SlotFingers(st.cur)) + link_bytes;
+      __builtin_prefetch(fend - 64, 0, 3);
+      if (link_bytes > 64) __builtin_prefetch(fend - 128, 0, 3);
+      break;
+    }
+    case 1: {
+      // Second level: the link targets whose slab headers the step's
+      // generation checks deref. A fresh ring performs none — the cached
+      // link IDs are authoritative — so the stage is a no-op there. A stale
+      // ring checks the predecessor (OwnsNode), the first successor, and
+      // every scanned finger; cover the targets the scan starts with.
+      if (links_fresh_) break;
+      if (n.predecessor.slot != kNoSlot) {
+        __builtin_prefetch(&slots_[n.predecessor.slot], 0, 3);
+      }
+      const Link* succs = SlotSuccessors(st.cur);
+      if (n.succ_count != 0 && succs[0].slot != kNoSlot) {
+        __builtin_prefetch(&slots_[succs[0].slot], 0, 3);
+      }
+      const Link* fingers = SlotFingers(st.cur);
+      const std::size_t fc = n.finger_count;
+      const std::size_t top = fc > 4 ? fc - 4 : 0;
+      for (std::size_t i = fc; i-- > top;) {
+        if (fingers[i].slot != kNoSlot) {
+          __builtin_prefetch(&slots_[fingers[i].slot], 0, 3);
+        }
+      }
+      break;
+    }
+    default:
+      break;  // the two stages above cover the whole chase
   }
 }
 
-void ChordRing::BuildState(Node& n) {
-  n.fingers.clear();
-  n.fingers.reserve(cfg_.bits);
-  for (unsigned i = 0; i < cfg_.bits; ++i) {
-    n.fingers.push_back(MakeLink(OwnerSlotOf(FingerStart(n.id, i))));
+void ChordRing::LookupInto(Key key, NodeAddr origin, LookupResult& r) const {
+  LookupState st;
+  LookupBegin(key, origin, r, st);
+  while (LookupStep(st)) {
   }
-  n.successors.clear();
+  LookupFinish(st);
+}
+
+void ChordRing::SyncSucc0(Node& n) {
+  const Link& s0 = SlotSuccessors(SlotIndexOf(n))[0];
+  n.s0_id = s0.id;
+  n.s0_slot = s0.slot;
+  n.s0_addr = s0.addr;
+}
+
+void ChordRing::BuildState(Node& n) {
+  const Slot self = SlotIndexOf(n);
+  Link* fingers = SlotFingers(self);
+  Key* fids = SlotFingerIds(self);
+  for (unsigned i = 0; i < cfg_.bits; ++i) {
+    fingers[i] = MakeLink(OwnerSlotOf(FingerStart(n.id, i)));
+    fids[i] = fingers[i].id;
+  }
+  n.finger_count = static_cast<std::uint16_t>(cfg_.bits);
+  Link* succs = SlotSuccessors(self);
+  n.succ_count = 0;
   std::size_t idx = OracleUpperBound(n.id);
   for (std::size_t k = 0; k < cfg_.successor_list; ++k) {
     if (idx == oracle_.size()) idx = 0;
     if (slots_[oracle_[idx].second].addr == n.addr) break;  // wrapped all the way
-    n.successors.push_back(MakeLink(oracle_[idx].second));
+    succs[n.succ_count++] = MakeLink(oracle_[idx].second);
     ++idx;
   }
-  if (n.successors.empty()) {
-    n.successors.push_back(MakeLink(SlotOf(n.addr)));
+  if (n.succ_count == 0) {
+    succs[0] = MakeLink(SlotOf(n.addr));
+    n.succ_count = 1;
   }
+  SyncSucc0(n);
 }
 
 void ChordRing::FixNode(NodeAddr addr) {
   Node& n = MustGet(addr);
   BuildState(n);
-  maintenance_.stabilize_messages += n.fingers.size() + n.successors.size() + 1;
+  maintenance_.stabilize_messages += n.finger_count + n.succ_count + 1;
 }
 
 void ChordRing::StabilizeAll() {
@@ -595,14 +876,16 @@ void ChordRing::StabilizeAll() {
     Node& node = slots_[s];
     if (!node.live) continue;
     BuildState(node);
-    maintenance_.stabilize_messages +=
-        node.fingers.size() + node.successors.size() + 1;
+    maintenance_.stabilize_messages += node.finger_count + node.succ_count + 1;
     // Refresh the predecessor pointer to the oracle state as well; this is
     // what repeated stabilize() rounds converge to.
     const std::size_t idx = OracleIndexOf(node.id);
     node.predecessor = MakeLink(idx == 0 ? oracle_.back().second
                                          : oracle_[idx - 1].second);
   }
+  // Every link in every live node was just rebuilt from the oracle: all
+  // generations current until the next membership change.
+  links_fresh_ = true;
 }
 
 void ChordRing::AddObserver(MembershipObserver* obs) {
@@ -612,6 +895,37 @@ void ChordRing::AddObserver(MembershipObserver* obs) {
 void ChordRing::RemoveObserver(MembershipObserver* obs) {
   observers_.erase(std::remove(observers_.begin(), observers_.end(), obs),
                    observers_.end());
+}
+
+std::size_t ChordRing::ApproxMemoryBytes() const {
+  std::size_t bytes = slots_.capacity() * sizeof(Node);
+  bytes += links_.capacity() * sizeof(Link);
+  bytes += finger_ids_.capacity() * sizeof(Key);
+  bytes += free_slots_.capacity() * sizeof(Slot);
+  bytes += oracle_.capacity() * sizeof(std::pair<Key, Slot>);
+  bytes += by_addr_.MemoryBytes();
+  return bytes;
+}
+
+void ChordRing::CollapseSlabs() {
+#if defined(__linux__) && defined(MADV_COLLAPSE)
+  // Synchronously back the slabs with transparent huge pages where the
+  // kernel allows it. x86 drops software prefetches whose page walk misses
+  // the TLB, so a multi-hundred-MB slab on 4K pages defeats the lookup
+  // pipeline; 2M pages keep it TLB-resident. Best effort: alignment or
+  // kernel support may make this a no-op, which only costs speed.
+  auto collapse = [](void* p, std::size_t len) {
+    constexpr std::uintptr_t kHuge = std::uintptr_t{1} << 21;
+    const auto base = reinterpret_cast<std::uintptr_t>(p);
+    const std::uintptr_t lo = (base + kHuge - 1) & ~(kHuge - 1);
+    const std::uintptr_t hi = (base + len) & ~(kHuge - 1);
+    if (hi > lo) {
+      (void)madvise(reinterpret_cast<void*>(lo), hi - lo, MADV_COLLAPSE);
+    }
+  };
+  collapse(slots_.data(), slots_.size() * sizeof(Node));
+  collapse(links_.data(), links_.size() * sizeof(Link));
+#endif
 }
 
 ChordRing MakeRing(std::size_t n, Config cfg, bool deterministic_ids,
@@ -640,6 +954,47 @@ ChordRing MakeRing(std::size_t n, Config cfg, bool deterministic_ids,
     }
   }
   ring.StabilizeAll();
+  return ring;
+}
+
+ChordRing MakeRingBulk(std::size_t n, Config cfg, bool deterministic_ids,
+                       NodeAddr base_addr) {
+  ChordRing ring(cfg);
+  const std::uint64_t space = std::uint64_t{1} << cfg.bits;
+  std::vector<std::pair<NodeAddr, Key>> members;
+  members.reserve(n);
+  if (deterministic_ids) {
+    if (n > space) throw ConfigError("more nodes than identifiers");
+    // Same seed-derived rotation + proportional placement as MakeRing.
+    std::uint64_t st = cfg.seed;
+    const Key offset = SplitMix64(st) & (space - 1);
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto id = static_cast<Key>(
+          (static_cast<unsigned __int128>(i) * space / n + offset) &
+          (space - 1));
+      members.push_back({static_cast<NodeAddr>(base_addr + i), id});
+    }
+  } else {
+    // Replays AddNode's hash + collision-salting stream against a hash set
+    // instead of the growing oracle, so the assigned IDs are identical to n
+    // sequential AddNode calls.
+    const ConsistentHash ch(cfg.bits);
+    std::unordered_set<Key> used;
+    used.reserve(n * 2);
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto addr = static_cast<NodeAddr>(base_addr + i);
+      Key id = ch(static_cast<std::uint64_t>(addr) ^ cfg.seed);
+      std::uint64_t salt = 0;
+      while (used.count(id) != 0) {
+        ++salt;
+        id = MixHashes(static_cast<std::uint64_t>(addr) ^ cfg.seed, salt) &
+             (space - 1);
+      }
+      used.insert(id);
+      members.push_back({addr, id});
+    }
+  }
+  ring.BulkAssign(members);
   return ring;
 }
 

@@ -15,15 +15,20 @@
 //  * a global sorted index of members serves purely as the maintenance
 //    oracle (what stabilization converges to) and for O(1) test assertions.
 //
-// Storage layout: nodes live in a contiguous slot slab (`slots_`) with a
-// per-slot generation counter; routing-table entries are `Link`s holding the
-// resolved slot, the generation observed when the link was built, and the
-// target's cached ID. On the steady-state routing path liveness is a single
-// generation compare and IDs come from the link itself — no hash probes.
-// Address-based resolution (`by_addr_`) runs once per membership change and
-// as the fallback for stale links, which exactly reproduces address
-// semantics when a node departs (or departs and rejoins) between
-// maintenance rounds.
+// Storage layout: nodes live in a contiguous slot slab (`slots_`, one
+// cache-line node header per slot) with a per-slot generation counter;
+// routing-table entries are `Link`s holding the resolved slot, the
+// generation observed when the link was built, and the target's cached ID.
+// The links themselves live in a second contiguous slab (`links_`): every
+// slot owns a fixed extent of `bits + successor_list` entries — fingers
+// first, successor list after — so a node's routing arrays sit at an
+// address computable from its slot index alone, with no per-node heap
+// allocations to chase (and one flat range to promote to huge pages). On
+// the steady-state routing path liveness is a single generation compare and
+// IDs come from the link itself — no hash probes. Address-based resolution
+// (`by_addr_`) runs once per membership change and as the fallback for
+// stale links, which exactly reproduces address semantics when a node
+// departs (or departs and rejoins) between maintenance rounds.
 //
 // The ring is configurable between the paper's deterministic mode (an
 // 11-bit space holding all 2048 IDs) and the standard random-ID mode
@@ -33,12 +38,13 @@
 #include <cstdint>
 #include <functional>
 #include <optional>
-#include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "cache/route_cache.hpp"
 #include "common/maintenance.hpp"
+#include "common/flat_map.hpp"
+#include "common/hugepage.hpp"
 #include "common/types.hpp"
 
 namespace lorm::chord {
@@ -96,6 +102,15 @@ class MembershipObserver {
 
 class ChordRing {
  public:
+  /// Index into the node slot slab. Public so resumable lookup state (and
+  /// the batch engine built on it) can carry slab positions across steps.
+  using Slot = std::uint32_t;
+  static constexpr Slot kNoSlot = 0xffffffffu;
+
+  /// Aliases the batch engine templates over (cycloid uses the same names).
+  using LookupKeyType = Key;
+  using LookupResultType = LookupResult;
+
   explicit ChordRing(Config cfg);
 
   // ---- Membership -------------------------------------------------------
@@ -108,6 +123,15 @@ class ChordRing {
   /// paper's fully populated 11-bit ring). Throws on ID collision.
   void AddNodeWithId(NodeAddr addr, Key id);
 
+  /// Bulk membership for large static rings: pre-sizes the slab and address
+  /// index, builds the sorted oracle with one sort instead of n spliced
+  /// inserts, and stabilizes every node once — O(n log n) total where n
+  /// sequential joins cost O(n^2) oracle memmoves. The routing state is
+  /// exactly what the join path + StabilizeAll converge to (asserted in
+  /// tests); only the per-join message accounting is skipped. Requires an
+  /// empty ring with no registered observers.
+  void BulkAssign(const std::vector<std::pair<NodeAddr, Key>>& members);
+
   /// Graceful departure: splices the ring and notifies observers.
   void RemoveNode(NodeAddr addr);
 
@@ -117,7 +141,7 @@ class ChordRing {
   void FailNode(NodeAddr addr);
 
   std::size_t size() const { return by_addr_.size(); }
-  bool Contains(NodeAddr addr) const { return by_addr_.count(addr) != 0; }
+  bool Contains(NodeAddr addr) const { return by_addr_.Contains(addr); }
   std::vector<NodeAddr> Members() const;
 
   // ---- Structure queries (oracle / protocol state) -----------------------
@@ -158,8 +182,66 @@ class ChordRing {
 
   /// Same walk, but reuses `out` (notably its path buffer) instead of
   /// returning a fresh result: after warm-up the steady-state query path
-  /// performs no heap allocation.
+  /// performs no heap allocation. Implemented as LookupBegin + LookupStep
+  /// to exhaustion + LookupFinish — the resumable API below is the walk.
   void LookupInto(Key key, NodeAddr origin, LookupResult& out) const;
+
+  // ---- Resumable lookup (single-hop state machine) ----------------------
+  //
+  // The monolithic walk factored into Begin / Step* / Finish so a batch
+  // engine can interleave B independent walks and hide the slab's DRAM
+  // latency behind useful work (see harness/batch_lookup.hpp). The
+  // decomposition is exact: LookupInto is a thin loop over LookupStep, and
+  // every observable — LookupResult bytes, route-cache probe/teach order,
+  // maintenance counters, obs traces/metrics — is identical to the old
+  // single-function walk.
+
+  /// One in-flight walk. Plain value state; reusable across lookups. The
+  /// bound LookupResult must outlive the walk (Begin .. Finish).
+  struct LookupState {
+    LookupResult* out = nullptr;  ///< bound result, valid Begin..Finish
+    Slot cur = kNoSlot;           ///< slab position of the walk head
+    std::size_t max_hops = 0;     ///< routing-failure cap for this walk
+    bool done = true;             ///< no more steps (out->ok says how)
+    /// Dead links this walk detected (exact even when walks interleave:
+    /// accumulated per step, not diffed across the whole walk).
+    std::uint64_t dead_skips = 0;
+    std::uint64_t start_ns = 0;   ///< trace timestamp (0 when tracing off)
+  };
+
+  /// Binds `out` to `st` and positions the walk at `origin`. A missing
+  /// origin completes the walk immediately (ok stays false).
+  void LookupBegin(Key key, NodeAddr origin, LookupResult& out,
+                   LookupState& st) const;
+
+  /// Advances the walk by at most one hop. Returns true while the walk has
+  /// more steps; false once it completed (owner found, routing dead end, or
+  /// hop cap exceeded). Calling it on a completed walk is a no-op.
+  bool LookupStep(LookupState& st) const;
+
+  /// Completes the walk: teaches the route cache (on success, cache on) and
+  /// reports to the metrics/trace layer — everything the monolithic walk did
+  /// after its loop. Must be called exactly once per Begin.
+  void LookupFinish(LookupState& st) const;
+
+  /// Issues __builtin_prefetch for the slab lines the walk's next LookupStep
+  /// will read. Stages pipeline the pointer chase (each stage only
+  /// dereferences memory a previous stage prefetched):
+  ///   0 — the node header line + its routing extent (both addresses are
+  ///       computed from the slot index, so no dependent load is needed;
+  ///       call right after Begin or a hop);
+  ///   1 — predecessor/successor/top-finger target headers (needs stage 0
+  ///       resident). On a fresh ring (LinksFresh) the step derefs no
+  ///       targets and this stage is a no-op;
+  ///   2 — unused (kept so engines may pipeline 3 deep on other rings).
+  /// Pure prefetch: no observable effect, safe to skip or repeat.
+  void LookupPrefetch(const LookupState& st, unsigned stage) const;
+
+  /// Warms the membership-table probe line for a LookupBegin(.., origin, ..)
+  /// issued later: a batch engine calls this one refill ahead so the next
+  /// request's origin->slot resolution overlaps the walks in flight. Pure
+  /// prefetch, no observable effect.
+  void PrefetchOrigin(NodeAddr origin) const { by_addr_.PrefetchFind(origin); }
 
   // ---- Maintenance ------------------------------------------------------
 
@@ -175,16 +257,20 @@ class ChordRing {
   const MaintenanceStats& maintenance() const { return maintenance_; }
   void ResetMaintenanceStats() { maintenance_ = {}; }
 
+  /// True while every stored link is known current (see links_fresh_).
+  /// Exposed so tests can assert the invariant toggles where expected.
+  bool LinksFresh() const { return links_fresh_; }
+
   unsigned bits() const { return cfg_.bits; }
   /// 2^bits as a value; bits == 64 is not supported for rings.
   std::uint64_t space() const { return space_; }
   const Config& config() const { return cfg_; }
 
- private:
-  /// Index into the slot slab.
-  using Slot = std::uint32_t;
-  static constexpr Slot kNoSlot = 0xffffffffu;
+  /// Estimated resident bytes of the overlay state (slot slab, per-node
+  /// routing vectors, oracle, address index) — fig_scale's footprint column.
+  std::size_t ApproxMemoryBytes() const;
 
+ private:
   /// One routing-table entry: the target's slot and the slot generation at
   /// link-build time, plus its address and ring ID cached from the same
   /// moment. While the generation still matches, the target is alive and
@@ -199,18 +285,62 @@ class ChordRing {
     Key id = 0;
   };
 
-  struct Node {
+  /// Node header: everything but the routing arrays, which live in the
+  /// link slab at extent `slot * link_stride_` (fingers, then successors).
+  /// Line-aligned so the walk's header read is exactly one cache line.
+  struct alignas(64) Node {
     Key id = 0;
     NodeAddr addr = kNoNode;
     std::uint32_t gen = 0;  ///< bumped every time the slot is vacated
+    std::uint16_t finger_count = 0;  ///< live prefix of the finger extent
+    std::uint16_t succ_count = 0;    ///< live prefix of the successor extent
     bool live = false;
+    /// In-header copy of the first successor link (kept in sync by
+    /// SyncSucc0 at every write of the successor extent). Every routing
+    /// step tests the key against successor(0) — caching its id/slot/addr
+    /// here keeps the whole test on the header line instead of touching
+    /// the successor extent, one fewer line per hop for the fresh path.
+    /// No generation field: the fresh path performs no staleness checks,
+    /// and the stale path reads the real extent entry instead.
+    Key s0_id = 0;
+    Slot s0_slot = kNoSlot;
+    NodeAddr s0_addr = kNoNode;
     Link predecessor;
-    std::vector<Link> fingers;     // bits entries; may be stale
-    std::vector<Link> successors;  // successor list; [0] kept fresh
   };
+  static_assert(sizeof(Node) == 64, "Node header must stay one cache line");
 
   Node& MustGet(NodeAddr addr);
   const Node& MustGet(NodeAddr addr) const;
+  /// Re-caches successor(0) into the node header after a successor-extent
+  /// write (see Node::s0_id).
+  void SyncSucc0(Node& n);
+  /// The node's slot index, recovered from its slab position.
+  Slot SlotIndexOf(const Node& n) const {
+    return static_cast<Slot>(&n - slots_.data());
+  }
+  /// The slot's finger extent (finger_count valid entries).
+  Link* SlotFingers(Slot s) {
+    return links_.data() + std::size_t{s} * link_stride_;
+  }
+  const Link* SlotFingers(Slot s) const {
+    return links_.data() + std::size_t{s} * link_stride_;
+  }
+  /// The slot's successor-list extent (succ_count valid entries).
+  Link* SlotSuccessors(Slot s) { return SlotFingers(s) + cfg_.bits; }
+  const Link* SlotSuccessors(Slot s) const {
+    return SlotFingers(s) + cfg_.bits;
+  }
+  /// The slot's finger-id mirror (see finger_ids_).
+  Key* SlotFingerIds(Slot s) {
+    return finger_ids_.data() + std::size_t{s} * cfg_.bits;
+  }
+  const Key* SlotFingerIds(Slot s) const {
+    return finger_ids_.data() + std::size_t{s} * cfg_.bits;
+  }
+  /// Best-effort promotion of the node/link slabs to transparent huge
+  /// pages: random-access prefetches are dropped on TLB misses, so large
+  /// rings want the slabs TLB-resident. No observable effect on results.
+  void CollapseSlabs();
   /// addr -> slot, or kNoSlot when the address is not a member.
   Slot SlotOf(NodeAddr addr) const;
   /// Snapshot link to the slot's current occupant.
@@ -232,6 +362,14 @@ class ChordRing {
   /// the excluded node is departing).
   Slot FirstLiveSuccessorSlotExcept(const Node& n, NodeAddr excluded) const;
   Slot ClosestPrecedingSlot(const Node& n, Key key) const;
+  /// ClosestPrecedingSlot restricted to a fresh ring (links_fresh_): same
+  /// scan order and interval tests, but candidate IDs come from the links
+  /// themselves — no generation derefs. Returns the chosen link, or nullptr
+  /// where the general scan returns kNoSlot.
+  const Link* ClosestPrecedingLinkFresh(const Node& n, Key key) const;
+  /// One iteration of the lookup loop (hop, cache shortcut, or
+  /// termination); returns false when the walk completed.
+  bool StepOnce(LookupState& st, LookupResult& r) const;
   void BuildState(Node& n);
   Key FingerStart(Key id, unsigned i) const;
   /// Index of the first oracle entry with id > `id` (modular: size() wraps
@@ -248,18 +386,43 @@ class ChordRing {
 
   Config cfg_;
   std::uint64_t space_;
-  std::vector<Node> slots_;       // slot slab; entries stay put for life
+  /// Slabs live on hugepage-backed mappings (see common/hugepage.hpp):
+  /// large rings span thousands of 4 KiB pages, beyond TLB coverage, and
+  /// x86 drops software prefetches whose page walk misses the TLB — which
+  /// would defeat the batch engine's prefetch pipeline exactly where it
+  /// matters most. 2 MiB pages keep both slabs TLB-resident.
+  std::vector<Node, HugePageAllocator<Node>> slots_;  // entries stay put
+  /// Routing-array slab: link_stride_ entries per slot (bits fingers, then
+  /// successor_list successors). Grows with slots_, entries stay put.
+  std::vector<Link, HugePageAllocator<Link>> links_;
+  /// 8-byte mirror of the finger extents' ids (stride cfg_.bits per slot),
+  /// written wherever the finger links are. The fresh-path
+  /// closest-preceding scan runs over this dense array — 8 ids per cache
+  /// line instead of 2.6 links, and contiguous 64-bit lanes the vectorized
+  /// scan can compare four at a time.
+  std::vector<Key, HugePageAllocator<Key>> finger_ids_;
+  std::size_t link_stride_ = 0;
   std::vector<Slot> free_slots_;
   /// The oracle index: all (id, slot) pairs sorted by id. Kept flat — every
   /// consumer (OwnerOf, BuildState, the recovery fallbacks) binary-searches
   /// or scans contiguously; iteration order matches the std::map it
   /// replaced, so Members() and stabilization output are unchanged.
   std::vector<std::pair<Key, Slot>> oracle_;
-  std::unordered_map<NodeAddr, Slot> by_addr_;  // resolved once per change
+  AddrIndexMap by_addr_;  // flat addr->slot table; resolved once per change
   std::vector<MembershipObserver*> observers_;
   mutable MaintenanceStats maintenance_;  // mutable: routing is const
   /// Learned shortcuts (cfg_.route_cache); mutable: lookups teach it.
   mutable cache::RouteCacheTable<Link> route_cache_;
+  /// Freshness invariant: true ⇒ every Link held by a live node (fingers,
+  /// successor list, predecessor) still points at its original occupant,
+  /// i.e. slots_[l.slot].gen == l.gen for every stored link. StabilizeAll
+  /// establishes it (every link rebuilt from the oracle); any membership
+  /// mutation clears it before touching state. While it holds, the lookup
+  /// path skips every generation-validation deref — the checks would all
+  /// pass — turning ~scan-depth random slab reads per hop into zero and
+  /// leaving results, counters and traces bit-identical. Stale rings take
+  /// the unmodified general path.
+  bool links_fresh_ = false;
 };
 
 /// Populates a ring with `n` nodes and addresses base..base+n-1.
@@ -268,5 +431,12 @@ class ChordRing {
 /// populated ring).
 ChordRing MakeRing(std::size_t n, Config cfg, bool deterministic_ids,
                    NodeAddr base_addr = 0);
+
+/// MakeRing through the O(n log n) bulk path: same node IDs (the collision
+/// salting replays MakeRing's sequential stream) and the same converged
+/// routing state, built without per-join oracle splices or stabilization.
+/// This is what lets the scale sweeps reach n = 10^6.
+ChordRing MakeRingBulk(std::size_t n, Config cfg, bool deterministic_ids,
+                       NodeAddr base_addr = 0);
 
 }  // namespace lorm::chord

@@ -28,8 +28,8 @@ CycloidNetwork::CycloidNetwork(Config cfg) : cfg_(cfg) {
 }
 
 CycloidNetwork::Slot CycloidNetwork::SlotOf(NodeAddr addr) const {
-  auto it = by_addr_.find(addr);
-  return it == by_addr_.end() ? kNoSlot : it->second;
+  const std::uint32_t v = by_addr_.Find(addr);
+  return v == AddrIndexMap::kAbsent ? kNoSlot : static_cast<Slot>(v);
 }
 
 CycloidNetwork::Node& CycloidNetwork::MustGet(NodeAddr addr) {
@@ -174,12 +174,35 @@ void CycloidNetwork::AddNodeWithId(NodeAddr addr, CycloidId id) {
 
   const Slot slot = AllocateSlot(addr, id);
   clusters_[id.a][id.k] = slot;
-  by_addr_[addr] = slot;
+  by_addr_.Put(addr, slot);
   // Join cost: the bootstrap lookup (~d hops) plus the leaf-set repair
   // messages charged inside RepairAround.
   maintenance_.join_messages += cfg_.dimension;
   RepairAround(id.a);
   for (auto* obs : observers_) obs->OnJoin(addr, sources);
+}
+
+void CycloidNetwork::BulkAssign(
+    const std::vector<std::pair<NodeAddr, CycloidId>>& members) {
+  LORM_CHECK_MSG(by_addr_.empty(), "BulkAssign requires an empty network");
+  LORM_CHECK_MSG(observers_.empty(),
+                 "BulkAssign does not notify membership observers");
+  slots_.reserve(members.size());
+  by_addr_.reserve(members.size());
+  for (const auto& [addr, id] : members) {
+    if (id.k >= cfg_.dimension || id.a >= cluster_space_) {
+      throw ConfigError("cycloid id outside the identifier space");
+    }
+    if (Contains(addr)) throw ConfigError("node address already in network");
+    auto& cluster = clusters_[id.a];
+    if (cluster.count(id.k) != 0) {
+      throw ConfigError("cycloid position already occupied");
+    }
+    const Slot slot = AllocateSlot(addr, id);
+    cluster[id.k] = slot;
+    by_addr_.Put(addr, slot);
+  }
+  StabilizeAll();
 }
 
 void CycloidNetwork::RemoveNode(NodeAddr addr) {
@@ -198,7 +221,7 @@ void CycloidNetwork::RemoveNode(NodeAddr addr) {
   // readable while they run.
   for (auto* obs : observers_) obs->OnLeave(addr);
 
-  by_addr_.erase(addr);
+  by_addr_.Erase(addr);
   ReleaseSlot(slot);
   if (!clusters_.empty()) RepairAround(id.a);
 }
@@ -212,7 +235,7 @@ void CycloidNetwork::FailNode(NodeAddr addr) {
   LORM_CHECK(cit != clusters_.end());
   cit->second.erase(id.k);
   if (cit->second.empty()) clusters_.erase(cit);
-  by_addr_.erase(addr);
+  by_addr_.Erase(addr);
   ReleaseSlot(slot);
   // No repair, no handoff: leaf sets pointing at the node go stale until
   // routing skips them and StabilizeAll/FixNode heals the neighborhood.
@@ -493,125 +516,165 @@ LookupResult CycloidNetwork::Lookup(CycloidId key, NodeAddr origin) const {
   return r;
 }
 
-namespace {
-
-/// Reports the finished lookup to the observability layer on every exit
-/// path. Costs one flag load + one thread-local null check when obs is off;
-/// records nothing else, so routing behavior and results are untouched.
-struct LookupRecorder {
-  const LookupResult& r;
-  const std::uint64_t& dead_counter;
-  const std::uint64_t dead_before;
-  /// Timestamp taken only while a trace is active on this thread, so the
-  /// off-state cost stays the TLS null check.
-  const std::uint64_t start_ns;
-
-  LookupRecorder(const LookupResult& res, const std::uint64_t& dead)
-      : r(res),
-        dead_counter(dead),
-        dead_before(dead),
-        start_ns(obs::TracingActive() ? obs::MonotonicNowNs() : 0) {}
-
-  ~LookupRecorder() {
-    const std::uint64_t dead_delta = dead_counter - dead_before;
-    if (obs::MetricsEnabled()) {
-      static obs::Histogram& hops = obs::Registry::Global().GetHistogram(
-          "cycloid.lookup.hops", obs::Histogram::LinearBounds(0.0, 1.0, 32));
-      static obs::Counter& lookups =
-          obs::Registry::Global().GetCounter("cycloid.lookups");
-      static obs::Counter& failures =
-          obs::Registry::Global().GetCounter("cycloid.lookup.failures");
-      static obs::Counter& dead_skips = obs::Registry::Global().GetCounter(
-          "cycloid.lookup.dead_links_skipped");
-      lookups.AddUnchecked(1);
-      hops.RecordUnchecked(static_cast<double>(r.hops));
-      if (!r.ok) failures.AddUnchecked(1);
-      if (dead_delta != 0) dead_skips.AddUnchecked(dead_delta);
-    }
-    const std::uint64_t dur_ns =
-        start_ns != 0 ? obs::MonotonicNowNs() - start_ns : 0;
-    obs::OnLookup(r.path, r.hops, r.ok, dead_delta, dur_ns, r.cache_hits);
-  }
-};
-
-}  // namespace
-
-void CycloidNetwork::LookupInto(CycloidId key, NodeAddr origin,
-                                LookupResult& r) const {
-  const LookupRecorder recorder(r, maintenance_.dead_links_skipped);
+void CycloidNetwork::LookupBegin(CycloidId key, NodeAddr origin,
+                                 LookupResult& r, LookupState& st) const {
+  st.out = &r;
+  st.dead_skips = 0;
+  // Timestamp taken only while a trace is active on this thread, so the
+  // off-state cost stays the TLS null check.
+  st.start_ns = obs::TracingActive() ? obs::MonotonicNowNs() : 0;
   r.ok = false;
   r.key = CycloidId{key.k % cfg_.dimension, key.a % cluster_space_};
   r.owner = kNoNode;
   r.hops = 0;
   r.cache_hits = 0;
   r.path.clear();
-  const Slot origin_slot = SlotOf(origin);
-  if (origin_slot == kNoSlot) return;
-
-  const bool cached = route_cache_.enabled();
-  // (cubical, cyclic) packed as one cache key; unique because k < d.
-  const std::uint64_t cache_key = r.key.a * cfg_.dimension + r.key.k;
-  const unsigned d = cfg_.dimension;
-  const std::size_t structured_cap = 4 * d + 8;
-  const std::size_t total_cap =
-      structured_cap + 2 * clusters_.size() + 2 * d + 16;
-
-  Slot cur = origin_slot;
-  Slot prev = kNoSlot;
-  r.path.push_back(origin);
+  st.cur = SlotOf(origin);
+  st.prev = kNoSlot;
+  st.structured_cap = 4 * cfg_.dimension + 8;
+  st.total_cap =
+      st.structured_cap + 2 * clusters_.size() + 2 * cfg_.dimension + 16;
   // Sticky fallback mode: engaged when the structured budget is spent or an
   // immediate backtrack is detected (stateless greedy steps returning to the
   // previous node would cycle forever in a churn-degraded neighborhood).
-  bool walk_mode = false;
-  while (!OwnsNode(slots_[cur], r.key)) {
-    if (cached) {
-      Link shortcut;
-      if (route_cache_.Probe(cur, cache_key, shortcut)) {
-        // Same liveness discipline as a leaf-set entry, plus an ownership
-        // re-check with the walk's own termination predicate: a stale or
-        // wrong shortcut can never route to an owner the plain walk would
-        // reject.
-        if (shortcut.slot != kNoSlot && shortcut.slot != cur &&
-            slots_[shortcut.slot].gen == shortcut.gen &&
-            OwnsNode(slots_[shortcut.slot], r.key)) {
-          cache::TickRouteHit();
-          prev = cur;
-          cur = shortcut.slot;
-          ++r.hops;
-          ++r.cache_hits;
-          r.path.push_back(slots_[cur].addr);
-          continue;
-        }
-        route_cache_.Evict(cur, cache_key);
-      }
-      cache::TickRouteMiss();
-    }
-    const Node& n = slots_[cur];
-    walk_mode = walk_mode || r.hops >= structured_cap;
-    Slot next = NextHopSlot(n, r.key, walk_mode);
-    if (!walk_mode && prev != kNoSlot && next == prev) {
-      walk_mode = true;
-      next = NextHopSlot(n, r.key, /*force_walk=*/true);
-    }
-    if (next == kNoSlot || next == cur) return;  // routing dead end
-    prev = cur;
-    cur = next;
-    ++r.hops;
-    r.path.push_back(slots_[cur].addr);
-    if (r.hops > total_cap) return;  // ok stays false
+  st.walk_mode = false;
+  st.done = st.cur == kNoSlot;
+  if (!st.done) r.path.push_back(origin);
+}
+
+bool CycloidNetwork::StepOnce(LookupState& st, LookupResult& r) const {
+  if (OwnsNode(slots_[st.cur], r.key)) {
+    r.owner = slots_[st.cur].addr;
+    r.ok = true;
+    return false;
   }
-  r.owner = slots_[cur].addr;
-  r.ok = true;
-  if (cached && r.hops > 0) {
+  if (route_cache_.enabled()) {
+    // (cubical, cyclic) packed as one cache key; unique because k < d.
+    const std::uint64_t cache_key = r.key.a * cfg_.dimension + r.key.k;
+    Link shortcut;
+    if (route_cache_.Probe(st.cur, cache_key, shortcut)) {
+      // Same liveness discipline as a leaf-set entry, plus an ownership
+      // re-check with the walk's own termination predicate: a stale or
+      // wrong shortcut can never route to an owner the plain walk would
+      // reject.
+      if (shortcut.slot != kNoSlot && shortcut.slot != st.cur &&
+          slots_[shortcut.slot].gen == shortcut.gen &&
+          OwnsNode(slots_[shortcut.slot], r.key)) {
+        cache::TickRouteHit();
+        st.prev = st.cur;
+        st.cur = shortcut.slot;
+        ++r.hops;
+        ++r.cache_hits;
+        r.path.push_back(slots_[st.cur].addr);
+        return true;
+      }
+      route_cache_.Evict(st.cur, cache_key);
+    }
+    cache::TickRouteMiss();
+  }
+  const Node& n = slots_[st.cur];
+  st.walk_mode = st.walk_mode || r.hops >= st.structured_cap;
+  Slot next = NextHopSlot(n, r.key, st.walk_mode);
+  if (!st.walk_mode && st.prev != kNoSlot && next == st.prev) {
+    st.walk_mode = true;
+    next = NextHopSlot(n, r.key, /*force_walk=*/true);
+  }
+  if (next == kNoSlot || next == st.cur) return false;  // routing dead end
+  st.prev = st.cur;
+  st.cur = next;
+  ++r.hops;
+  r.path.push_back(slots_[st.cur].addr);
+  return r.hops <= st.total_cap;  // past the cap, ok stays false
+}
+
+bool CycloidNetwork::LookupStep(LookupState& st) const {
+  if (st.done) return false;
+  // Attribute dead-link detections to this walk step by step: exact even
+  // when a batch engine interleaves walks over the shared counter.
+  const std::uint64_t dead_before = maintenance_.dead_links_skipped;
+  const bool more = StepOnce(st, *st.out);
+  st.dead_skips += maintenance_.dead_links_skipped - dead_before;
+  if (!more) st.done = true;
+  return more;
+}
+
+void CycloidNetwork::LookupFinish(LookupState& st) const {
+  LookupResult& r = *st.out;
+  if (r.ok && route_cache_.enabled() && r.hops > 0) {
     // Teach every node on the path a direct link to the owner.
-    const Link owner_link = MakeLink(cur);
+    const std::uint64_t cache_key = r.key.a * cfg_.dimension + r.key.k;
+    const Link owner_link = MakeLink(st.cur);
     for (std::size_t i = 0; i + 1 < r.path.size(); ++i) {
       const Slot s = SlotOf(r.path[i]);
-      if (s != kNoSlot && s != cur) {
+      if (s != kNoSlot && s != st.cur) {
         route_cache_.Insert(s, cache_key, owner_link);
       }
     }
   }
+  // Report to the observability layer on every exit path. Costs one flag
+  // load + one thread-local null check when obs is off; records nothing
+  // else, so routing behavior and results are untouched.
+  if (obs::MetricsEnabled()) {
+    static obs::Histogram& hops = obs::Registry::Global().GetHistogram(
+        "cycloid.lookup.hops", obs::Histogram::LinearBounds(0.0, 1.0, 32));
+    static obs::Counter& lookups =
+        obs::Registry::Global().GetCounter("cycloid.lookups");
+    static obs::Counter& failures =
+        obs::Registry::Global().GetCounter("cycloid.lookup.failures");
+    static obs::Counter& dead_skips = obs::Registry::Global().GetCounter(
+        "cycloid.lookup.dead_links_skipped");
+    lookups.AddUnchecked(1);
+    hops.RecordUnchecked(static_cast<double>(r.hops));
+    if (!r.ok) failures.AddUnchecked(1);
+    if (st.dead_skips != 0) dead_skips.AddUnchecked(st.dead_skips);
+  }
+  const std::uint64_t dur_ns =
+      st.start_ns != 0 ? obs::MonotonicNowNs() - st.start_ns : 0;
+  obs::OnLookup(r.path, r.hops, r.ok, st.dead_skips, dur_ns, r.cache_hits);
+}
+
+void CycloidNetwork::LookupPrefetch(const LookupState& st,
+                                    unsigned stage) const {
+  if (st.done) return;
+  const Node& n = slots_[st.cur];
+  auto fetch_target = [&](const Link& l) {
+    if (l.slot != kNoSlot) __builtin_prefetch(&slots_[l.slot], 0, 3);
+  };
+  switch (stage) {
+    case 0: {
+      // The whole node is inline (id + 7 links, ~4 lines) — no arrays to
+      // chase, so stage 0 covers everything the step reads locally.
+      const char* base = reinterpret_cast<const char*>(&n);
+      __builtin_prefetch(base, 0, 3);
+      __builtin_prefetch(base + 64, 0, 3);
+      __builtin_prefetch(base + 128, 0, 3);
+      __builtin_prefetch(base + 192, 0, 3);
+      break;
+    }
+    case 1:
+      // Header resident: the targets OwnsNode and the structured routing
+      // step generation-check (leaf sets + cubical neighbor).
+      fetch_target(n.outside_pred);
+      fetch_target(n.inside_pred);
+      fetch_target(n.inside_succ);
+      fetch_target(n.cubical);
+      break;
+    default:
+      // The cluster-walk fallback's reads.
+      fetch_target(n.cyclic_succ);
+      fetch_target(n.cyclic_pred);
+      fetch_target(n.outside_succ);
+      break;
+  }
+}
+
+void CycloidNetwork::LookupInto(CycloidId key, NodeAddr origin,
+                                LookupResult& r) const {
+  LookupState st;
+  LookupBegin(key, origin, r, st);
+  while (LookupStep(st)) {
+  }
+  LookupFinish(st);
 }
 
 void CycloidNetwork::FixNode(NodeAddr addr) {
@@ -636,6 +699,17 @@ void CycloidNetwork::RemoveObserver(MembershipObserver* obs) {
                    observers_.end());
 }
 
+std::size_t CycloidNetwork::ApproxMemoryBytes() const {
+  std::size_t bytes = slots_.capacity() * sizeof(Node);
+  bytes += free_slots_.capacity() * sizeof(Slot);
+  // std::map node estimate: payload plus three tree pointers + color.
+  const std::size_t map_node = 4 * sizeof(void*);
+  bytes += clusters_.size() * (sizeof(std::pair<std::uint64_t, Cluster>) +
+                               map_node);
+  bytes += by_addr_.MemoryBytes();
+  return bytes;
+}
+
 CycloidNetwork MakeCycloid(std::size_t n, Config cfg, NodeAddr base_addr) {
   CycloidNetwork net(cfg);
   const std::uint64_t cap = net.capacity();
@@ -650,6 +724,25 @@ CycloidNetwork MakeCycloid(std::size_t n, Config cfg, NodeAddr base_addr) {
     net.AddNodeWithId(static_cast<NodeAddr>(base_addr + i), id);
   }
   net.StabilizeAll();
+  return net;
+}
+
+CycloidNetwork MakeCycloidBulk(std::size_t n, Config cfg, NodeAddr base_addr) {
+  CycloidNetwork net(cfg);
+  const std::uint64_t cap = net.capacity();
+  if (n > cap) throw ConfigError("more nodes than cycloid capacity");
+  if (n == 0) return net;
+  std::vector<std::pair<NodeAddr, CycloidId>> members;
+  members.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    // Same proportional placement as MakeCycloid.
+    const auto pos = static_cast<std::uint64_t>(
+        static_cast<unsigned __int128>(i) * cap / n);
+    members.push_back({static_cast<NodeAddr>(base_addr + i),
+                       CycloidId{static_cast<unsigned>(pos % cfg.dimension),
+                                 pos / cfg.dimension}});
+  }
+  net.BulkAssign(members);
   return net;
 }
 

@@ -48,11 +48,11 @@
 
 #include <cstdint>
 #include <map>
-#include <unordered_map>
 #include <vector>
 
 #include "cache/route_cache.hpp"
 #include "common/maintenance.hpp"
+#include "common/flat_map.hpp"
 #include "common/types.hpp"
 
 namespace lorm::cycloid {
@@ -111,6 +111,15 @@ class MembershipObserver {
 
 class CycloidNetwork {
  public:
+  /// Index into the node slot slab. Public so resumable lookup state (and
+  /// the batch engine built on it) can carry slab positions across steps.
+  using Slot = std::uint32_t;
+  static constexpr Slot kNoSlot = 0xffffffffu;
+
+  /// Aliases the batch engine templates over (chord uses the same names).
+  using LookupKeyType = CycloidId;
+  using LookupResultType = LookupResult;
+
   explicit CycloidNetwork(Config cfg);
 
   // ---- Membership -------------------------------------------------------
@@ -122,6 +131,14 @@ class CycloidNetwork {
   /// Joins at an explicit position. Throws if occupied.
   void AddNodeWithId(NodeAddr addr, CycloidId id);
 
+  /// Bulk membership for large static networks: pre-sizes the slab and
+  /// address index, inserts every member into the cluster oracle without
+  /// the per-join neighborhood repairs, then stabilizes once — the same
+  /// converged state n sequential joins + StabilizeAll reach (asserted in
+  /// tests); only per-join message accounting is skipped. Requires an empty
+  /// network with no registered observers.
+  void BulkAssign(const std::vector<std::pair<NodeAddr, CycloidId>>& members);
+
   /// Graceful departure.
   void RemoveNode(NodeAddr addr);
 
@@ -131,7 +148,7 @@ class CycloidNetwork {
   void FailNode(NodeAddr addr);
 
   std::size_t size() const { return by_addr_.size(); }
-  bool Contains(NodeAddr addr) const { return by_addr_.count(addr) != 0; }
+  bool Contains(NodeAddr addr) const { return by_addr_.Contains(addr); }
   std::vector<NodeAddr> Members() const;
 
   // ---- Structure queries --------------------------------------------------
@@ -167,8 +184,56 @@ class CycloidNetwork {
 
   /// Same walk, but reuses `out` (notably its path buffer) instead of
   /// returning a fresh result: after warm-up the steady-state query path
-  /// performs no heap allocation.
+  /// performs no heap allocation. Implemented as LookupBegin + LookupStep
+  /// to exhaustion + LookupFinish — the resumable API below is the walk.
   void LookupInto(CycloidId key, NodeAddr origin, LookupResult& out) const;
+
+  // ---- Resumable lookup (single-hop state machine) ------------------------
+  //
+  // Exact decomposition of the monolithic walk (see chord.hpp for the
+  // contract); the extra fields carry Cycloid's sticky walk-mode fallback
+  // and backtrack detection across steps.
+
+  /// One in-flight walk. Plain value state; reusable across lookups. The
+  /// bound LookupResult must outlive the walk (Begin .. Finish).
+  struct LookupState {
+    LookupResult* out = nullptr;   ///< bound result, valid Begin..Finish
+    Slot cur = kNoSlot;            ///< slab position of the walk head
+    Slot prev = kNoSlot;           ///< previous hop (backtrack detection)
+    std::size_t structured_cap = 0;  ///< budget before forcing walk mode
+    std::size_t total_cap = 0;       ///< routing-failure cap for this walk
+    bool walk_mode = false;        ///< sticky cluster-walk fallback engaged
+    bool done = true;              ///< no more steps (out->ok says how)
+    /// Dead links this walk detected (accumulated per step — exact even
+    /// when walks interleave over the shared counter).
+    std::uint64_t dead_skips = 0;
+    std::uint64_t start_ns = 0;    ///< trace timestamp (0 when tracing off)
+  };
+
+  /// Binds `out` to `st` and positions the walk at `origin`. A missing
+  /// origin completes the walk immediately (ok stays false).
+  void LookupBegin(CycloidId key, NodeAddr origin, LookupResult& out,
+                   LookupState& st) const;
+
+  /// Advances the walk by at most one hop; false once it completed.
+  bool LookupStep(LookupState& st) const;
+
+  /// Completes the walk: route-cache teaching + metrics/trace reporting.
+  /// Must be called exactly once per Begin.
+  void LookupFinish(LookupState& st) const;
+
+  /// Prefetches the slab lines the next LookupStep will read. Stages:
+  ///   0 — the current node's slab header (all 7 links are inline);
+  ///   1 — leaf-set / cubical targets (OwnsNode + structured routing);
+  ///   2 — cyclic/outside targets (the cluster-walk fallback reads).
+  /// Pure prefetch: no observable effect, safe to skip or repeat.
+  void LookupPrefetch(const LookupState& st, unsigned stage) const;
+
+  /// Warms the membership-table probe line for a LookupBegin(.., origin, ..)
+  /// issued later: a batch engine calls this one refill ahead so the next
+  /// request's origin->slot resolution overlaps the walks in flight. Pure
+  /// prefetch, no observable effect.
+  void PrefetchOrigin(NodeAddr origin) const { by_addr_.PrefetchFind(origin); }
 
   // ---- Maintenance --------------------------------------------------------
 
@@ -188,11 +253,11 @@ class CycloidNetwork {
   std::uint64_t capacity() const { return cluster_space_ * cfg_.dimension; }
   const Config& config() const { return cfg_; }
 
- private:
-  /// Index into the slot slab.
-  using Slot = std::uint32_t;
-  static constexpr Slot kNoSlot = 0xffffffffu;
+  /// Estimated resident bytes of the overlay state (slot slab, cluster
+  /// oracle, address index) — fig_scale's footprint column.
+  std::size_t ApproxMemoryBytes() const;
 
+ private:
   /// One routing-table entry (see chord::ChordRing::Link): generation match
   /// means the target is alive at `slot` with id `id`; mismatch falls back
   /// to by_addr_, reproducing the address-keyed semantics exactly. A null
@@ -247,6 +312,10 @@ class CycloidNetwork {
   /// the owner. `force_walk` switches to the guaranteed cluster walk.
   Slot NextHopSlot(const Node& n, CycloidId key, bool force_walk) const;
 
+  /// One iteration of the lookup loop (hop, cache shortcut, or
+  /// termination); returns false when the walk completed.
+  bool StepOnce(LookupState& st, LookupResult& r) const;
+
   bool OwnsNode(const Node& n, CycloidId key) const;
 
   /// True iff the node's cluster owns cubical value `a`, judged from the
@@ -258,7 +327,7 @@ class CycloidNetwork {
   std::vector<Node> slots_;       // slot slab; entries stay put for life
   std::vector<Slot> free_slots_;
   std::map<std::uint64_t, Cluster> clusters_;   // oracle index
-  std::unordered_map<NodeAddr, Slot> by_addr_;  // resolved once per change
+  AddrIndexMap by_addr_;  // flat addr->slot table; resolved once per change
   std::vector<MembershipObserver*> observers_;
   mutable MaintenanceStats maintenance_;  // mutable: routing is const
   /// Learned shortcuts (cfg_.route_cache); mutable: lookups teach it.
@@ -269,6 +338,12 @@ class CycloidNetwork {
 /// its d * 2^d positions. With n == capacity this is the paper's fully
 /// populated overlay.
 CycloidNetwork MakeCycloid(std::size_t n, Config cfg, NodeAddr base_addr = 0);
+
+/// MakeCycloid through the bulk path: same proportional placement and the
+/// same converged routing state, built without per-join neighborhood
+/// repairs. This is what lets the scale sweeps reach n = 10^6.
+CycloidNetwork MakeCycloidBulk(std::size_t n, Config cfg,
+                               NodeAddr base_addr = 0);
 
 /// Smallest dimension whose capacity d * 2^d is >= n (for network-size sweeps).
 unsigned DimensionFor(std::size_t n);

@@ -20,15 +20,25 @@ std::uint64_t TrialSeed(std::uint64_t master, std::size_t trial) {
   return MixHashes(master, 0x7121A15EEDull + trial);
 }
 
-/// Runs fn(t) for every trial in [0, trials), sequentially when jobs <= 1.
-void RunTrials(std::size_t trials, std::size_t jobs,
+/// Runs fn(t) for every trial in [0, trials). The scheduling unit is a block
+/// of `batch` consecutive trials; a worker that claims block b runs trials
+/// b*batch .. b*batch+batch-1 in order. Because every trial owns its Rng
+/// stream and result slot, the block width only changes which thread runs a
+/// trial — never what it computes — so output is bit-identical for any
+/// jobs x batch. Sequential when jobs <= 1 (block shape is then irrelevant).
+void RunTrials(std::size_t trials, std::size_t jobs, std::size_t batch,
                const std::function<void(std::size_t)>& fn) {
-  if (ResolveJobs(jobs) <= 1 || trials <= 1) {
+  if (batch == 0) batch = 1;
+  const std::size_t blocks = (trials + batch - 1) / batch;
+  if (ResolveJobs(jobs) <= 1 || blocks <= 1) {
     for (std::size_t t = 0; t < trials; ++t) fn(t);
     return;
   }
   ThreadPool pool(jobs);
-  pool.ParallelFor(trials, fn);
+  pool.ParallelFor(blocks, [&](std::size_t b) {
+    const std::size_t end = std::min(trials, (b + 1) * batch);
+    for (std::size_t t = b * batch; t < end; ++t) fn(t);
+  });
 }
 
 }  // namespace
@@ -80,7 +90,7 @@ QueryExperimentResult RunQueries(const discovery::DiscoveryService& service,
   // One id block per experiment: trial t always traces as id_base+t, so the
   // trace set is identical (up to wall-clock timing) for any cfg.jobs.
   const std::uint64_t id_base = obs::ReserveQueryIds(trials);
-  RunTrials(trials, cfg.jobs, [&](std::size_t t) {
+  RunTrials(trials, cfg.jobs, cfg.batch, [&](std::size_t t) {
     const NodeAddr requester = requesters[t / cfg.queries_per_requester];
     Rng trial_rng(TrialSeed(cfg.seed, t));
     const resource::MultiQuery q =
@@ -164,7 +174,7 @@ LatencyMeasurement MeasureQueryLatency(
   std::vector<double> samples(trials);
   const std::string system = service.name();
   const std::uint64_t id_base = obs::ReserveQueryIds(trials);
-  RunTrials(trials, cfg.jobs, [&](std::size_t t) {
+  RunTrials(trials, cfg.jobs, cfg.batch, [&](std::size_t t) {
     const NodeAddr requester = requesters[t / cfg.queries_per_requester];
     Rng trial_rng(TrialSeed(cfg.seed, t));
     Rng lat_rng = trial_rng.Fork();

@@ -45,6 +45,12 @@ struct QueryExperimentConfig {
   std::uint64_t seed = 0xE4BE7ull;
   /// Worker threads for the trial replay; 0 = hardware concurrency.
   std::size_t jobs = 1;
+  /// Trials per scheduling block (`--batch`): workers claim B consecutive
+  /// trials at a time instead of one, amortizing dispatch and keeping each
+  /// worker's lookup scratch hot across a block. Trials stay independent
+  /// (own Rng stream, own result slot, own trace id), so results are
+  /// bit-identical for any jobs x batch combination. 0 behaves as 1.
+  std::size_t batch = 1;
 };
 
 struct QueryExperimentResult {
