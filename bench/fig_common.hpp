@@ -31,6 +31,7 @@ namespace lorm::bench {
 struct BenchOptions {
   bool quick = false;   ///< reduced-scale smoke run
   bool cache = false;   ///< enable the adaptive caching layer (--cache)
+  bool plan = false;    ///< enable the selectivity-driven planner (--plan)
   bool csv = false;     ///< machine-readable table rows
   bool json = false;    ///< emit a machine-readable summary line at exit
   std::size_t jobs = 1; ///< worker threads (--jobs; default hw concurrency)
@@ -74,6 +75,7 @@ inline BenchOptions ParseOptions(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) opt.quick = true;
     if (std::strcmp(argv[i], "--cache") == 0) opt.cache = true;
+    if (std::strcmp(argv[i], "--plan") == 0) opt.plan = true;
     if (std::strcmp(argv[i], "--csv") == 0) opt.csv = true;
     if (std::strcmp(argv[i], "--json") == 0) opt.json = true;
     if (std::strcmp(argv[i], "--metrics") == 0) opt.metrics = true;
@@ -200,6 +202,7 @@ inline void FinishBench(const BenchOptions& opt, const std::string& name,
 inline harness::Setup FigureSetup(const BenchOptions& opt) {
   harness::Setup s = opt.quick ? harness::Setup::Quick() : harness::Setup::Paper();
   s.cache = opt.cache;
+  s.plan = opt.plan;
   return s;
 }
 

@@ -36,6 +36,32 @@ void TickResultEvictions(std::size_t count) {
   c.AddUnchecked(static_cast<std::uint64_t>(count));
 }
 
+void TickJoinedHit(std::size_t subs) {
+  if (!obs::MetricsEnabled()) return;
+  // A joined hit answers every sub-query at once; charge the per-sub hit
+  // counter for each so hit accounting is execution-strategy-independent.
+  static obs::Counter& per_sub =
+      obs::Registry::Global().GetCounter("lorm.cache.result.hits");
+  per_sub.AddUnchecked(static_cast<std::uint64_t>(subs));
+  static obs::Counter& c =
+      obs::Registry::Global().GetCounter("lorm.cache.result.joined_hits");
+  c.AddUnchecked(1);
+}
+
+void TickJoinedMiss() {
+  if (!obs::MetricsEnabled()) return;
+  static obs::Counter& c =
+      obs::Registry::Global().GetCounter("lorm.cache.result.joined_misses");
+  c.AddUnchecked(1);
+}
+
+void TickJoinedInsert() {
+  if (!obs::MetricsEnabled()) return;
+  static obs::Counter& c =
+      obs::Registry::Global().GetCounter("lorm.cache.result.joined_inserts");
+  c.AddUnchecked(1);
+}
+
 }  // namespace
 
 ResultCache::RangeKey ResultCache::KeyOf(double lo, double hi) {
@@ -82,9 +108,59 @@ void ResultCache::Store(AttrId attr, double lo, double hi,
   TickResultInsert();
 }
 
+JoinedKey ResultCache::MakeJoinedKey(AttrId attr, double lo, double hi) {
+  JoinedKey k;
+  k.attr = attr;
+  std::memcpy(&k.lo_bits, &lo, sizeof lo);
+  std::memcpy(&k.hi_bits, &hi, sizeof hi);
+  return k;
+}
+
+bool ResultCache::LookupJoined(
+    const std::vector<JoinedKey>& keys,
+    std::vector<std::vector<resource::ResourceInfo>>& per_sub_canonical,
+    std::vector<NodeAddr>& providers) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = joined_.find(keys);
+  if (it == joined_.end()) {
+    TickJoinedMiss();
+    return false;
+  }
+  per_sub_canonical = it->second.per_sub;
+  providers = it->second.providers;
+  TickJoinedHit(keys.size());
+  return true;
+}
+
+void ResultCache::StoreJoined(
+    const std::vector<JoinedKey>& keys,
+    const std::vector<std::vector<resource::ResourceInfo>>& per_sub_canonical,
+    const std::vector<NodeAddr>& providers) {
+  if (!enabled_) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (joined_.size() >= kMaxJoined && !joined_.contains(keys)) {
+    TickResultEvictions(joined_.size());
+    joined_.clear();
+  }
+  JoinedEntry& e = joined_[keys];
+  e.per_sub = per_sub_canonical;
+  e.providers = providers;
+  TickJoinedInsert();
+}
+
 void ResultCache::InvalidateAttr(AttrId attr) {
   if (!enabled_) return;
   std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = joined_.begin(); it != joined_.end();) {
+    bool contains = false;
+    for (const JoinedKey& k : it->first) contains |= k.attr == attr;
+    if (contains) {
+      TickResultEvictions(1);
+      it = joined_.erase(it);
+    } else {
+      ++it;
+    }
+  }
   const auto bucket = buckets_.find(attr);
   if (bucket == buckets_.end()) return;
   TickResultEvictions(bucket->second.size());
@@ -94,10 +170,11 @@ void ResultCache::InvalidateAttr(AttrId attr) {
 void ResultCache::InvalidateAll() {
   if (!enabled_) return;
   std::lock_guard<std::mutex> lock(mu_);
-  std::size_t dropped = 0;
+  std::size_t dropped = joined_.size();
   for (const auto& [attr, bucket] : buckets_) dropped += bucket.size();
   TickResultEvictions(dropped);
   buckets_.clear();
+  joined_.clear();
 }
 
 }  // namespace lorm::cache

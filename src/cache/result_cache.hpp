@@ -19,6 +19,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <mutex>
 #include <unordered_map>
 #include <vector>
@@ -27,6 +28,19 @@
 #include "resource/resource_info.hpp"
 
 namespace lorm::cache {
+
+/// Canonical identity of one sub-query: attribute plus the bit-exact
+/// ordinal range. Whole-query cache keys are *sorted vectors* of these, so
+/// two MultiQueries listing the same sub-queries in different orders — e.g.
+/// the planner's selectivity-ordered execution vs the original — share one
+/// entry.
+struct JoinedKey {
+  AttrId attr = 0;
+  std::uint64_t lo_bits = 0;
+  std::uint64_t hi_bits = 0;
+  friend bool operator==(const JoinedKey&, const JoinedKey&) = default;
+  friend auto operator<=>(const JoinedKey&, const JoinedKey&) = default;
+};
 
 class ResultCache {
  public:
@@ -43,6 +57,27 @@ class ResultCache {
   /// sub-query. No-op when disabled.
   void Store(AttrId attr, double lo, double hi,
              const std::vector<resource::ResourceInfo>& matches);
+
+  static JoinedKey MakeJoinedKey(AttrId attr, double lo, double hi);
+
+  /// Whole-query entry, keyed on the *sorted* vector of sub-query keys so
+  /// execution order never matters. `keys` must already be sorted (see
+  /// planner.hpp's CanonicalSubKeys); per-sub match lists travel in the same
+  /// canonical order and the caller maps them back to query order. A hit
+  /// ticks lorm.cache.result.hits once per sub-query — a joined hit answers
+  /// exactly the sub-queries a per-sub scan would have — plus its own
+  /// lorm.cache.result.joined_hits.
+  bool LookupJoined(
+      const std::vector<JoinedKey>& keys,
+      std::vector<std::vector<resource::ResourceInfo>>& per_sub_canonical,
+      std::vector<NodeAddr>& providers) const;
+
+  /// Stores a fully resolved query (every sub-query executed, none failed).
+  /// No-op when disabled.
+  void StoreJoined(
+      const std::vector<JoinedKey>& keys,
+      const std::vector<std::vector<resource::ResourceInfo>>& per_sub_canonical,
+      const std::vector<NodeAddr>& providers);
 
   /// Drops every cached range of `attr` (a new advertisement changed its
   /// ground truth).
@@ -69,9 +104,19 @@ class ResultCache {
   /// bounds memory against adversarial range diversity.
   static constexpr std::size_t kMaxRangesPerAttr = 512;
 
+  struct JoinedEntry {
+    std::vector<std::vector<resource::ResourceInfo>> per_sub;  ///< canonical
+    std::vector<NodeAddr> providers;
+  };
+  /// Distinct whole-query entries before the joined map is recycled.
+  static constexpr std::size_t kMaxJoined = 256;
+
   bool enabled_ = false;
   mutable std::mutex mu_;
   std::unordered_map<AttrId, AttrBucket> buckets_;
+  // std::map keeps iteration deterministic for the attr-scan in
+  // InvalidateAttr; joined keys are tiny vectors, compares are cheap.
+  std::map<std::vector<JoinedKey>, JoinedEntry> joined_;
 };
 
 }  // namespace lorm::cache

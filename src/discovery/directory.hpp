@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "common/types.hpp"
+#include "discovery/selectivity.hpp"
 #include "resource/resource_info.hpp"
 
 namespace lorm::discovery {
@@ -61,7 +62,23 @@ class Directory {
   Directory(const Directory&) = delete;
   Directory& operator=(const Directory&) = delete;
 
+  // Dropping a whole directory (node crash, TakeAll re-homing through the
+  // store) must surrender its entries' estimator counts too.
+  ~Directory() {
+    if (est_ == nullptr) return;
+    for (const auto& [attr, b] : buckets_) {
+      for (const Entry& e : b.sorted) est_->Remove(e.info.attr, e.ordinal);
+      for (const Entry& e : b.pending) est_->Remove(e.info.attr, e.ordinal);
+    }
+  }
+
+  /// Attaches the planner's selectivity estimator; every insert/erase from
+  /// now on is mirrored into its per-attribute histograms. Pass nullptr to
+  /// detach. Never touched on the query path.
+  void SetEstimator(SelectivityEstimator* est) { est_ = est; }
+
   void Insert(Entry e) {
+    if (est_ != nullptr) est_->Add(e.info.attr, e.ordinal);
     buckets_[e.info.attr].pending.push_back(std::move(e));
     size_.fetch_add(1, std::memory_order_relaxed);
     dirty_.store(true, std::memory_order_release);
@@ -81,6 +98,18 @@ class Directory {
         v.begin(), v.end(), lo,
         [](const Entry& e, double x) { return e.ordinal < x; });
     for (; it != v.end() && it->ordinal <= hi; ++it) fn(*it);
+  }
+
+  /// Warms the attribute's sorted run for an upcoming ForEachMatch: merges
+  /// any pending inserts (observationally what the scan's own MergePending
+  /// would do) and prefetches the bucket's data. Used by the batched walk
+  /// engine to overlap the next visit's directory miss with this one's scan.
+  void PrefetchMatch(AttrId attr) const {
+    MergePending();
+    const auto bit = buckets_.find(attr);
+    if (bit == buckets_.end()) return;
+    const std::vector<Entry>& v = bit->second.sorted;
+    if (!v.empty()) __builtin_prefetch(v.data());
   }
 
   /// Removes and returns every entry satisfying `pred(entry)`.
@@ -158,6 +187,7 @@ class Directory {
       auto dst = v.begin();
       for (auto src = v.begin(); src != v.end(); ++src) {
         if (pred(*src)) {
+          if (est_ != nullptr) est_->Remove(src->info.attr, src->ordinal);
           if (out != nullptr) out->push_back(std::move(*src));
           ++removed;
         } else {
@@ -182,6 +212,8 @@ class Directory {
   /// MergePending; the count itself only changes under the single-writer
   /// phases, but the read must still be well-defined.
   std::atomic<std::size_t> size_{0};
+  /// Optional planner hook; owned by the service, outlives the store.
+  SelectivityEstimator* est_ = nullptr;
 };
 
 /// Map from directory node address to its directory, plus the bookkeeping
@@ -192,13 +224,22 @@ class DirectoryStore {
   using Dir = Directory<KeyT>;
   using Entry = typename Dir::Entry;
 
-  Dir& At(NodeAddr owner) { return dirs_[owner]; }
+  Dir& At(NodeAddr owner) { return GetOrCreate(owner); }
   const Dir* Find(NodeAddr owner) const {
     const auto it = dirs_.find(owner);
     return it == dirs_.end() ? nullptr : &it->second;
   }
 
-  void Insert(NodeAddr owner, Entry e) { dirs_[owner].Insert(std::move(e)); }
+  void Insert(NodeAddr owner, Entry e) {
+    GetOrCreate(owner).Insert(std::move(e));
+  }
+
+  /// Attaches the estimator to every existing directory and to every one
+  /// created from now on.
+  void SetEstimator(SelectivityEstimator* est) {
+    est_ = est;
+    for (auto& [addr, d] : dirs_) d.SetEstimator(est);
+  }
 
   std::vector<Entry> TakeAll(NodeAddr owner) {
     const auto it = dirs_.find(owner);
@@ -252,7 +293,14 @@ class DirectoryStore {
   }
 
  private:
+  Dir& GetOrCreate(NodeAddr owner) {
+    const auto [it, inserted] = dirs_.try_emplace(owner);
+    if (inserted && est_ != nullptr) it->second.SetEstimator(est_);
+    return it->second;
+  }
+
   std::map<NodeAddr, Dir> dirs_;
+  SelectivityEstimator* est_ = nullptr;
 };
 
 }  // namespace lorm::discovery

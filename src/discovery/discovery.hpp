@@ -18,6 +18,7 @@
 #include "chord/chord.hpp"
 #include "common/types.hpp"
 #include "cycloid/cycloid.hpp"
+#include "discovery/planner.hpp"
 #include "discovery/stats.hpp"
 #include "resource/query.hpp"
 
@@ -41,6 +42,9 @@ struct QueryResult {
 struct QueryScratch {
   chord::LookupResult chord;
   cycloid::LookupResult cycloid;
+  /// Planner buffers (`--plan` and the order-independent result-cache key);
+  /// unused — and never touched — on the classic path.
+  PlanScratch plan;
 };
 
 class DiscoveryService {

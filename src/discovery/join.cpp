@@ -4,28 +4,48 @@
 
 namespace lorm::discovery {
 
+void ProvidersOf(const std::vector<resource::ResourceInfo>& matches,
+                 std::vector<NodeAddr>& out) {
+  out.clear();
+  out.reserve(matches.size());
+  for (const auto& info : matches) out.push_back(info.provider);
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+}
+
+void IntersectSorted(std::vector<NodeAddr>& acc,
+                     const std::vector<NodeAddr>& cur,
+                     std::vector<NodeAddr>& tmp) {
+  tmp.clear();
+  // Gallop through the larger side: for each element of the smaller set,
+  // advance a lower_bound cursor in the larger. Output order follows the
+  // sorted inputs, so the result equals std::set_intersection's.
+  const std::vector<NodeAddr>& small = acc.size() <= cur.size() ? acc : cur;
+  const std::vector<NodeAddr>& large = acc.size() <= cur.size() ? cur : acc;
+  auto it = large.begin();
+  for (const NodeAddr x : small) {
+    it = std::lower_bound(it, large.end(), x);
+    if (it == large.end()) break;
+    if (*it == x) {
+      tmp.push_back(x);
+      ++it;
+    }
+  }
+  acc.swap(tmp);
+}
+
 std::vector<NodeAddr> JoinProviders(
     const std::vector<std::vector<resource::ResourceInfo>>& per_sub) {
   if (per_sub.empty()) return {};
 
   std::vector<NodeAddr> acc;
-  acc.reserve(per_sub.front().size());
-  for (const auto& info : per_sub.front()) acc.push_back(info.provider);
-  std::sort(acc.begin(), acc.end());
-  acc.erase(std::unique(acc.begin(), acc.end()), acc.end());
+  ProvidersOf(per_sub.front(), acc);
 
-  std::vector<NodeAddr> next;
+  std::vector<NodeAddr> cur;
+  std::vector<NodeAddr> tmp;
   for (std::size_t i = 1; i < per_sub.size() && !acc.empty(); ++i) {
-    std::vector<NodeAddr> cur;
-    cur.reserve(per_sub[i].size());
-    for (const auto& info : per_sub[i]) cur.push_back(info.provider);
-    std::sort(cur.begin(), cur.end());
-    cur.erase(std::unique(cur.begin(), cur.end()), cur.end());
-
-    next.clear();
-    std::set_intersection(acc.begin(), acc.end(), cur.begin(), cur.end(),
-                          std::back_inserter(next));
-    acc.swap(next);
+    ProvidersOf(per_sub[i], cur);
+    IntersectSorted(acc, cur, tmp);
   }
   return acc;
 }

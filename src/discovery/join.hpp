@@ -20,6 +20,20 @@ namespace lorm::discovery {
 std::vector<NodeAddr> JoinProviders(
     const std::vector<std::vector<resource::ResourceInfo>>& per_sub);
 
+/// Extracts the sorted, deduplicated provider set of one sub-query's
+/// matches into `out` (cleared first).
+void ProvidersOf(const std::vector<resource::ResourceInfo>& matches,
+                 std::vector<NodeAddr>& out);
+
+/// acc <- acc ∩ cur via a galloping merge: iterate the smaller side and
+/// binary-search forward in the larger, so a k-attribute join costs
+/// O(min·log max) instead of O(acc + cur) when selectivities are skewed.
+/// Both inputs must be sorted and unique; the (sorted, unique) output is
+/// identical to std::set_intersection. `tmp` is scratch.
+void IntersectSorted(std::vector<NodeAddr>& acc,
+                     const std::vector<NodeAddr>& cur,
+                     std::vector<NodeAddr>& tmp);
+
 /// Requester-side deduplication of one sub-query's matches: with directory
 /// replication a range walk can see the same tuple on several nodes; the
 /// requester keeps one copy of each ⟨attribute, value, provider⟩.

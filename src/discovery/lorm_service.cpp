@@ -5,6 +5,7 @@
 #include "common/error.hpp"
 #include "discovery/join.hpp"
 #include "discovery/query_obs.hpp"
+#include "discovery/ring_walk.hpp"
 #include "obs/trace.hpp"
 
 namespace lorm::discovery {
@@ -21,6 +22,10 @@ LormService::LormService(std::size_t n,
     attr_cubical_.push_back(ch(registry_.Get(a).name()));
   }
   if (cfg_.result_cache) result_cache_.Enable();
+  if (cfg_.plan) {
+    selectivity_.Configure(registry_);
+    store_.SetEstimator(&selectivity_);
+  }
   net_.AddObserver(this);
 }
 
@@ -94,9 +99,27 @@ HopCount LormService::Advertise(const resource::ResourceInfo& info) {
 
 QueryResult LormService::Query(const resource::MultiQuery& q,
                                QueryScratch& scratch) const {
+  if (cfg_.plan) return QueryPlanned(q, scratch);
   QueryResult result;
   LORM_CHECK_MSG(net_.Contains(q.requester),
                  "requester is not a member of the overlay");
+
+  const bool joined = result_cache_.enabled() && !q.subs.empty();
+  if (joined) {
+    PlanScratch& ps = scratch.plan;
+    ComputeSubRanges(registry_, q, ps);
+    CanonicalSubKeys(q, ps);
+    if (JoinedCacheFetch(result_cache_, ps, q.subs.size(), result.per_sub,
+                         result.providers)) {
+      for (const auto& sub : q.subs) {
+        const obs::SubQueryScope sub_trace(sub.attr);
+        result.stats.sub_costs.push_back(0);
+      }
+      static QueryInstruments query_obs("LORM");
+      query_obs.Record(result.stats);
+      return result;
+    }
+  }
 
   for (const auto& sub : q.subs) {
     const obs::SubQueryScope sub_trace(sub.attr);
@@ -136,38 +159,23 @@ QueryResult LormService::Query(const resource::MultiQuery& q,
 
     // Visit the root, then walk the small cycle's successors until the
     // cyclic segment [key_lo.k, key_hi.k] is covered (Prop. 3.1: every match
-    // lies on that arc). Coverage grows contiguously from key_lo.k, so the
-    // walk stops once the current node's cyclic index reaches key_hi.k in
-    // ring order measured from key_lo.k — or circles back to the root.
-    const unsigned d = net_.dimension();
-    const unsigned target = (key_hi.k + d - key_lo.k) % d;
-    NodeAddr cur = res.owner;
-    const std::size_t guard = d + 2;
-    for (std::size_t steps = 0;; ++steps) {
+    // lies on that arc). The resumable state machine (ring_walk.hpp) visits
+    // the same nodes in the same order as the loop it replaced.
+    ClusterWalkState walk;
+    ClusterWalkBegin(net_, res.owner, key_lo, key_hi, walk);
+    do {
       result.stats.visited_nodes += 1;
-      visit_counts_.Record(cur);
+      visit_counts_.Record(walk.cur);
       const std::size_t matches_before = matches.size();
-      const auto* dir = store_.Find(cur);
+      const auto* dir = store_.Find(walk.cur);
       if (dir != nullptr) {
         dir->ForEachMatch(sub.attr, lo, hi, [&](const Store::Entry& e) {
           matches.push_back(e.info);
         });
       }
-      obs::OnDirectoryProbe(cur, matches.size() - matches_before,
+      obs::OnDirectoryProbe(walk.cur, matches.size() - matches_before,
                             dir != nullptr ? dir->size() : 0);
-      if ((net_.IdOf(cur).k + d - key_lo.k) % d >= target) break;
-      const NodeAddr next = net_.InsideSuccessor(cur);
-      if (next == res.owner) break;  // full circle around the cluster
-      if (!net_.Contains(next)) {
-        // The cyclic successor crashed and self-organization has not healed
-        // the small cycle yet: the remaining arc is unreachable this round.
-        result.stats.failed = true;
-        break;
-      }
-      LORM_CHECK_MSG(steps < guard, "LORM cluster walk failed to terminate");
-      cur = next;
-      result.stats.walk_steps += 1;
-    }
+    } while (ClusterWalkAdvance(net_, walk, result.stats));
     DedupMatches(matches);  // replicas may repeat tuples along the walk
     if (result.stats.failed == failed_before) {
       // Only fully resolved sub-queries are cacheable; a truncated walk
@@ -187,6 +195,124 @@ QueryResult LormService::Query(const resource::MultiQuery& q,
       std::remove_if(result.providers.begin(), result.providers.end(),
                      [&](NodeAddr p) { return !net_.Contains(p); }),
       result.providers.end());
+  if (joined && !result.stats.failed) {
+    JoinedCacheStore(result_cache_, scratch.plan, result.per_sub,
+                     result.providers);
+  }
+  static QueryInstruments query_obs("LORM");
+  query_obs.Record(result.stats);
+  return result;
+}
+
+QueryResult LormService::QueryPlanned(const resource::MultiQuery& q,
+                                      QueryScratch& scratch) const {
+  QueryResult result;
+  LORM_CHECK_MSG(net_.Contains(q.requester),
+                 "requester is not a member of the overlay");
+  const std::size_t k = q.subs.size();
+  PlanScratch& ps = scratch.plan;
+  ComputeSubRanges(registry_, q, ps);
+  const bool joined = result_cache_.enabled() && k > 0;
+  if (joined) {
+    CanonicalSubKeys(q, ps);
+    if (JoinedCacheFetch(result_cache_, ps, k, result.per_sub,
+                         result.providers)) {
+      for (const auto& sub : q.subs) {
+        const obs::SubQueryScope sub_trace(sub.attr);
+        result.stats.sub_costs.push_back(0);
+      }
+      static QueryInstruments query_obs("LORM");
+      query_obs.Record(result.stats);
+      return result;
+    }
+  }
+  PlanOrder(selectivity_, q, ps);
+  obs::OnPlanOrder(ps.order.data(), ps.order.size());
+
+  result.per_sub.resize(k);
+  result.stats.sub_costs.assign(k, 0);
+  ps.candidates.clear();
+  bool pruned = false;
+  bool first = true;
+  for (std::size_t rank = 0; rank < k; ++rank) {
+    const std::uint32_t idx = ps.order[rank];
+    const auto& sub = q.subs[idx];
+    const obs::SubQueryScope sub_trace(sub.attr);
+    if (pruned) {
+      // The join is already empty; this sub-query cannot resurrect it.
+      obs::OnSubQueryCandidates(0);
+      TickPlanSubsSkipped(1);
+      continue;
+    }
+    const HopCount cost_before =
+        result.stats.dht_hops + static_cast<HopCount>(result.stats.walk_steps);
+    const double lo = ps.lo[idx];
+    const double hi = ps.hi[idx];
+
+    std::vector<resource::ResourceInfo>& matches = result.per_sub[idx];
+    if (result_cache_.enabled() &&
+        result_cache_.Lookup(sub.attr, lo, hi, matches)) {
+      // Served from the per-sub cache: zero cost, as on the classic path.
+    } else {
+      const auto key_lo = cycloid::CycloidId{CyclicOf(sub.attr, lo),
+                                             CubicalOf(sub.attr)};
+      const auto key_hi = cycloid::CycloidId{CyclicOf(sub.attr, hi),
+                                             CubicalOf(sub.attr)};
+      const bool failed_before = result.stats.failed;
+      cycloid::LookupResult& res = scratch.cycloid;
+      net_.LookupInto(key_lo, q.requester, res);
+      result.stats.lookups += 1;
+      result.stats.dht_hops += res.hops;
+      if (res.ok) {
+        ClusterWalkState walk;
+        ClusterWalkBegin(net_, res.owner, key_lo, key_hi, walk);
+        do {
+          result.stats.visited_nodes += 1;
+          visit_counts_.Record(walk.cur);
+          const std::size_t matches_before = matches.size();
+          const auto* dir = store_.Find(walk.cur);
+          if (dir != nullptr) {
+            dir->ForEachMatch(sub.attr, lo, hi, [&](const Store::Entry& e) {
+              matches.push_back(e.info);
+            });
+          }
+          obs::OnDirectoryProbe(walk.cur, matches.size() - matches_before,
+                                dir != nullptr ? dir->size() : 0);
+        } while (ClusterWalkAdvance(net_, walk, result.stats));
+        DedupMatches(matches);  // replicas may repeat tuples along the walk
+        if (result.stats.failed == failed_before) {
+          result_cache_.Store(sub.attr, lo, hi, matches);
+        }
+      } else {
+        result.stats.failed = true;
+      }
+      result.stats.sub_costs[idx] =
+          result.stats.dht_hops +
+          static_cast<HopCount>(result.stats.walk_steps) - cost_before;
+    }
+
+    ProvidersOf(matches, ps.providers);
+    if (first) {
+      ps.candidates = ps.providers;
+      first = false;
+    } else {
+      IntersectSorted(ps.candidates, ps.providers, ps.tmp);
+    }
+    obs::OnSubQueryCandidates(ps.candidates.size());
+    if (ps.candidates.empty() && rank + 1 < k) {
+      pruned = true;
+      TickPlanEarlyExit();
+    }
+  }
+
+  result.providers = ps.candidates;
+  result.providers.erase(
+      std::remove_if(result.providers.begin(), result.providers.end(),
+                     [&](NodeAddr p) { return !net_.Contains(p); }),
+      result.providers.end());
+  if (joined && !result.stats.failed && !pruned) {
+    JoinedCacheStore(result_cache_, ps, result.per_sub, result.providers);
+  }
   static QueryInstruments query_obs("LORM");
   query_obs.Record(result.stats);
   return result;

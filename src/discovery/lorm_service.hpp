@@ -28,6 +28,7 @@
 #include "cycloid/cycloid.hpp"
 #include "discovery/directory.hpp"
 #include "discovery/discovery.hpp"
+#include "discovery/selectivity.hpp"
 #include "discovery/visit_counter.hpp"
 
 namespace lorm::discovery {
@@ -48,6 +49,11 @@ class LormService final : public DiscoveryService,
     /// Serve repeated (attribute, range) sub-queries from a result cache,
     /// invalidated on every membership/advertise/expiry event (`--cache`).
     bool result_cache = false;
+    /// Selectivity-driven query planning (`--plan`): execute sub-queries
+    /// most-selective-first and stop walking clusters once the candidate
+    /// intersection empties. Off = the classic path, byte-identical to
+    /// pre-planner builds.
+    bool plan = false;
   };
 
   /// Builds a LORM system of `n` nodes (addresses 0..n-1), evenly populated
@@ -98,9 +104,16 @@ class LormService final : public DiscoveryService,
   cycloid::CycloidId KeyFor(AttrId attr, const resource::AttrValue& v) const;
 
   const cycloid::CycloidNetwork& overlay() const { return net_; }
+  const SelectivityEstimator& selectivity() const { return selectivity_; }
+  const DirectoryStore<cycloid::CycloidId>& directories() const {
+    return store_;
+  }
 
  private:
   using Store = DirectoryStore<cycloid::CycloidId>;
+
+  QueryResult QueryPlanned(const resource::MultiQuery& q,
+                           QueryScratch& scratch) const;
 
   void OnJoin(NodeAddr node,
               const std::vector<NodeAddr>& possible_sources) override;
@@ -113,6 +126,9 @@ class LormService final : public DiscoveryService,
   const resource::AttributeRegistry& registry_;
   Config cfg_;
   cycloid::CycloidNetwork net_;
+  /// Declared before store_ so the directories (whose destructor un-counts
+  /// entries from the estimator) die first.
+  SelectivityEstimator selectivity_;
   Store store_;
   std::vector<std::uint64_t> attr_cubical_;  // H(a) per attribute
   std::uint64_t epoch_ = 0;

@@ -26,6 +26,10 @@ MaanService::MaanService(std::size_t n,
                       schema.ordinal_max());
   }
   if (cfg_.result_cache) result_cache_.Enable();
+  if (cfg_.plan) {
+    selectivity_.Configure(registry_);
+    store_.SetEstimator(&selectivity_);
+  }
   ring_.AddObserver(this);
 }
 
@@ -92,9 +96,27 @@ HopCount MaanService::Advertise(const resource::ResourceInfo& info) {
 
 QueryResult MaanService::Query(const resource::MultiQuery& q,
                                QueryScratch& scratch) const {
+  if (cfg_.plan) return QueryPlanned(q, scratch);
   QueryResult result;
   LORM_CHECK_MSG(ring_.Contains(q.requester),
                  "requester is not a member of the overlay");
+
+  const bool joined = result_cache_.enabled() && !q.subs.empty();
+  if (joined) {
+    PlanScratch& ps = scratch.plan;
+    ComputeSubRanges(registry_, q, ps);
+    CanonicalSubKeys(q, ps);
+    if (JoinedCacheFetch(result_cache_, ps, q.subs.size(), result.per_sub,
+                         result.providers)) {
+      for (const auto& sub : q.subs) {
+        const obs::SubQueryScope sub_trace(sub.attr);
+        result.stats.sub_costs.push_back(0);
+      }
+      static QueryInstruments query_obs("MAAN");
+      query_obs.Record(result.stats);
+      return result;
+    }
+  }
 
   for (const auto& sub : q.subs) {
     const obs::SubQueryScope sub_trace(sub.attr);
@@ -183,6 +205,170 @@ QueryResult MaanService::Query(const resource::MultiQuery& q,
       std::remove_if(result.providers.begin(), result.providers.end(),
                      [&](NodeAddr p) { return !ring_.Contains(p); }),
       result.providers.end());
+  if (joined && !result.stats.failed) {
+    JoinedCacheStore(result_cache_, scratch.plan, result.per_sub,
+                     result.providers);
+  }
+  static QueryInstruments query_obs("MAAN");
+  query_obs.Record(result.stats);
+  return result;
+}
+
+QueryResult MaanService::QueryPlanned(const resource::MultiQuery& q,
+                                      QueryScratch& scratch) const {
+  QueryResult result;
+  LORM_CHECK_MSG(ring_.Contains(q.requester),
+                 "requester is not a member of the overlay");
+  const std::size_t k = q.subs.size();
+  PlanScratch& ps = scratch.plan;
+  ComputeSubRanges(registry_, q, ps);
+  const bool joined = result_cache_.enabled() && k > 0;
+  if (joined) {
+    CanonicalSubKeys(q, ps);
+    if (JoinedCacheFetch(result_cache_, ps, k, result.per_sub,
+                         result.providers)) {
+      for (const auto& sub : q.subs) {
+        const obs::SubQueryScope sub_trace(sub.attr);
+        result.stats.sub_costs.push_back(0);
+      }
+      static QueryInstruments query_obs("MAAN");
+      query_obs.Record(result.stats);
+      return result;
+    }
+  }
+  PlanOrder(selectivity_, q, ps);
+  obs::OnPlanOrder(ps.order.data(), ps.order.size());
+
+  result.per_sub.resize(k);
+  result.stats.sub_costs.assign(k, 0);
+  ps.candidates.clear();
+  bool pruned = false;
+  bool first = true;
+  for (std::size_t rank = 0; rank < k; ++rank) {
+    const std::uint32_t idx = ps.order[rank];
+    const auto& sub = q.subs[idx];
+    const obs::SubQueryScope sub_trace(sub.attr);
+    if (pruned) {
+      // The join is already empty; this sub-query cannot resurrect it.
+      obs::OnSubQueryCandidates(0);
+      TickPlanSubsSkipped(1);
+      continue;
+    }
+    const HopCount cost_before =
+        result.stats.dht_hops + static_cast<HopCount>(result.stats.walk_steps);
+    const double lo = ps.lo[idx];
+    const double hi = ps.hi[idx];
+
+    std::vector<resource::ResourceInfo>& matches = result.per_sub[idx];
+    if (result_cache_.enabled() &&
+        result_cache_.Lookup(sub.attr, lo, hi, matches)) {
+      // Served from the per-sub cache: zero cost, as on the classic path.
+    } else if (first) {
+      // The most selective sub-query pays the full classic resolution:
+      // attribute-root lookup, value-root lookup, system-wide value walk.
+      const bool failed_before = result.stats.failed;
+      {
+        chord::LookupResult& res = scratch.chord;
+        ring_.LookupInto(AttributeKeyFor(sub.attr), q.requester, res);
+        result.stats.lookups += 1;
+        result.stats.dht_hops += res.hops;
+        result.stats.visited_nodes += res.ok ? 1 : 0;
+        if (res.ok) {
+          visit_counts_.Record(res.owner);
+          const auto* dir = store_.Find(res.owner);
+          obs::OnDirectoryProbe(res.owner, 0,
+                                dir != nullptr ? dir->size() : 0);
+        }
+        if (!res.ok) result.stats.failed = true;
+      }
+      const chord::Key key_lo = lph_[sub.attr](lo);
+      const chord::Key key_hi = lph_[sub.attr](hi);
+      chord::LookupResult& res = scratch.chord;
+      ring_.LookupInto(key_lo, q.requester, res);
+      result.stats.lookups += 1;
+      result.stats.dht_hops += res.hops;
+      if (res.ok) {
+        WalkSuccessors(ring_, res.owner, key_lo, key_hi, result.stats,
+                       [&](NodeAddr cur) {
+                         visit_counts_.Record(cur);
+                         const std::size_t matches_before = matches.size();
+                         const auto* dir = store_.Find(cur);
+                         if (dir != nullptr) {
+                           dir->ForEachMatch(sub.attr, lo, hi,
+                                             [&](const Store::Entry& e) {
+                                               if (e.tag == kValueRecord) {
+                                                 matches.push_back(e.info);
+                                               }
+                                             });
+                         }
+                         obs::OnDirectoryProbe(
+                             cur, matches.size() - matches_before,
+                             dir != nullptr ? dir->size() : 0);
+                       });
+        DedupMatches(matches);  // replicas may repeat tuples along the walk
+        if (result.stats.failed == failed_before) {
+          result_cache_.Store(sub.attr, lo, hi, matches);
+        }
+      } else {
+        result.stats.failed = true;
+      }
+      result.stats.sub_costs[idx] =
+          result.stats.dht_hops +
+          static_cast<HopCount>(result.stats.walk_steps) - cost_before;
+    } else {
+      // Dominated sub-query: the attribute root holds every tuple of this
+      // attribute as attribute records, so one lookup answers the range —
+      // no value walk. This is MAAN's single-attribute dominated query.
+      const bool failed_before = result.stats.failed;
+      chord::LookupResult& res = scratch.chord;
+      ring_.LookupInto(AttributeKeyFor(sub.attr), q.requester, res);
+      result.stats.lookups += 1;
+      result.stats.dht_hops += res.hops;
+      if (res.ok) {
+        result.stats.visited_nodes += 1;
+        visit_counts_.Record(res.owner);
+        const auto* dir = store_.Find(res.owner);
+        if (dir != nullptr) {
+          dir->ForEachMatch(sub.attr, lo, hi, [&](const Store::Entry& e) {
+            if (e.tag == kAttributeRecord) matches.push_back(e.info);
+          });
+        }
+        obs::OnDirectoryProbe(res.owner, matches.size(),
+                              dir != nullptr ? dir->size() : 0);
+        DedupMatches(matches);  // replicas can share the root after churn
+        if (result.stats.failed == failed_before) {
+          result_cache_.Store(sub.attr, lo, hi, matches);
+        }
+      } else {
+        result.stats.failed = true;
+      }
+      result.stats.sub_costs[idx] =
+          result.stats.dht_hops +
+          static_cast<HopCount>(result.stats.walk_steps) - cost_before;
+    }
+
+    ProvidersOf(matches, ps.providers);
+    if (first) {
+      ps.candidates = ps.providers;
+      first = false;
+    } else {
+      IntersectSorted(ps.candidates, ps.providers, ps.tmp);
+    }
+    obs::OnSubQueryCandidates(ps.candidates.size());
+    if (ps.candidates.empty() && rank + 1 < k) {
+      pruned = true;
+      TickPlanEarlyExit();
+    }
+  }
+
+  result.providers = ps.candidates;
+  result.providers.erase(
+      std::remove_if(result.providers.begin(), result.providers.end(),
+                     [&](NodeAddr p) { return !ring_.Contains(p); }),
+      result.providers.end());
+  if (joined && !result.stats.failed && !pruned) {
+    JoinedCacheStore(result_cache_, ps, result.per_sub, result.providers);
+  }
   static QueryInstruments query_obs("MAAN");
   query_obs.Record(result.stats);
   return result;

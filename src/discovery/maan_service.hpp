@@ -26,6 +26,7 @@
 #include "common/hashing.hpp"
 #include "discovery/directory.hpp"
 #include "discovery/discovery.hpp"
+#include "discovery/selectivity.hpp"
 #include "discovery/visit_counter.hpp"
 
 namespace lorm::discovery {
@@ -42,6 +43,12 @@ class MaanService final : public DiscoveryService,
     /// Serve repeated (attribute, range) sub-queries from a result cache,
     /// invalidated on every membership/advertise/expiry event (`--cache`).
     bool result_cache = false;
+    /// Selectivity-driven query planning (`--plan`): the most selective
+    /// sub-query pays the full value-segment walk; every later sub-query is
+    /// resolved at its attribute root alone — MAAN's own "single-attribute
+    /// dominated query" optimization, driven by the histograms. Off = the
+    /// classic path, byte-identical to pre-planner builds.
+    bool plan = false;
   };
 
   /// Entry tags distinguishing the two record kinds.
@@ -92,9 +99,14 @@ class MaanService final : public DiscoveryService,
   chord::Key ValueKeyFor(AttrId attr, const resource::AttrValue& v) const;
 
   const chord::ChordRing& overlay() const { return ring_; }
+  const SelectivityEstimator& selectivity() const { return selectivity_; }
+  const DirectoryStore<chord::Key>& directories() const { return store_; }
 
  private:
   using Store = DirectoryStore<chord::Key>;
+
+  QueryResult QueryPlanned(const resource::MultiQuery& q,
+                           QueryScratch& scratch) const;
 
   void OnJoin(NodeAddr node, NodeAddr successor) override;
   void OnLeave(NodeAddr node, NodeAddr successor) override;
@@ -103,6 +115,9 @@ class MaanService final : public DiscoveryService,
   const resource::AttributeRegistry& registry_;
   Config cfg_;
   chord::ChordRing ring_;
+  /// Declared before store_ so the directories (whose destructor un-counts
+  /// entries from the estimator) die first.
+  SelectivityEstimator selectivity_;
   Store store_;
   std::vector<chord::Key> attr_key_;
   std::vector<LocalityPreservingHash> lph_;

@@ -22,6 +22,7 @@
 #include "common/hashing.hpp"
 #include "discovery/directory.hpp"
 #include "discovery/discovery.hpp"
+#include "discovery/selectivity.hpp"
 #include "discovery/visit_counter.hpp"
 
 namespace lorm::discovery {
@@ -39,6 +40,11 @@ class MercuryService final : public DiscoveryService {
     /// Serve repeated (attribute, range) sub-queries from a result cache,
     /// invalidated on every membership/advertise/expiry event (`--cache`).
     bool result_cache = false;
+    /// Selectivity-driven query planning (`--plan`): execute sub-queries
+    /// most-selective-first and stop walking hubs once the candidate
+    /// intersection empties. Off = the classic path, byte-identical to
+    /// pre-planner builds.
+    bool plan = false;
   };
 
   MercuryService(std::size_t n, const resource::AttributeRegistry& registry,
@@ -81,9 +87,14 @@ class MercuryService final : public DiscoveryService {
 
   chord::Key KeyFor(AttrId attr, const resource::AttrValue& v) const;
   const chord::ChordRing& hub(AttrId attr) const;
+  const SelectivityEstimator& selectivity() const { return selectivity_; }
+  const DirectoryStore<chord::Key>& directories() const { return store_; }
 
  private:
   using Store = DirectoryStore<chord::Key>;
+
+  QueryResult QueryPlanned(const resource::MultiQuery& q,
+                           QueryScratch& scratch) const;
 
   /// Adapter wiring one hub's membership events back to the service.
   class HubObserver final : public chord::MembershipObserver {
@@ -106,6 +117,9 @@ class MercuryService final : public DiscoveryService {
   std::vector<std::unique_ptr<chord::ChordRing>> hubs_;  // one per attribute
   std::vector<std::unique_ptr<HubObserver>> observers_;
   std::vector<LocalityPreservingHash> lph_;  // one per attribute
+  /// Declared before store_ so the directories (whose destructor un-counts
+  /// entries from the estimator) die first.
+  SelectivityEstimator selectivity_;
   Store store_;
   std::uint64_t epoch_ = 0;
   /// Visits absorbed per node (roots + walk probes); mutable because Query

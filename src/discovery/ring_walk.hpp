@@ -14,48 +14,156 @@
 // whole ring). Testing "does the current node own key_hi" instead is subtly
 // wrong: the root's own (possibly wrapped) sector can contain key_hi while
 // the middle of the segment is still uncovered.
+//
+// The walk is factored into a resumable Begin/Advance/Finish state machine
+// (mirroring the rings' LookupBegin/Step/Finish) so the batched walk engine
+// (src/harness/batch_walk.hpp) can keep B walks in flight and prefetch the
+// next node's directory bucket one visit ahead. WalkSuccessors is the
+// sequential wrapper: Begin; do { visit } while (Advance); Finish — the
+// one-walk path *is* the batched path with B = 1, byte-identical stats and
+// metrics by construction.
 #pragma once
 
 #include "chord/chord.hpp"
 #include "common/error.hpp"
+#include "cycloid/cycloid.hpp"
 #include "discovery/stats.hpp"
 #include "obs/metrics.hpp"
 
 namespace lorm::discovery {
 
+/// Cursor of one in-flight successor walk. `cur` is the node the caller
+/// should visit next; `done` is set once coverage (or the full circle) is
+/// reached *after* the current node's visit.
+struct SuccessorWalkState {
+  NodeAddr cur = kNoNode;
+  NodeAddr root = kNoNode;
+  std::uint64_t mask = 0;
+  std::uint64_t target = 0;
+  chord::Key key_lo = 0;
+  std::size_t guard = 0;
+  std::size_t steps = 0;
+  std::size_t forwards = 0;
+  bool done = false;
+};
+
+/// Starts a walk at `root` (the owner of key_lo) over [key_lo, key_hi].
+/// Requires key_lo <= key_hi in the unwrapped ID order (locality-preserving
+/// hashes are monotone, so range endpoints never wrap).
+inline void WalkBegin(const chord::ChordRing& ring, NodeAddr root,
+                      chord::Key key_lo, chord::Key key_hi,
+                      SuccessorWalkState& st) {
+  st.cur = root;
+  st.root = root;
+  st.mask = ring.space() - 1;
+  st.target = (key_hi - key_lo) & st.mask;
+  st.key_lo = key_lo;
+  st.guard = ring.size() + 2;
+  st.steps = 0;
+  st.forwards = 0;
+  st.done = false;
+}
+
+/// Advances past the already-visited st.cur. Returns true when another node
+/// must be visited (st.cur updated), false when the walk is complete.
+inline bool WalkAdvance(const chord::ChordRing& ring, SuccessorWalkState& st,
+                        QueryStats& stats) {
+  // Covered up to cur's ID: done once that reaches key_hi.
+  if (((ring.IdOf(st.cur) - st.key_lo) & st.mask) >= st.target) {
+    st.done = true;
+    return false;
+  }
+  const NodeAddr next = ring.Successor(st.cur);
+  if (next == st.root) {  // full circle: every node checked
+    st.done = true;
+    return false;
+  }
+  LORM_CHECK_MSG(st.steps < st.guard, "ring walk failed to terminate");
+  ++st.steps;
+  st.cur = next;
+  stats.walk_steps += 1;
+  ++st.forwards;
+  return true;
+}
+
+/// Records the completed walk's length metric. Call exactly once per walk.
+inline void WalkFinish(const SuccessorWalkState& st) {
+  if (obs::MetricsEnabled()) {
+    // Interned by name, so every call site shares one histogram.
+    static obs::Histogram& walk_h = obs::Registry::Global().GetHistogram(
+        "ring_walk.steps", obs::Histogram::LinearBounds(0.0, 1.0, 64));
+    walk_h.RecordUnchecked(static_cast<double>(st.forwards));
+  }
+}
+
 /// Walks from `root` (the owner of key_lo) along successors until the
 /// segment [key_lo, key_hi] is covered, calling `visit(addr)` for each node
 /// checked (including `root`). Updates stats.visited_nodes/walk_steps.
-/// Requires key_lo <= key_hi in the unwrapped ID order (locality-preserving
-/// hashes are monotone, so range endpoints never wrap).
 template <typename Visit>
 void WalkSuccessors(const chord::ChordRing& ring, NodeAddr root,
                     chord::Key key_lo, chord::Key key_hi, QueryStats& stats,
                     Visit&& visit) {
-  const std::uint64_t mask = ring.space() - 1;
-  const std::uint64_t target = (key_hi - key_lo) & mask;
-  NodeAddr cur = root;
-  const std::size_t guard = ring.size() + 2;
-  std::size_t forwards = 0;
-  for (std::size_t steps = 0;; ++steps) {
+  SuccessorWalkState st;
+  WalkBegin(ring, root, key_lo, key_hi, st);
+  do {
     stats.visited_nodes += 1;
-    visit(cur);
-    // Covered up to cur's ID: done once that reaches key_hi.
-    if (((ring.IdOf(cur) - key_lo) & mask) >= target) break;
-    const NodeAddr next = ring.Successor(cur);
-    if (next == root) break;  // full circle: every node checked
-    LORM_CHECK_MSG(steps < guard, "ring walk failed to terminate");
-    cur = next;
-    stats.walk_steps += 1;
-    ++forwards;
+    visit(st.cur);
+  } while (WalkAdvance(ring, st, stats));
+  WalkFinish(st);
+}
+
+/// Cursor of LORM's intra-cluster cyclic walk: successors inside one Cycloid
+/// cluster from the range's lower cyclic index until the cyclic span
+/// [key_lo.k, key_hi.k] is covered. Same contract as SuccessorWalkState;
+/// no length histogram (the inline loop it replaces never recorded one).
+struct ClusterWalkState {
+  NodeAddr cur = kNoNode;
+  NodeAddr root = kNoNode;
+  unsigned target = 0;
+  unsigned lo_k = 0;
+  std::size_t guard = 0;
+  std::size_t steps = 0;
+  bool done = false;
+};
+
+inline void ClusterWalkBegin(const cycloid::CycloidNetwork& net, NodeAddr root,
+                             cycloid::CycloidId key_lo,
+                             cycloid::CycloidId key_hi, ClusterWalkState& st) {
+  const unsigned d = net.dimension();
+  st.cur = root;
+  st.root = root;
+  st.target = (key_hi.k + d - key_lo.k) % d;
+  st.lo_k = key_lo.k;
+  st.guard = d + 2;
+  st.steps = 0;
+  st.done = false;
+}
+
+/// Advances past st.cur. Returns true when another cluster node must be
+/// visited; false when coverage/full-circle is reached or the successor
+/// chain dangles (stats.failed set, matching the original inline loop).
+inline bool ClusterWalkAdvance(const cycloid::CycloidNetwork& net,
+                               ClusterWalkState& st, QueryStats& stats) {
+  const unsigned d = net.dimension();
+  if ((net.IdOf(st.cur).k + d - st.lo_k) % d >= st.target) {
+    st.done = true;
+    return false;
   }
-  if (obs::MetricsEnabled()) {
-    // Interned by name, so every template instantiation shares one
-    // histogram.
-    static obs::Histogram& walk_h = obs::Registry::Global().GetHistogram(
-        "ring_walk.steps", obs::Histogram::LinearBounds(0.0, 1.0, 64));
-    walk_h.RecordUnchecked(static_cast<double>(forwards));
+  const NodeAddr next = net.InsideSuccessor(st.cur);
+  if (next == st.root) {
+    st.done = true;
+    return false;
   }
+  if (!net.Contains(next)) {
+    stats.failed = true;
+    st.done = true;
+    return false;
+  }
+  LORM_CHECK_MSG(st.steps < st.guard, "cluster walk failed to terminate");
+  ++st.steps;
+  st.cur = next;
+  stats.walk_steps += 1;
+  return true;
 }
 
 }  // namespace lorm::discovery

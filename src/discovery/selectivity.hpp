@@ -1,0 +1,141 @@
+// Per-attribute selectivity estimation for the query planner.
+//
+// MAAN's resolution strategy for multi-attribute queries ("single-attribute
+// dominated query", §IV of the MAAN paper the source paper builds on) drives
+// the whole query from the most selective attribute and filters the rest.
+// Generalizing that idea to all four systems needs an estimate of how many
+// advertised entries a sub-query's range will match, *before* routing
+// anywhere. This estimator maintains one small fixed-bin histogram per
+// attribute over the attribute's ordinal domain, fed by every directory
+// insert and expiry (the ground truth the services already maintain), plus
+// a workload-level prior for attributes that have no observations yet.
+//
+// Estimates only need to be *rank-correct on average* — the planner orders
+// sub-queries by them and ties fall back to query order — so 32 bins per
+// attribute are plenty: the workload's Bounded Pareto skew spans orders of
+// magnitude, far coarser than a bin.
+//
+// Counters are relaxed atomics: directories are populated single-threaded,
+// but parallel query replay reads the histograms concurrently with another
+// worker's MergePending, and the estimator must stay as race-free as the
+// `Directory::size_` counter it mirrors.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+#include "common/types.hpp"
+#include "resource/attribute.hpp"
+
+namespace lorm::discovery {
+
+class SelectivityEstimator {
+ public:
+  static constexpr std::size_t kBins = 32;
+
+  SelectivityEstimator() = default;
+
+  /// Sizes one histogram per registered attribute. Must run before any
+  /// Add/Remove; re-configuring resets all counts.
+  void Configure(const resource::AttributeRegistry& registry) {
+    num_attrs_ = registry.size();
+    hists_ = std::make_unique<Hist[]>(num_attrs_);
+    for (std::size_t a = 0; a < num_attrs_; ++a) {
+      const auto& schema = registry.Get(static_cast<AttrId>(a));
+      Hist& h = hists_[a];
+      h.min = schema.ordinal_min();
+      h.max = schema.ordinal_max();
+      const double width = h.max - h.min;
+      h.inv_width = width > 0 ? static_cast<double>(kBins) / width : 0.0;
+    }
+    total_.store(0, std::memory_order_relaxed);
+  }
+
+  bool configured() const { return hists_ != nullptr; }
+
+  void Add(AttrId attr, double ordinal) {
+    Hist& h = hists_[attr];
+    h.total.fetch_add(1, std::memory_order_relaxed);
+    h.bins[BinOf(h, ordinal)].fetch_add(1, std::memory_order_relaxed);
+    total_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  void Remove(AttrId attr, double ordinal) {
+    Hist& h = hists_[attr];
+    h.total.fetch_sub(1, std::memory_order_relaxed);
+    h.bins[BinOf(h, ordinal)].fetch_sub(1, std::memory_order_relaxed);
+    total_.fetch_sub(1, std::memory_order_relaxed);
+  }
+
+  /// Expected number of advertised entries with ordinal in [lo, hi].
+  /// Attributes with no observations fall back to a uniform prior scaled by
+  /// the system-wide mean entries-per-attribute, so a cold attribute still
+  /// ranks wider ranges as less selective.
+  double EstimateMatches(AttrId attr, double lo, double hi) const {
+    const Hist& h = hists_[attr];
+    const std::uint64_t count = h.total.load(std::memory_order_relaxed);
+    const double width = h.max - h.min;
+    if (count == 0) {
+      if (num_attrs_ == 0) return 0.0;
+      const double mean_per_attr =
+          static_cast<double>(total_.load(std::memory_order_relaxed)) /
+          static_cast<double>(num_attrs_);
+      const double fraction =
+          width > 0 ? (hi - lo) / width : (hi >= lo ? 1.0 : 0.0);
+      return mean_per_attr * (fraction < 0 ? 0.0 : fraction);
+    }
+    if (hi <= lo || width <= 0) {
+      // Point query (or degenerate domain): the mass of the bin containing
+      // the point, spread over the bin — a small but nonzero estimate that
+      // still reflects where the distribution concentrates.
+      const double bin_mass = static_cast<double>(
+          h.bins[BinOf(h, lo)].load(std::memory_order_relaxed));
+      return bin_mass / static_cast<double>(kBins);
+    }
+    const double bin_w = width / static_cast<double>(kBins);
+    double expected = 0;
+    for (std::size_t b = 0; b < kBins; ++b) {
+      const double b_lo = h.min + bin_w * static_cast<double>(b);
+      const double b_hi = b_lo + bin_w;
+      const double overlap = std::min(hi, b_hi) - std::max(lo, b_lo);
+      if (overlap <= 0) continue;
+      expected += static_cast<double>(
+                      h.bins[b].load(std::memory_order_relaxed)) *
+                  (overlap >= bin_w ? 1.0 : overlap / bin_w);
+    }
+    return expected;
+  }
+
+  std::uint64_t CountOf(AttrId attr) const {
+    return hists_[attr].total.load(std::memory_order_relaxed);
+  }
+  std::uint64_t TotalCount() const {
+    return total_.load(std::memory_order_relaxed);
+  }
+  std::size_t num_attrs() const { return num_attrs_; }
+
+ private:
+  struct Hist {
+    std::atomic<std::uint64_t> total{0};
+    std::atomic<std::uint64_t> bins[kBins]{};
+    double min = 0;
+    double max = 1;
+    double inv_width = 0;  ///< kBins / (max - min), 0 for degenerate domains
+  };
+
+  static std::size_t BinOf(const Hist& h, double ordinal) {
+    const double f = (ordinal - h.min) * h.inv_width;
+    if (f <= 0) return 0;
+    const auto b = static_cast<std::size_t>(f);
+    return b >= kBins ? kBins - 1 : b;
+  }
+
+  std::size_t num_attrs_ = 0;
+  std::unique_ptr<Hist[]> hists_;
+  std::atomic<std::uint64_t> total_{0};
+};
+
+}  // namespace lorm::discovery

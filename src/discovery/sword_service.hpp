@@ -18,6 +18,7 @@
 #include "common/hashing.hpp"
 #include "discovery/directory.hpp"
 #include "discovery/discovery.hpp"
+#include "discovery/selectivity.hpp"
 #include "discovery/visit_counter.hpp"
 
 namespace lorm::discovery {
@@ -34,6 +35,11 @@ class SwordService final : public DiscoveryService,
     /// Serve repeated (attribute, range) sub-queries from a result cache,
     /// invalidated on every membership/advertise/expiry event (`--cache`).
     bool result_cache = false;
+    /// Selectivity-driven query planning (`--plan`): execute sub-queries
+    /// most-selective-first, intersect incrementally, stop when the
+    /// candidate set empties. Off = the classic path, byte-identical to
+    /// pre-planner builds.
+    bool plan = false;
   };
 
   SwordService(std::size_t n, const resource::AttributeRegistry& registry,
@@ -80,9 +86,14 @@ class SwordService final : public DiscoveryService,
   chord::Key KeyFor(AttrId attr) const;
 
   const chord::ChordRing& overlay() const { return ring_; }
+  const SelectivityEstimator& selectivity() const { return selectivity_; }
+  const DirectoryStore<chord::Key>& directories() const { return store_; }
 
  private:
   using Store = DirectoryStore<chord::Key>;
+
+  QueryResult QueryPlanned(const resource::MultiQuery& q,
+                           QueryScratch& scratch) const;
 
   void OnJoin(NodeAddr node, NodeAddr successor) override;
   void OnLeave(NodeAddr node, NodeAddr successor) override;
@@ -91,6 +102,9 @@ class SwordService final : public DiscoveryService,
   const resource::AttributeRegistry& registry_;
   Config cfg_;
   chord::ChordRing ring_;
+  /// Declared before store_ so the directories (whose destructor un-counts
+  /// entries from the estimator) die first.
+  SelectivityEstimator selectivity_;
   Store store_;
   std::vector<chord::Key> attr_key_;
   std::uint64_t epoch_ = 0;

@@ -87,6 +87,7 @@ std::unique_ptr<discovery::DiscoveryService> MakeService(
       cfg.overlay.route_cache = setup.cache;
       cfg.replicas = setup.replicas;
       cfg.result_cache = setup.cache;
+      cfg.plan = setup.plan;
       return std::make_unique<discovery::LormService>(setup.nodes, registry,
                                                       std::move(cfg));
     }
@@ -97,6 +98,7 @@ std::unique_ptr<discovery::DiscoveryService> MakeService(
       cfg.ring.route_cache = setup.cache;
       cfg.replicas = setup.replicas;
       cfg.result_cache = setup.cache;
+      cfg.plan = setup.plan;
       return std::make_unique<discovery::MercuryService>(setup.nodes, registry,
                                                          cfg);
     }
@@ -107,6 +109,7 @@ std::unique_ptr<discovery::DiscoveryService> MakeService(
       cfg.ring.route_cache = setup.cache;
       cfg.replicas = setup.replicas;
       cfg.result_cache = setup.cache;
+      cfg.plan = setup.plan;
       return std::make_unique<discovery::SwordService>(setup.nodes, registry,
                                                        cfg);
     }
@@ -117,6 +120,7 @@ std::unique_ptr<discovery::DiscoveryService> MakeService(
       cfg.ring.route_cache = setup.cache;
       cfg.replicas = setup.replicas;
       cfg.result_cache = setup.cache;
+      cfg.plan = setup.plan;
       return std::make_unique<discovery::MaanService>(setup.nodes, registry,
                                                       cfg);
     }

@@ -40,6 +40,11 @@ struct Setup {
   /// the overlay plus the per-service (attribute, range) result cache. Off =
   /// the paper's protocols, byte-identical to the committed goldens.
   bool cache = false;
+  /// Enable the selectivity-driven query planner (`--plan`): sub-queries
+  /// execute most-selective-first with incremental intersection and early
+  /// exit. Off = the classic execution order, byte-identical to the
+  /// committed goldens.
+  bool plan = false;
 
   /// The paper's exact §V setup.
   static Setup Paper() { return Setup{}; }

@@ -153,6 +153,23 @@ struct Cursor {
     p = save;
     return true;
   }
+
+  /// Optional `,"key":` lookahead for non-scalar values: consumes the key
+  /// and returns true when the next token is exactly it, else restores the
+  /// cursor and returns false (the key was absent — not an error).
+  bool OptionalKeyStart(std::string_view name) {
+    const char* save = p;
+    if (!Peek(',')) return false;
+    ++p;
+    if (static_cast<std::size_t>(end - p) > name.size() + 3 && *p == '"' &&
+        std::string_view(p + 1, name.size()) == name &&
+        p[1 + name.size()] == '"' && p[2 + name.size()] == ':') {
+      p += name.size() + 3;
+      return true;
+    }
+    p = save;
+    return false;
+  }
 };
 
 bool ParseLookup(Cursor& c, LookupTrace& l) {
@@ -202,7 +219,14 @@ bool ParseSub(Cursor& c, SubQueryTrace& sub) {
     if (!sub.probes.empty() && !c.Literal(",")) return false;
     if (!ParseProbe(c, sub.probes.emplace_back())) return false;
   }
-  return c.Literal("]") && c.Literal("}");
+  if (!c.Literal("]")) return false;
+  sub.plan_candidates = -1;
+  if (c.OptionalKeyStart("cand")) {  // absent when the planner is off
+    std::uint64_t cand = 0;
+    if (!c.U64(cand)) return false;
+    sub.plan_candidates = static_cast<std::int64_t>(cand);
+  }
+  return c.Literal("}");
 }
 
 }  // namespace
@@ -213,8 +237,21 @@ bool ParseTraceLine(std::string_view line, QueryTrace& out,
   Cursor c{line.data(), line.data() + line.size(), {}};
   bool ok = c.Literal("{") && c.Key("system", /*first=*/true) &&
             c.String(out.system) && c.Key("query") && c.U64(out.query_id) &&
-            c.OptionalU64Key("dur_ns", out.duration_ns) && c.Key("subs") &&
-            c.Literal("[");
+            c.OptionalU64Key("dur_ns", out.duration_ns);
+  if (ok && c.OptionalKeyStart("plan")) {  // absent when the planner is off
+    ok = c.Literal("[");
+    while (ok && !c.Peek(']')) {
+      if (!out.plan_order.empty() && !c.Literal(",")) {
+        ok = false;
+        break;
+      }
+      std::uint64_t idx = 0;
+      ok = c.U64(idx);
+      if (ok) out.plan_order.push_back(static_cast<std::uint32_t>(idx));
+    }
+    ok = ok && c.Literal("]");
+  }
+  ok = ok && c.Key("subs") && c.Literal("[");
   if (ok) {
     while (ok && !c.Peek(']')) {
       if (!out.subs.empty() && !c.Literal(",")) {
@@ -355,6 +392,9 @@ struct SystemAccumulator {
   std::uint64_t probes = 0;
   std::size_t queries = 0;
   std::size_t subs = 0;
+  std::size_t planned_queries = 0;
+  std::size_t reordered_queries = 0;
+  std::size_t subs_skipped = 0;
 };
 
 }  // namespace
@@ -410,6 +450,12 @@ TraceReport AnalyzeTraces(std::vector<QueryTrace> traces,
     // LORM routes on Cycloid; the other three route on Chord rings.
     const bool cycloid = t.system == "LORM";
     const double hop_bound = cycloid ? cycloid_bound : chord_bound;
+    if (!t.plan_order.empty()) {
+      ++a.planned_queries;
+      if (!std::is_sorted(t.plan_order.begin(), t.plan_order.end())) {
+        ++a.reordered_queries;
+      }
+    }
     double hops = 0;
     std::uint64_t visited = 0;
     for (std::size_t s = 0; s < t.subs.size(); ++s) {
@@ -456,6 +502,12 @@ TraceReport AnalyzeTraces(std::vector<QueryTrace> traces,
         sub_hits += p.hits;
         ++a.probe_counts[p.node];
       }
+      // A planned sub-query that never routed or probed and saw an empty
+      // candidate set was pruned by the early exit.
+      if (sub.plan_candidates == 0 && sub.lookups.empty() &&
+          sub.probes.empty()) {
+        ++a.subs_skipped;
+      }
       if (sub.probes.size() >= cfg.walk_overrun_probes && sub_hits == 0) {
         std::ostringstream detail;
         detail << sub.probes.size() << " nodes probed without a single hit "
@@ -486,6 +538,9 @@ TraceReport AnalyzeTraces(std::vector<QueryTrace> traces,
     sr.visited_per_query = Summarize(std::move(a.visited_per_query));
     sr.query_dur_us = Summarize(std::move(a.query_dur_us));
     sr.lookup_dur_us = Summarize(std::move(a.lookup_dur_us));
+    sr.planned_queries = a.planned_queries;
+    sr.reordered_queries = a.reordered_queries;
+    sr.subs_skipped = a.subs_skipped;
 
     // Per-node load from the probe records (std::map: already addr-sorted,
     // so the profile is deterministic).
@@ -604,6 +659,11 @@ void RenderReport(std::ostream& os, const TraceReport& report,
        << "%, lorenz L50 " << Num(100.0 * LorenzShareAt(load.lorenz, 0.5), 2)
        << "% L90 " << Num(100.0 * LorenzShareAt(load.lorenz, 0.9), 2)
        << "%\n";
+    if (sr.planned_queries > 0) {
+      os << "    planner: " << sr.planned_queries << " planned, "
+         << sr.reordered_queries << " reordered, " << sr.subs_skipped
+         << " subs pruned\n";
+    }
   }
 
   if (!drift.empty()) {
@@ -666,7 +726,14 @@ void RenderReportJson(std::ostream& os, const TraceReport& report,
        << Num(sr.load.gini, 4) << ",\"jain\":" << Num(sr.load.jain, 4)
        << ",\"max_share\":" << Num(sr.load.max_share, 4) << ",\"lorenz_l50\":"
        << Num(LorenzShareAt(sr.load.lorenz, 0.5), 4) << ",\"lorenz_l90\":"
-       << Num(LorenzShareAt(sr.load.lorenz, 0.9), 4) << "}}";
+       << Num(LorenzShareAt(sr.load.lorenz, 0.9), 4) << "}";
+    // Omitted for plan-off trace sets: their reports stay byte-identical.
+    if (sr.planned_queries > 0) {
+      os << ",\"planner\":{\"queries\":" << sr.planned_queries
+         << ",\"reordered\":" << sr.reordered_queries
+         << ",\"subs_skipped\":" << sr.subs_skipped << "}";
+    }
+    os << "}";
   }
   os << "],\"drift\":[";
   for (std::size_t i = 0; i < drift.size(); ++i) {

@@ -125,6 +125,11 @@ struct SystemReport {
   Summary query_dur_us;            ///< per-query wall time, microseconds
   Summary lookup_dur_us;           ///< per-lookup wall time, microseconds
   LoadProfile load;
+  // Planner effectiveness (`--plan` traces only; all zero — and omitted
+  // from both renderings — when no trace carried a plan).
+  std::size_t planned_queries = 0;   ///< traces with a recorded plan order
+  std::size_t reordered_queries = 0; ///< plans that differ from query order
+  std::size_t subs_skipped = 0;      ///< sub-queries pruned by the early exit
 };
 
 struct TraceReport {

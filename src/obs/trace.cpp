@@ -122,6 +122,18 @@ void OnDirectoryProbe(NodeAddr node, std::uint64_t hits,
   p.dir_size = dir_size;
 }
 
+void OnPlanOrder(const std::uint32_t* order, std::size_t count) {
+  QueryTrace* t = detail::t_active;
+  if (t == nullptr) return;
+  t->plan_order.assign(order, order + count);
+}
+
+void OnSubQueryCandidates(std::uint64_t candidates) {
+  QueryTrace* t = detail::t_active;
+  if (t == nullptr) return;
+  CurrentSub(*t).plan_candidates = static_cast<std::int64_t>(candidates);
+}
+
 // ---- Sinks ----------------------------------------------------------------
 
 void JsonLinesTraceSink::Consume(QueryTrace&& trace) {
@@ -164,8 +176,17 @@ void WriteJsonString(std::ostream& os, std::string_view text) {
 void JsonLinesTraceSink::WriteJson(std::ostream& os, const QueryTrace& trace) {
   os << "{\"system\":";
   WriteJsonString(os, trace.system);
-  os << ",\"query\":" << trace.query_id << ",\"dur_ns\":" << trace.duration_ns
-     << ",\"subs\":[";
+  os << ",\"query\":" << trace.query_id << ",\"dur_ns\":" << trace.duration_ns;
+  // Omitted when empty: plan-off traces keep the pre-planner wire format.
+  if (!trace.plan_order.empty()) {
+    os << ",\"plan\":[";
+    for (std::size_t i = 0; i < trace.plan_order.size(); ++i) {
+      if (i) os << ",";
+      os << trace.plan_order[i];
+    }
+    os << "]";
+  }
+  os << ",\"subs\":[";
   for (std::size_t s = 0; s < trace.subs.size(); ++s) {
     const SubQueryTrace& sub = trace.subs[s];
     if (s) os << ",";
@@ -192,7 +213,10 @@ void JsonLinesTraceSink::WriteJson(std::ostream& os, const QueryTrace& trace) {
       os << "{\"node\":" << p.node << ",\"hits\":" << p.hits
          << ",\"dir_size\":" << p.dir_size << "}";
     }
-    os << "]}";
+    os << "]";
+    // Omitted when negative (planner off).
+    if (sub.plan_candidates >= 0) os << ",\"cand\":" << sub.plan_candidates;
+    os << "}";
   }
   os << "]}";
 }

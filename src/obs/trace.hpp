@@ -55,12 +55,20 @@ struct SubQueryTrace {
   AttrId attr = 0;
   std::vector<LookupTrace> lookups;  ///< 1 per sub-query (MAAN: 2)
   std::vector<ProbeTrace> probes;    ///< roots + walk probes, visit order
+  /// Running candidate-set size after this sub-query's incremental
+  /// intersection (`--plan` only); -1 = planner off, and the wire format
+  /// omits the key then, so plan-off trace files are byte-identical to
+  /// pre-planner builds.
+  std::int64_t plan_candidates = -1;
 };
 
 struct QueryTrace {
   std::string system;        ///< service name: LORM / Mercury / SWORD / MAAN
   std::uint64_t query_id = 0;  ///< process-wide sequence number
   std::uint64_t duration_ns = 0;  ///< monotonic wall time of the whole query
+  /// Sub-query execution order chosen by the planner (`--plan` only; empty
+  /// = planner off, key omitted on the wire). subs stays in query order.
+  std::vector<std::uint32_t> plan_order;
   std::vector<SubQueryTrace> subs;
 };
 
@@ -190,5 +198,13 @@ void OnLookup(const std::vector<NodeAddr>& path, HopCount hops, bool ok,
 
 /// Records one directory probe (called by the services per visited node).
 void OnDirectoryProbe(NodeAddr node, std::uint64_t hits, std::uint64_t dir_size);
+
+/// Records the planner's chosen sub-query execution order (`--plan` only;
+/// never called on the classic path, keeping plan-off traces byte-identical).
+void OnPlanOrder(const std::uint32_t* order, std::size_t count);
+
+/// Records the running candidate-set size after the current sub-query's
+/// incremental intersection (`--plan` only).
+void OnSubQueryCandidates(std::uint64_t candidates);
 
 }  // namespace lorm::obs

@@ -257,6 +257,112 @@ TEST(TraceRoundTrip, HandBuiltCornerCases) {
   ExpectRoundTrips(empty);
 }
 
+TEST(TraceRoundTrip, PlannerFieldsRoundTrip) {
+  // Planner-on traces add "plan" (sub-query execution order) at query level
+  // and "cand" (running candidate-set size) per sub; both must round-trip.
+  QueryTrace t;
+  t.system = "SWORD";
+  t.query_id = 9;
+  t.duration_ns = 1000;
+  t.plan_order = {2, 0, 1};
+  SubQueryTrace& s0 = t.subs.emplace_back();
+  s0.attr = 2;
+  s0.plan_candidates = 17;
+  SubQueryTrace& s1 = t.subs.emplace_back();
+  s1.attr = 0;
+  s1.plan_candidates = 0;  // pruned-to-empty still serializes explicitly
+  SubQueryTrace& s2 = t.subs.emplace_back();
+  s2.attr = 1;  // plan_candidates = -1: omitted on the wire
+  ExpectRoundTrips(t);
+
+  const std::string line = Serialize(t);
+  EXPECT_NE(line.find("\"plan\":[2,0,1]"), std::string::npos) << line;
+  EXPECT_NE(line.find("\"cand\":17"), std::string::npos) << line;
+  EXPECT_NE(line.find("\"cand\":0"), std::string::npos) << line;
+
+  QueryTrace parsed;
+  std::string err;
+  ASSERT_TRUE(ParseTraceLine(line, parsed, &err)) << err;
+  EXPECT_EQ(parsed.plan_order, (std::vector<std::uint32_t>{2, 0, 1}));
+  ASSERT_EQ(parsed.subs.size(), 3u);
+  EXPECT_EQ(parsed.subs[0].plan_candidates, 17);
+  EXPECT_EQ(parsed.subs[1].plan_candidates, 0);
+  EXPECT_EQ(parsed.subs[2].plan_candidates, -1);
+
+  // With planning off neither key appears anywhere — the wire format is
+  // byte-identical to pre-planner builds.
+  QueryTrace off;
+  off.system = "LORM";
+  off.subs.emplace_back().attr = 1;
+  const std::string off_line = Serialize(off);
+  EXPECT_EQ(off_line.find("plan"), std::string::npos) << off_line;
+  EXPECT_EQ(off_line.find("cand"), std::string::npos) << off_line;
+  ExpectRoundTrips(off);
+}
+
+TEST(TraceAnalyze, PlannerAggregation) {
+  std::vector<QueryTrace> traces;
+
+  // Planned, reordered, one sub pruned by the early exit (no work at all).
+  QueryTrace a;
+  a.system = "SWORD";
+  a.query_id = 0;
+  a.plan_order = {1, 0};
+  SubQueryTrace& a0 = a.subs.emplace_back();
+  a0.attr = 1;
+  a0.plan_candidates = 3;
+  a0.probes.push_back({1, 1, 4});
+  SubQueryTrace& a1 = a.subs.emplace_back();
+  a1.attr = 0;
+  a1.plan_candidates = 0;  // skipped: zero candidates, no lookups/probes
+  traces.push_back(a);
+
+  // Planned but already in selectivity order; nothing skipped.
+  QueryTrace b;
+  b.system = "SWORD";
+  b.query_id = 1;
+  b.plan_order = {0};
+  SubQueryTrace& b0 = b.subs.emplace_back();
+  b0.attr = 0;
+  b0.plan_candidates = 2;
+  b0.probes.push_back({2, 1, 4});
+  traces.push_back(b);
+
+  // Unplanned trace from another system.
+  QueryTrace c;
+  c.system = "LORM";
+  c.query_id = 2;
+  c.subs.emplace_back().attr = 0;
+  traces.push_back(c);
+
+  AnomalyConfig cfg;
+  cfg.nodes = 16;
+  const TraceReport report = AnalyzeTraces(std::move(traces), cfg);
+  ASSERT_EQ(report.systems.size(), 2u);  // sorted: LORM, SWORD
+  EXPECT_EQ(report.systems[0].system, "LORM");
+  EXPECT_EQ(report.systems[0].planned_queries, 0u);
+  EXPECT_EQ(report.systems[1].system, "SWORD");
+  EXPECT_EQ(report.systems[1].planned_queries, 2u);
+  EXPECT_EQ(report.systems[1].reordered_queries, 1u);
+  EXPECT_EQ(report.systems[1].subs_skipped, 1u);
+
+  // The planner block renders only for systems that actually planned.
+  std::ostringstream human;
+  RenderReport(human, report);
+  EXPECT_NE(human.str().find("planner: 2 planned"), std::string::npos)
+      << human.str();
+  std::size_t planner_lines = 0;
+  for (std::string::size_type at = human.str().find("planner:");
+       at != std::string::npos; at = human.str().find("planner:", at + 1)) {
+    ++planner_lines;
+  }
+  EXPECT_EQ(planner_lines, 1u);
+  std::ostringstream json;
+  RenderReportJson(json, report);
+  EXPECT_NE(json.str().find("\"planner\":{\"queries\":2,"), std::string::npos)
+      << json.str();
+}
+
 TEST(TraceRoundTrip, ParsedFieldsMatch) {
   QueryTrace t;
   t.system = "LORM";

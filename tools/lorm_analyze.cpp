@@ -49,6 +49,9 @@ int Usage(const char* argv0) {
          "  --tolerance  allowed |observed-predicted|/predicted (default\n"
          "               0.35; see EXPERIMENTS.md for why quick-scale runs\n"
          "               sit ~25% above the asymptotic Chord prediction)\n"
+         "  --walk-overrun  zero-hit walk anomaly threshold in probes\n"
+         "               (default 32; raise for sparse range workloads whose\n"
+         "               system-wide walks legitimately probe many nodes)\n"
          "  --json       emit the machine-readable report (stdout or file)\n";
   return 2;
 }
@@ -90,6 +93,7 @@ int main(int argc, char** argv) {
   std::string json_file;
   bool json = false;
   double tolerance = 0.35;
+  unsigned long long walk_overrun = 32;
 
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
@@ -116,6 +120,10 @@ int main(int argc, char** argv) {
       tolerance = std::strtod(value("--tolerance"), nullptr);
     } else if (std::strncmp(arg, "--tolerance=", 12) == 0) {
       tolerance = std::strtod(arg + 12, nullptr);
+    } else if (std::strcmp(arg, "--walk-overrun") == 0) {
+      walk_overrun = std::strtoull(value("--walk-overrun"), nullptr, 10);
+    } else if (std::strncmp(arg, "--walk-overrun=", 15) == 0) {
+      walk_overrun = std::strtoull(arg + 15, nullptr, 10);
     } else if (std::strcmp(arg, "--json") == 0) {
       json = true;
     } else if (std::strncmp(arg, "--json=", 7) == 0) {
@@ -185,6 +193,7 @@ int main(int argc, char** argv) {
     cfg.nodes = model.n;
     cfg.dimension = model.d;
   }
+  cfg.walk_overrun_probes = static_cast<std::size_t>(walk_overrun);
   const obs::TraceReport report = obs::AnalyzeTraces(std::move(traces), cfg);
 
   std::vector<obs::DriftRow> drift;
