@@ -375,6 +375,51 @@ NodeAddr ChordRing::OwnerOf(Key key) const {
   return slots_[OwnerSlotOf(key)].addr;
 }
 
+NodeAddr ChordRing::OwnerOfExcluding(Key key, NodeAddr excluded) const {
+  LORM_CHECK_MSG(!oracle_.empty(), "OwnerOfExcluding on empty ring");
+  std::size_t idx = OracleUpperBound(key);
+  // upper_bound lands one past an exact-id match; the owner convention is
+  // (pred, self], so step back onto the exact match when there is one.
+  if (idx > 0 && oracle_[idx - 1].first == key) --idx;
+  for (std::size_t probed = 0; probed < oracle_.size(); ++probed) {
+    const Slot s = oracle_[(idx + probed) % oracle_.size()].second;
+    if (slots_[s].addr != excluded) return slots_[s].addr;
+  }
+  return kNoNode;  // every member excluded
+}
+
+NodeAddr ChordRing::NthOracleSuccessor(NodeAddr addr, std::size_t steps,
+                                       NodeAddr excluded) const {
+  std::size_t idx = OracleIndexOf(IdOf(addr));
+  NodeAddr cur = addr;
+  std::size_t taken = 0;
+  for (std::size_t probed = 0; taken < steps && probed < oracle_.size();
+       ++probed) {
+    idx = (idx + 1) % oracle_.size();
+    const NodeAddr next = slots_[oracle_[idx].second].addr;
+    if (next == excluded) continue;
+    cur = next;
+    ++taken;
+  }
+  return cur;
+}
+
+NodeAddr ChordRing::NthOraclePredecessor(NodeAddr addr, std::size_t steps,
+                                         NodeAddr excluded) const {
+  std::size_t idx = OracleIndexOf(IdOf(addr));
+  NodeAddr cur = addr;
+  std::size_t taken = 0;
+  for (std::size_t probed = 0; taken < steps && probed < oracle_.size();
+       ++probed) {
+    idx = (idx + oracle_.size() - 1) % oracle_.size();
+    const NodeAddr prev = slots_[oracle_[idx].second].addr;
+    if (prev == excluded) continue;
+    cur = prev;
+    ++taken;
+  }
+  return cur;
+}
+
 NodeAddr ChordRing::Successor(NodeAddr addr) const {
   const Node& n = MustGet(addr);
   return slots_[FirstLiveSuccessorSlot(n)].addr;

@@ -88,14 +88,19 @@ struct LookupResult {
 class MembershipObserver {
  public:
   virtual ~MembershipObserver() = default;
-  /// Called after `node` has joined; keys in (pred(node), node] moved from
-  /// `successor` to `node`.
+  /// Called after `node` has joined (it is already in the ownership
+  /// oracle); keys in (pred(node), node] moved from `successor` to `node`.
   virtual void OnJoin(NodeAddr node, NodeAddr successor) = 0;
-  /// Called before `node` leaves; all its keys move to `successor`
-  /// (kNoNode when the last node leaves).
+  /// Called before `node` leaves, while it is still in the ownership
+  /// oracle; all its keys move to `successor` (kNoNode when the last node
+  /// leaves). Handlers that need post-departure ownership use
+  /// OwnerOfExcluding / the Nth* walks with `node` excluded.
   virtual void OnLeave(NodeAddr node, NodeAddr successor) = 0;
-  /// Called when `node` fails abruptly: no handoff happened — everything it
-  /// stored is lost until providers re-advertise (soft state).
+  /// Called when `node` fails abruptly, before it leaves the ownership
+  /// oracle (its state is still readable). The ring performs no handoff:
+  /// with replication off everything the node stored is lost until
+  /// providers re-advertise (soft state); replicated services use this
+  /// hook to restore coverage from surviving replicas.
   virtual void OnFail(NodeAddr node) { (void)node; }
 };
 
@@ -149,6 +154,20 @@ class ChordRing {
   Key IdOf(NodeAddr addr) const;
   /// Oracle: the current owner (successor) of `key`.
   NodeAddr OwnerOf(Key key) const;
+  /// Oracle owner of `key` as if `excluded` had already left the ring.
+  /// Membership observers fire while the departing/failed node is still in
+  /// the oracle (so its state stays readable); handoff logic uses this to
+  /// compute post-event ownership. `excluded` = kNoNode degrades to OwnerOf.
+  NodeAddr OwnerOfExcluding(Key key, NodeAddr excluded) const;
+  /// Oracle: the node `steps` positions clockwise of `addr` (0 = itself),
+  /// skipping `excluded` if given; the walk is capped at one ring
+  /// revolution. This is the successor-list-replication placement oracle:
+  /// replica i of a key lives on the i-th oracle successor of its owner.
+  NodeAddr NthOracleSuccessor(NodeAddr addr, std::size_t steps,
+                              NodeAddr excluded = kNoNode) const;
+  /// Counterclockwise counterpart of NthOracleSuccessor.
+  NodeAddr NthOraclePredecessor(NodeAddr addr, std::size_t steps,
+                                NodeAddr excluded = kNoNode) const;
   /// The node's own successor pointer (protocol state).
   NodeAddr Successor(NodeAddr addr) const;
   NodeAddr Predecessor(NodeAddr addr) const;

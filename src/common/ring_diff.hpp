@@ -1,0 +1,99 @@
+// Ring-range arithmetic for O(Δ) replica-ownership handoff.
+//
+// Successor-list replication (Leslie et al., "Reliable Data Storage in
+// DHTs") stores each key on its owner plus the owner's r-1 ring successors.
+// Equivalently, node x holds exactly the keys in its *replica arc*
+//
+//   R(x) = (id(pred_r(x)), id(x)]        (pred_r = x's r-th predecessor)
+//
+// — the union of the primary sectors of x and its r-1 predecessors. The
+// arc's high boundary is pinned at id(x), so any single membership event
+// shifts only the low boundary of each affected node's arc: the entries a
+// node must gain or shed form ONE contiguous ring range, never a scattered
+// set. DiffSharedHigh computes that range, which is what lets the discovery
+// services hand over O(Δ) entries per join/leave/crash instead of
+// re-scanning O(n) directory state (the add/del-range discipline of
+// HashRing::RangeDiff in heyp's downgrade ring).
+//
+// Ranges are half-open-closed (lo, hi] in modular ring order, matching
+// Chord's ownership convention (a node owns keys in (pred, self]). A range
+// with lo == hi is ambiguous between "empty" and "everything", so full-ring
+// coverage is an explicit flag: a ring with at most r members has every
+// node's replica arc equal to the whole ring.
+#pragma once
+
+#include <cstdint>
+
+namespace lorm {
+
+/// One contiguous arc (lo, hi] of the identifier ring. `full` marks the
+/// whole-ring arc (membership count <= replication factor).
+template <typename K = std::uint64_t>
+struct RingRange {
+  K lo{};
+  K hi{};
+  bool full = false;
+
+  /// Modular membership test for (lo, hi]. An empty proper range (lo == hi,
+  /// !full) contains nothing.
+  bool Contains(K k) const {
+    if (full) return true;
+    if (lo == hi) return false;
+    if (lo < hi) return k > lo && k <= hi;
+    return k > lo || k <= hi;  // wrapped arc
+  }
+};
+
+/// What a node must do to one contiguous range of its directory after a
+/// membership event.
+enum class RangeDiffType {
+  kNone,  ///< the event did not change this node's arc
+  kAdd,   ///< fetch the range's entries from the surviving holder
+  kDel,   ///< shed the range's entries (another node took them over)
+};
+
+template <typename K = std::uint64_t>
+struct RangeDiff {
+  RangeDiffType type = RangeDiffType::kNone;
+  RingRange<K> range{};
+};
+
+/// Diff of two replica arcs that share their high boundary (both belong to
+/// the same node, before and after one membership event). Because only the
+/// low boundary moved, the difference is a single add- or del-range:
+///
+///   join  shrinks an arc:  (old_lo, hi] -> (new_lo, hi], new_lo inside old
+///                          => kDel (old_lo, new_lo]
+///   leave/crash grows one: new_lo retreats past old_lo
+///                          => kAdd (new_lo, old_lo]
+///
+/// Full-ring arcs diff against the proper arc's complement around hi.
+template <typename K>
+RangeDiff<K> DiffSharedHigh(const RingRange<K>& before,
+                            const RingRange<K>& after) {
+  RangeDiff<K> d;
+  if (before.full && after.full) return d;
+  if (before.full) {
+    // Coverage collapsed from everything to (after.lo, hi]: shed the rest.
+    d.type = RangeDiffType::kDel;
+    d.range = RingRange<K>{after.hi, after.lo, false};
+    return d;
+  }
+  if (after.full) {
+    // Coverage grew from (before.lo, hi] to everything: gain the rest.
+    d.type = RangeDiffType::kAdd;
+    d.range = RingRange<K>{before.hi, before.lo, false};
+    return d;
+  }
+  if (before.lo == after.lo) return d;
+  if (before.Contains(after.lo)) {
+    d.type = RangeDiffType::kDel;
+    d.range = RingRange<K>{before.lo, after.lo, false};
+  } else {
+    d.type = RangeDiffType::kAdd;
+    d.range = RingRange<K>{after.lo, before.lo, false};
+  }
+  return d;
+}
+
+}  // namespace lorm

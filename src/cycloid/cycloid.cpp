@@ -230,15 +230,20 @@ void CycloidNetwork::FailNode(NodeAddr addr) {
   const Slot slot = SlotOf(addr);
   LORM_CHECK_MSG(slot != kNoSlot, "unknown cycloid node");
   const CycloidId id = slots_[slot].id;
-  for (auto* obs : observers_) obs->OnFail(addr);
   auto cit = clusters_.find(id.a);
   LORM_CHECK(cit != clusters_.end());
   cit->second.erase(id.k);
   if (cit->second.empty()) clusters_.erase(cit);
+  // Observers run after the ownership oracle dropped the node (OwnerOf
+  // reflects post-failure ownership, as in RemoveNode) but while its state
+  // is still readable — replicated services restore coverage from the
+  // surviving copies here.
+  for (auto* obs : observers_) obs->OnFail(addr);
   by_addr_.Erase(addr);
   ReleaseSlot(slot);
-  // No repair, no handoff: leaf sets pointing at the node go stale until
-  // routing skips them and StabilizeAll/FixNode heals the neighborhood.
+  // No repair, no routing handoff: leaf sets pointing at the node go stale
+  // until routing skips them and StabilizeAll/FixNode heals the
+  // neighborhood.
 }
 
 std::vector<NodeAddr> CycloidNetwork::Members() const {
@@ -296,6 +301,16 @@ bool CycloidNetwork::OwnsNode(const Node& n, CycloidId key) const {
 
 bool CycloidNetwork::Owns(NodeAddr addr, CycloidId key) const {
   return OwnsNode(MustGet(addr), key);
+}
+
+NodeAddr CycloidNetwork::ClusterSuccessorOf(NodeAddr addr) const {
+  const Node& n = MustGet(addr);
+  const Cluster& c = MustCluster(n.id.a);
+  auto it = c.find(n.id.k);
+  LORM_CHECK(it != c.end());
+  ++it;
+  if (it == c.end()) it = c.begin();
+  return slots_[it->second].addr;
 }
 
 std::vector<NodeAddr> CycloidNetwork::ClusterMembersOf(std::uint64_t a) const {

@@ -104,8 +104,11 @@ class MembershipObserver {
   /// Called after `node` was removed from the ownership oracle (its objects
   /// must be re-homed via OwnerOf) but while its state is still readable.
   virtual void OnLeave(NodeAddr node) = 0;
-  /// Called when `node` fails abruptly: no handoff happened — everything it
-  /// stored is lost until providers re-advertise (soft state).
+  /// Called when `node` fails abruptly, after it was removed from the
+  /// ownership oracle but while its state is still readable (as OnLeave).
+  /// The network performs no handoff: with replication off everything the
+  /// node stored is lost until providers re-advertise (soft state);
+  /// replicated services restore coverage from surviving copies here.
   virtual void OnFail(NodeAddr node) { (void)node; }
 };
 
@@ -167,6 +170,12 @@ class CycloidNetwork {
   /// Inside-leaf-set pointers (the small cycle). Self when alone.
   NodeAddr InsideSuccessor(NodeAddr addr) const;
   NodeAddr InsidePredecessor(NodeAddr addr) const;
+
+  /// Oracle: the next live member of `addr`'s cluster in cyclic order
+  /// (self when alone). Unlike InsideSuccessor this never points at a
+  /// failed node — the replica-fallback cluster walk advances with it when
+  /// a leaf-set pointer leads to a crashed member.
+  NodeAddr ClusterSuccessorOf(NodeAddr addr) const;
 
   /// Distinct live remote nodes in the 7-entry routing state — the
   /// constant-degree outlink count of Fig 3(a).

@@ -24,6 +24,15 @@
 
 namespace lorm::discovery {
 
+/// Cumulative entry-movement cost of the replication protocol's ownership
+/// handoff (joins, leaves, crash restores). `bytes_moved` models each moved
+/// entry at a fixed wire size — the bytes-moved-per-join maintenance metric
+/// of the replication experiment.
+struct ReplicationStats {
+  std::uint64_t entries_moved = 0;
+  std::uint64_t bytes_moved = 0;
+};
+
 /// Result of a multi-attribute query.
 struct QueryResult {
   /// Providers satisfying every sub-query (the database-like join);
@@ -61,9 +70,13 @@ class DiscoveryService {
   /// Graceful departure: directory entries re-home; the departing
   /// provider's own advertisements are withdrawn.
   virtual void LeaveNode(NodeAddr addr) = 0;
-  /// Abrupt failure: no handoff — the node's directory entries are lost
-  /// until their providers re-advertise (soft state), and its overlay
-  /// neighbors route around the stale links until Maintain() heals them.
+  /// Abrupt failure. With replicas == 1 there is no handoff — the node's
+  /// directory entries are lost until their providers re-advertise (soft
+  /// state). With replicas > 1 the successor-list replication protocol
+  /// restores coverage from the surviving copies (see
+  /// discovery/replication.hpp); only entries whose every replica holder
+  /// crashed are lost. Either way the node's overlay neighbors route
+  /// around the stale links until Maintain() heals them.
   virtual void FailNode(NodeAddr addr) = 0;
   virtual bool HasNode(NodeAddr addr) const = 0;
   virtual std::size_t NetworkSize() const = 0;
@@ -126,6 +139,9 @@ class DiscoveryService {
   virtual std::vector<double> OutlinkCounts() const = 0;
   /// Total stored resource-information pieces (Theorem 4.2: MAAN stores 2x).
   virtual std::size_t TotalInfoPieces() const = 0;
+  /// Cumulative handoff work done by the replication protocol (zero with
+  /// replicas == 1, where membership events never copy entries).
+  virtual ReplicationStats ReplicationWork() const { return {}; }
 };
 
 }  // namespace lorm::discovery

@@ -1,6 +1,9 @@
 #include "discovery/lorm_service.hpp"
 
 #include <algorithm>
+#include <map>
+#include <tuple>
+#include <utility>
 
 #include "common/error.hpp"
 #include "discovery/join.hpp"
@@ -162,19 +165,23 @@ QueryResult LormService::Query(const resource::MultiQuery& q,
     // lies on that arc). The resumable state machine (ring_walk.hpp) visits
     // the same nodes in the same order as the loop it replaced.
     ClusterWalkState walk;
-    ClusterWalkBegin(net_, res.owner, key_lo, key_hi, walk);
+    ClusterWalkBegin(net_, res.owner, key_lo, key_hi, walk,
+                     /*live_fallback=*/cfg_.replicas > 1);
     do {
       result.stats.visited_nodes += 1;
       visit_counts_.Record(walk.cur);
       const std::size_t matches_before = matches.size();
+      std::uint64_t replica_hits = 0;
       const auto* dir = store_.Find(walk.cur);
       if (dir != nullptr) {
         dir->ForEachMatch(sub.attr, lo, hi, [&](const Store::Entry& e) {
           matches.push_back(e.info);
+          if (e.replica != 0) ++replica_hits;
         });
       }
+      result.stats.replica_hits += replica_hits;
       obs::OnDirectoryProbe(walk.cur, matches.size() - matches_before,
-                            dir != nullptr ? dir->size() : 0);
+                            dir != nullptr ? dir->size() : 0, replica_hits);
     } while (ClusterWalkAdvance(net_, walk, result.stats));
     DedupMatches(matches);  // replicas may repeat tuples along the walk
     if (result.stats.failed == failed_before) {
@@ -265,19 +272,23 @@ QueryResult LormService::QueryPlanned(const resource::MultiQuery& q,
       result.stats.dht_hops += res.hops;
       if (res.ok) {
         ClusterWalkState walk;
-        ClusterWalkBegin(net_, res.owner, key_lo, key_hi, walk);
+        ClusterWalkBegin(net_, res.owner, key_lo, key_hi, walk,
+                         /*live_fallback=*/cfg_.replicas > 1);
         do {
           result.stats.visited_nodes += 1;
           visit_counts_.Record(walk.cur);
           const std::size_t matches_before = matches.size();
+          std::uint64_t replica_hits = 0;
           const auto* dir = store_.Find(walk.cur);
           if (dir != nullptr) {
             dir->ForEachMatch(sub.attr, lo, hi, [&](const Store::Entry& e) {
               matches.push_back(e.info);
+              if (e.replica != 0) ++replica_hits;
             });
           }
+          result.stats.replica_hits += replica_hits;
           obs::OnDirectoryProbe(walk.cur, matches.size() - matches_before,
-                                dir != nullptr ? dir->size() : 0);
+                                dir != nullptr ? dir->size() : 0, replica_hits);
         } while (ClusterWalkAdvance(net_, walk, result.stats));
         DedupMatches(matches);  // replicas may repeat tuples along the walk
         if (result.stats.failed == failed_before) {
@@ -357,6 +368,20 @@ std::size_t LormService::WithdrawProvider(NodeAddr provider) {
 void LormService::OnJoin(NodeAddr node,
                          const std::vector<NodeAddr>& possible_sources) {
   result_cache_.InvalidateAll();  // a join re-homes part of some arc
+  if (cfg_.replicas > 1) {
+    // Affected clusters: the joiner's own (its copy chains rotate around
+    // the new member) and every source's (a join that creates a cluster
+    // takes a cubical sector away from the succeeding cluster).
+    std::vector<std::uint64_t> cubicals{net_.IdOf(node).a};
+    for (NodeAddr src : possible_sources) {
+      const std::uint64_t a = net_.IdOf(src).a;
+      if (std::find(cubicals.begin(), cubicals.end(), a) == cubicals.end()) {
+        cubicals.push_back(a);
+      }
+    }
+    RebuildClusterReplicas({}, cubicals);
+    return;
+  }
   for (NodeAddr src : possible_sources) {
     auto moved = store_.TakeIf(src, [&](const Store::Entry& e) {
       return e.replica == 0 && net_.OwnerOf(e.key) == node;
@@ -366,14 +391,32 @@ void LormService::OnJoin(NodeAddr node,
 }
 
 void LormService::OnFail(NodeAddr node) {
+  result_cache_.InvalidateAll();
+  if (cfg_.replicas > 1) {
+    // The crashed copies die with the node; the rest of its cluster still
+    // holds every tuple that had a surviving copy, and the rebuild spreads
+    // them back to full replication depth. A whole-cluster crash still
+    // loses its attribute's data — cluster replication cannot reach across
+    // the cubical dimension.
+    const std::uint64_t a = net_.IdOf(node).a;
+    store_.Drop(node);
+    if (net_.ClusterCount() > 0) RebuildClusterReplicas({}, {a});
+    return;
+  }
   // No handoff: whatever the failed node stored is gone until providers
   // re-advertise in a later epoch.
-  result_cache_.InvalidateAll();
   store_.Drop(node);
 }
 
 void LormService::OnLeave(NodeAddr node) {
   result_cache_.InvalidateAll();
+  if (cfg_.replicas > 1) {
+    const std::uint64_t a = net_.IdOf(node).a;
+    auto pool = store_.TakeAll(node);
+    store_.Drop(node);
+    if (net_.ClusterCount() > 0) RebuildClusterReplicas(std::move(pool), {a});
+    return;
+  }
   auto orphaned = store_.TakeAll(node);
   store_.Drop(node);
   if (net_.ClusterCount() == 0) return;  // last node left: information is lost
@@ -383,6 +426,66 @@ void LormService::OnLeave(NodeAddr node) {
     if (e.replica != 0) continue;
     store_.Insert(net_.OwnerOf(e.key), std::move(e));
   }
+}
+
+void LormService::RebuildClusterReplicas(
+    std::vector<Store::Entry> pool,
+    const std::vector<std::uint64_t>& cubicals) {
+  // Union of the affected clusters' members (distinct cubical values can
+  // resolve to the same owner cluster).
+  std::vector<NodeAddr> members;
+  for (const std::uint64_t a : cubicals) {
+    for (NodeAddr m : net_.ClusterMembersOf(a)) {
+      if (std::find(members.begin(), members.end(), m) == members.end()) {
+        members.push_back(m);
+      }
+    }
+  }
+  if (members.empty()) return;
+
+  // Pull every copy the affected clusters hold into the pool, remembering
+  // who held which tuple so copies that stay put are not billed as moved.
+  // Entries arriving in `pool` came off a departed node, so they have no
+  // live prior holder and any placement of them is a real transfer.
+  using Identity = std::tuple<AttrId, NodeAddr, double, std::uint64_t>;
+  const auto identity_of = [](const Store::Entry& e) {
+    return Identity{e.info.attr, e.info.provider, e.ordinal, e.epoch};
+  };
+  std::map<Identity, std::vector<NodeAddr>> holders;
+  for (NodeAddr m : members) {
+    auto held = store_.TakeAll(m);
+    for (auto& e : held) {
+      holders[identity_of(e)].push_back(m);
+      pool.push_back(std::move(e));
+    }
+  }
+
+  // Re-place one copy chain per distinct surviving tuple: the key's owner
+  // plus its next replicas-1 live cyclic successors (fewer when the cluster
+  // is smaller than the replication factor).
+  std::map<Identity, bool> placed;
+  std::uint64_t moved = 0;
+  for (auto& e : pool) {
+    if (!placed.emplace(identity_of(e), true).second) continue;
+    const auto h = holders.find(identity_of(e));
+    const NodeAddr owner = net_.OwnerOf(e.key);
+    NodeAddr target = owner;
+    for (std::size_t copy = 0; copy < cfg_.replicas; ++copy) {
+      if (copy > 0) {
+        target = net_.ClusterSuccessorOf(target);
+        if (target == owner) break;  // cluster smaller than the factor
+      }
+      Store::Entry c = e;
+      c.replica = static_cast<std::uint8_t>(copy);
+      store_.Insert(target, std::move(c));
+      const bool held_before =
+          h != holders.end() &&
+          std::find(h->second.begin(), h->second.end(), target) !=
+              h->second.end();
+      if (!held_before) ++moved;
+    }
+  }
+  repl_.RecordMoved(moved);
 }
 
 }  // namespace lorm::discovery

@@ -28,6 +28,7 @@
 #include "cycloid/cycloid.hpp"
 #include "discovery/directory.hpp"
 #include "discovery/discovery.hpp"
+#include "discovery/replication.hpp"
 #include "discovery/selectivity.hpp"
 #include "discovery/visit_counter.hpp"
 
@@ -95,6 +96,7 @@ class LormService final : public DiscoveryService,
   void ResetQueryLoad() override { visit_counts_.Clear(); }
   std::vector<double> OutlinkCounts() const override;
   std::size_t TotalInfoPieces() const override;
+  ReplicationStats ReplicationWork() const override { return repl_.stats(); }
 
   /// Eagerly removes every advertisement of `provider` (optional; queries
   /// already filter dead providers — see DESIGN.md on soft state).
@@ -115,6 +117,14 @@ class LormService final : public DiscoveryService,
   QueryResult QueryPlanned(const resource::MultiQuery& q,
                            QueryScratch& scratch) const;
 
+  /// Replicated handoff (replicas > 1): re-establishes, for every cluster
+  /// resolving one of `cubicals`, the invariant that each surviving tuple
+  /// sits on its key's owner plus the owner's next replicas-1 live cyclic
+  /// successors. `pool` carries copies taken from a departed node; copies
+  /// already in place are re-labelled but not billed as moved.
+  void RebuildClusterReplicas(std::vector<Store::Entry> pool,
+                              const std::vector<std::uint64_t>& cubicals);
+
   void OnJoin(NodeAddr node,
               const std::vector<NodeAddr>& possible_sources) override;
   void OnLeave(NodeAddr node) override;
@@ -132,6 +142,8 @@ class LormService final : public DiscoveryService,
   Store store_;
   std::vector<std::uint64_t> attr_cubical_;  // H(a) per attribute
   std::uint64_t epoch_ = 0;
+  /// Handoff work done by the replication protocol (replicas > 1 only).
+  ReplicationRecorder repl_{"LORM"};
   /// Visits absorbed per node (roots + walk probes); mutable because Query
   /// is const, internally synchronized because the parallel experiment
   /// engine replays queries from many threads.

@@ -175,18 +175,21 @@ QueryResult MaanService::Query(const resource::MultiQuery& q,
                    [&](NodeAddr cur) {
                      visit_counts_.Record(cur);
                      const std::size_t matches_before = matches.size();
+                     std::uint64_t replica_hits = 0;
                      const auto* dir = store_.Find(cur);
                      if (dir != nullptr) {
                        dir->ForEachMatch(sub.attr, lo, hi,
                                          [&](const Store::Entry& e) {
                                            if (e.tag == kValueRecord) {
                                              matches.push_back(e.info);
+                                             if (e.replica != 0) ++replica_hits;
                                            }
                                          });
                      }
+                     result.stats.replica_hits += replica_hits;
                      obs::OnDirectoryProbe(
                          cur, matches.size() - matches_before,
-                         dir != nullptr ? dir->size() : 0);
+                         dir != nullptr ? dir->size() : 0, replica_hits);
                    });
     DedupMatches(matches);  // replicas may repeat tuples along the walk
     if (result.stats.failed == failed_before) {
@@ -292,18 +295,23 @@ QueryResult MaanService::QueryPlanned(const resource::MultiQuery& q,
                        [&](NodeAddr cur) {
                          visit_counts_.Record(cur);
                          const std::size_t matches_before = matches.size();
+                         std::uint64_t replica_hits = 0;
                          const auto* dir = store_.Find(cur);
                          if (dir != nullptr) {
                            dir->ForEachMatch(sub.attr, lo, hi,
                                              [&](const Store::Entry& e) {
                                                if (e.tag == kValueRecord) {
                                                  matches.push_back(e.info);
+                                                 if (e.replica != 0) {
+                                                   ++replica_hits;
+                                                 }
                                                }
                                              });
                          }
+                         result.stats.replica_hits += replica_hits;
                          obs::OnDirectoryProbe(
                              cur, matches.size() - matches_before,
-                             dir != nullptr ? dir->size() : 0);
+                             dir != nullptr ? dir->size() : 0, replica_hits);
                        });
         DedupMatches(matches);  // replicas may repeat tuples along the walk
         if (result.stats.failed == failed_before) {
@@ -327,14 +335,19 @@ QueryResult MaanService::QueryPlanned(const resource::MultiQuery& q,
       if (res.ok) {
         result.stats.visited_nodes += 1;
         visit_counts_.Record(res.owner);
+        std::uint64_t replica_hits = 0;
         const auto* dir = store_.Find(res.owner);
         if (dir != nullptr) {
           dir->ForEachMatch(sub.attr, lo, hi, [&](const Store::Entry& e) {
-            if (e.tag == kAttributeRecord) matches.push_back(e.info);
+            if (e.tag == kAttributeRecord) {
+              matches.push_back(e.info);
+              if (e.replica != 0) ++replica_hits;
+            }
           });
         }
+        result.stats.replica_hits += replica_hits;
         obs::OnDirectoryProbe(res.owner, matches.size(),
-                              dir != nullptr ? dir->size() : 0);
+                              dir != nullptr ? dir->size() : 0, replica_hits);
         DedupMatches(matches);  // replicas can share the root after churn
         if (result.stats.failed == failed_before) {
           result_cache_.Store(sub.attr, lo, hi, matches);
@@ -407,8 +420,20 @@ std::size_t MaanService::WithdrawProvider(NodeAddr provider) {
   return store_.EraseProviderEverywhere(provider);
 }
 
+namespace {
+// Both record kinds replicate through the one successor-list protocol: an
+// attribute record's key is the attribute key and a value record's key is the
+// locality-preserving value key, so the generic ring-arc handoff places each
+// kind correctly without knowing about tags.
+constexpr auto kAllEntries = [](const auto&) { return true; };
+}  // namespace
+
 void MaanService::OnJoin(NodeAddr node, NodeAddr successor) {
   result_cache_.InvalidateAll();  // the join re-homed part of some arc
+  if (cfg_.replicas > 1) {
+    ChordReplicaJoin(ring_, store_, cfg_.replicas, node, repl_, kAllEntries);
+    return;
+  }
   if (node == successor) return;
   auto moved = store_.TakeIf(successor, [&](const Store::Entry& e) {
     return e.replica == 0 && ring_.Owns(node, e.key);
@@ -418,17 +443,83 @@ void MaanService::OnJoin(NodeAddr node, NodeAddr successor) {
 
 void MaanService::OnFail(NodeAddr node) {
   result_cache_.InvalidateAll();
-  store_.Drop(node);  // nothing survives; no need to materialize the entries
+  if (cfg_.replicas > 1) {
+    // The crashed node's copies are gone, but each lost key range survives on
+    // the rest of its replica group; the generic protocol restores both
+    // record kinds of every lost range, so the attribute-keyed and
+    // value-keyed record sets stay in lockstep with no extra work.
+    ChordReplicaFail(ring_, store_, cfg_.replicas, node, repl_, kAllEntries);
+    store_.Drop(node);
+    return;
+  }
+  ReconcileTwins(node);
 }
 
 void MaanService::OnLeave(NodeAddr node, NodeAddr successor) {
   result_cache_.InvalidateAll();
+  if (cfg_.replicas > 1) {
+    ChordReplicaLeave(ring_, store_, cfg_.replicas, node, repl_, kAllEntries);
+    store_.Drop(node);
+    return;
+  }
   auto orphaned = store_.TakeAll(node);
   store_.Drop(node);
   if (successor == kNoNode) return;
   for (auto& e : orphaned) {
     if (e.replica != 0) continue;  // replicas are rebuilt by the next epoch
     store_.Insert(successor, std::move(e));
+  }
+}
+
+void MaanService::ReconcileTwins(NodeAddr node) {
+  // Unreplicated, every tuple still exists as two records on (usually) two
+  // different nodes. Dropping the crashed node's directory alone leaves the
+  // surviving twins behind: value records whose attribute record died make
+  // the classic path and the planned path (which answers dominated
+  // sub-queries from attribute records) disagree forever after a crash.
+  // Walk the lost records and re-synchronize both sets.
+  const auto lost = store_.TakeAll(node);
+  store_.Drop(node);
+  for (const auto& e : lost) {
+    if (e.tag == kValueRecord) {
+      // The authoritative value record died; retire its attribute-record
+      // twin so the attribute root does not advertise a tuple the classic
+      // path can no longer find. (If the twin also lived on the crashed
+      // node, TakeAll already removed it and this erases nothing.)
+      const NodeAddr attr_root =
+          ring_.OwnerOfExcluding(AttributeKeyFor(e.info.attr), node);
+      if (attr_root == kNoNode) continue;
+      store_.EraseIf(attr_root, [&](const Store::Entry& t) {
+        return t.tag == kAttributeRecord && t.info.attr == e.info.attr &&
+               t.ordinal == e.ordinal && t.info.provider == e.info.provider &&
+               t.epoch == e.epoch;
+      });
+    } else {
+      // An attribute record died; if its value-record twin survived, rebuild
+      // the attribute record at the post-failure attribute root so dominated
+      // sub-queries keep seeing exactly what the value walk sees.
+      const NodeAddr value_root =
+          ring_.OwnerOfExcluding(lph_[e.info.attr](e.ordinal), node);
+      if (value_root == kNoNode) continue;
+      const auto* dir = store_.Find(value_root);
+      if (dir == nullptr) continue;
+      bool twin_alive = false;
+      dir->ForEachMatch(e.info.attr, e.ordinal, e.ordinal,
+                        [&](const Store::Entry& t) {
+                          if (t.tag == kValueRecord &&
+                              t.info.provider == e.info.provider &&
+                              t.epoch == e.epoch) {
+                            twin_alive = true;
+                          }
+                        });
+      if (!twin_alive) continue;
+      const NodeAddr attr_root =
+          ring_.OwnerOfExcluding(AttributeKeyFor(e.info.attr), node);
+      if (attr_root == kNoNode) continue;
+      Store::Entry rebuilt = e;
+      rebuilt.replica = 0;
+      store_.Insert(attr_root, std::move(rebuilt));
+    }
   }
 }
 

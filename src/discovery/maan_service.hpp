@@ -26,6 +26,7 @@
 #include "common/hashing.hpp"
 #include "discovery/directory.hpp"
 #include "discovery/discovery.hpp"
+#include "discovery/replication.hpp"
 #include "discovery/selectivity.hpp"
 #include "discovery/visit_counter.hpp"
 
@@ -92,6 +93,7 @@ class MaanService final : public DiscoveryService,
   void ResetQueryLoad() override { visit_counts_.Clear(); }
   std::vector<double> OutlinkCounts() const override;
   std::size_t TotalInfoPieces() const override;
+  ReplicationStats ReplicationWork() const override { return repl_.stats(); }
 
   std::size_t WithdrawProvider(NodeAddr provider);
 
@@ -108,6 +110,13 @@ class MaanService final : public DiscoveryService,
   QueryResult QueryPlanned(const resource::MultiQuery& q,
                            QueryScratch& scratch) const;
 
+  /// Unreplicated crash repair: a tuple's two records (attribute + value)
+  /// live on different nodes, so a single crash kills one copy and strands
+  /// its twin. Re-synchronizes the two record sets so QueryPlanned (which
+  /// reads attribute records) and the classic path (value records) keep
+  /// agreeing after failures.
+  void ReconcileTwins(NodeAddr node);
+
   void OnJoin(NodeAddr node, NodeAddr successor) override;
   void OnLeave(NodeAddr node, NodeAddr successor) override;
   void OnFail(NodeAddr node) override;
@@ -122,6 +131,8 @@ class MaanService final : public DiscoveryService,
   std::vector<chord::Key> attr_key_;
   std::vector<LocalityPreservingHash> lph_;
   std::uint64_t epoch_ = 0;
+  /// Handoff work done by the replication protocol (replicas > 1 only).
+  ReplicationRecorder repl_{"MAAN"};
   /// Visits absorbed per node (roots + walk probes); mutable because Query
   /// is const, internally synchronized because the parallel experiment
   /// engine replays queries from many threads.

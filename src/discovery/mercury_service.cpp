@@ -83,6 +83,9 @@ void MercuryService::Maintain() {
 
 void MercuryService::FailNode(NodeAddr addr) {
   for (auto& hub : hubs_) hub->FailNode(addr);
+  // Replicated hubs restore their own attribute's entries from surviving
+  // copies hub by hub; whatever is left on the crashed node dies with it.
+  store_.Drop(addr);
 }
 
 std::uint64_t MercuryService::MaintenanceMessages() const {
@@ -183,16 +186,19 @@ QueryResult MercuryService::Query(const resource::MultiQuery& q,
                    [&](NodeAddr cur) {
                      visit_counts_.Record(cur);
                      const std::size_t matches_before = matches.size();
+                     std::uint64_t replica_hits = 0;
                      const auto* dir = store_.Find(cur);
                      if (dir != nullptr) {
                        dir->ForEachMatch(sub.attr, lo, hi,
                                          [&](const Store::Entry& e) {
                                            matches.push_back(e.info);
+                                           if (e.replica != 0) ++replica_hits;
                                          });
                      }
+                     result.stats.replica_hits += replica_hits;
                      obs::OnDirectoryProbe(
                          cur, matches.size() - matches_before,
-                         dir != nullptr ? dir->size() : 0);
+                         dir != nullptr ? dir->size() : 0, replica_hits);
                    });
     DedupMatches(matches);  // replicas may repeat tuples along the walk
     if (result.stats.failed == failed_before) {
@@ -285,16 +291,21 @@ QueryResult MercuryService::QueryPlanned(const resource::MultiQuery& q,
                        [&](NodeAddr cur) {
                          visit_counts_.Record(cur);
                          const std::size_t matches_before = matches.size();
+                         std::uint64_t replica_hits = 0;
                          const auto* dir = store_.Find(cur);
                          if (dir != nullptr) {
                            dir->ForEachMatch(sub.attr, lo, hi,
                                              [&](const Store::Entry& e) {
                                                matches.push_back(e.info);
+                                               if (e.replica != 0) {
+                                                 ++replica_hits;
+                                               }
                                              });
                          }
+                         result.stats.replica_hits += replica_hits;
                          obs::OnDirectoryProbe(
                              cur, matches.size() - matches_before,
-                             dir != nullptr ? dir->size() : 0);
+                             dir != nullptr ? dir->size() : 0, replica_hits);
                        });
         DedupMatches(matches);  // replicas may repeat tuples along the walk
         if (result.stats.failed == failed_before) {
@@ -371,9 +382,7 @@ std::size_t MercuryService::WithdrawProvider(NodeAddr provider) {
 }
 
 void MercuryService::HubObserver::OnFail(NodeAddr node) {
-  // Fired once per hub; dropping the directory is idempotent.
-  svc_->result_cache_.InvalidateAll();
-  svc_->store_.Drop(node);
+  svc_->HubFail(attr_, node);
 }
 
 void MercuryService::HubObserver::OnJoin(NodeAddr node, NodeAddr successor) {
@@ -386,6 +395,15 @@ void MercuryService::HubObserver::OnLeave(NodeAddr node, NodeAddr successor) {
 
 void MercuryService::HubJoin(AttrId attr, NodeAddr node, NodeAddr successor) {
   result_cache_.InvalidateAll();  // the join re-homed part of some hub arc
+  if (cfg_.replicas > 1) {
+    // Each hub runs the handoff protocol over its own ring, touching only
+    // its own attribute's entries in the shared store.
+    ChordReplicaJoin(hub(attr), store_, cfg_.replicas, node, repl_,
+                     [attr](const Store::Entry& e) {
+                       return e.info.attr == attr;
+                     });
+    return;
+  }
   if (node == successor) return;  // first node of the hub
   const auto& ring = hub(attr);
   auto moved = store_.TakeIf(successor, [&](const Store::Entry& e) {
@@ -396,6 +414,13 @@ void MercuryService::HubJoin(AttrId attr, NodeAddr node, NodeAddr successor) {
 
 void MercuryService::HubLeave(AttrId attr, NodeAddr node, NodeAddr successor) {
   result_cache_.InvalidateAll();
+  if (cfg_.replicas > 1) {
+    ChordReplicaLeave(hub(attr), store_, cfg_.replicas, node, repl_,
+                      [attr](const Store::Entry& e) {
+                        return e.info.attr == attr;
+                      });
+    return;
+  }
   auto moved = store_.TakeIf(node, [&](const Store::Entry& e) {
     return e.info.attr == attr;
   });
@@ -404,6 +429,21 @@ void MercuryService::HubLeave(AttrId attr, NodeAddr node, NodeAddr successor) {
     if (e.replica != 0) continue;  // replicas are rebuilt by the next epoch
     store_.Insert(successor, std::move(e));
   }
+}
+
+void MercuryService::HubFail(AttrId attr, NodeAddr node) {
+  result_cache_.InvalidateAll();
+  if (cfg_.replicas > 1) {
+    // Restore this attribute's lost ranges from their surviving hub copies;
+    // FailNode drops the crashed node's directory after every hub ran.
+    ChordReplicaFail(hub(attr), store_, cfg_.replicas, node, repl_,
+                     [attr](const Store::Entry& e) {
+                       return e.info.attr == attr;
+                     });
+    return;
+  }
+  // Fired once per hub; dropping the directory is idempotent.
+  store_.Drop(node);
 }
 
 }  // namespace lorm::discovery

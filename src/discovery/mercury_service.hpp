@@ -22,6 +22,7 @@
 #include "common/hashing.hpp"
 #include "discovery/directory.hpp"
 #include "discovery/discovery.hpp"
+#include "discovery/replication.hpp"
 #include "discovery/selectivity.hpp"
 #include "discovery/visit_counter.hpp"
 
@@ -82,6 +83,7 @@ class MercuryService final : public DiscoveryService {
   void ResetQueryLoad() override { visit_counts_.Clear(); }
   std::vector<double> OutlinkCounts() const override;
   std::size_t TotalInfoPieces() const override;
+  ReplicationStats ReplicationWork() const override { return repl_.stats(); }
 
   std::size_t WithdrawProvider(NodeAddr provider);
 
@@ -111,6 +113,7 @@ class MercuryService final : public DiscoveryService {
 
   void HubJoin(AttrId attr, NodeAddr node, NodeAddr successor);
   void HubLeave(AttrId attr, NodeAddr node, NodeAddr successor);
+  void HubFail(AttrId attr, NodeAddr node);
 
   const resource::AttributeRegistry& registry_;
   Config cfg_;
@@ -122,6 +125,9 @@ class MercuryService final : public DiscoveryService {
   SelectivityEstimator selectivity_;
   Store store_;
   std::uint64_t epoch_ = 0;
+  /// Handoff work done by the replication protocol (replicas > 1 only),
+  /// summed over all hubs.
+  ReplicationRecorder repl_{"Mercury"};
   /// Visits absorbed per node (roots + walk probes); mutable because Query
   /// is const, internally synchronized because the parallel experiment
   /// engine replays queries from many threads.

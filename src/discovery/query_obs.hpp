@@ -16,7 +16,8 @@ namespace lorm::discovery {
 class QueryInstruments {
  public:
   explicit QueryInstruments(const std::string& system)
-      : hops_(obs::Registry::Global().GetHistogram(
+      : system_(system),
+        hops_(obs::Registry::Global().GetHistogram(
             system + ".query.hops",
             obs::Histogram::LinearBounds(0.0, 1.0, 64))),
         visited_(obs::Registry::Global().GetHistogram(
@@ -36,14 +37,25 @@ class QueryInstruments {
     visited_.RecordUnchecked(static_cast<double>(s.visited_nodes));
     walk_steps_.RecordUnchecked(static_cast<double>(s.walk_steps));
     if (s.failed) failures_.AddUnchecked(1);
+    if (s.replica_hits != 0) {
+      // Interned on first nonzero hit: replica-free runs (replication off)
+      // keep the metrics JSON key set unchanged.
+      if (replica_hits_ == nullptr) {
+        replica_hits_ = &obs::Registry::Global().GetCounter(
+            system_ + ".query.replica_hits");
+      }
+      replica_hits_->AddUnchecked(s.replica_hits);
+    }
   }
 
  private:
+  std::string system_;
   obs::Histogram& hops_;
   obs::Histogram& visited_;
   obs::Histogram& walk_steps_;
   obs::Counter& queries_;
   obs::Counter& failures_;
+  obs::Counter* replica_hits_ = nullptr;  // lazily interned (see Record)
 };
 
 /// Advertise cost under "<system>.advertise.*".

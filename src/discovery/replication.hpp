@@ -1,0 +1,240 @@
+// Successor-list replication with O(Δ) ownership handoff (Chord rings).
+//
+// Placement (Leslie et al., "Reliable Data Storage in DHTs"): every
+// directory entry lives on its key's owner plus the owner's r-1 ring
+// successors, so node x holds exactly the entries whose key falls in its
+// replica arc (id(pred_r(x)), id(x)] — see common/ring_diff.hpp. Advertise
+// already writes that layout (the copy chain walks the owner's
+// successors); the handlers here keep it true across membership changes by
+// diffing each affected node's arc before/after the event and moving only
+// the resulting add/del ring range:
+//
+//   join   — the joiner adopts its arc from its first successor (which
+//            held a superset), and each of its r successors sheds the one
+//            sector its arc no longer covers;
+//   leave  — the departing node's entries each gain one new group member,
+//            the (r-1)-th successor of the key's new owner (the other r-1
+//            holders survive untouched);
+//   crash  — each of the dead node's r nearest live successors lost one
+//            sector of coverage; it is restored synchronously from a
+//            surviving holder of that sector. This models the successor-
+//            list repair a real deployment runs immediately on failure
+//            detection; *routing* repair stays deferred to Maintain(), so
+//            the degraded-phase routing experiments are unchanged.
+//
+// Every handler is a no-op at replicas == 1 (the services keep their
+// legacy primary-only re-homing, byte-identical to the pre-replication
+// code). The `filter` predicate scopes the handoff to the entries a ring
+// is responsible for (Mercury: one attribute hub per ring; SWORD/MAAN:
+// everything). Entry `replica` labels are recomputed on every copy this
+// protocol performs, but copies sitting on untouched nodes may keep a
+// stale label after the group rotates — the label is a best-effort
+// diagnostic (replica_hits accounting); protocol decisions always derive
+// from oracle distance, never from labels.
+//
+// LORM replicates over cyclic cluster successors instead of a global ring;
+// its cluster-local rebuild lives in lorm_service.cpp.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "chord/chord.hpp"
+#include "common/ring_diff.hpp"
+#include "common/types.hpp"
+#include "discovery/directory.hpp"
+#include "discovery/discovery.hpp"
+#include "obs/metrics.hpp"
+
+namespace lorm::discovery {
+
+/// Modeled wire size of one moved directory entry: key + ordinal + epoch +
+/// provider + attr/value payload. Fixed so bytes_moved is a deterministic
+/// multiple of entries_moved.
+inline constexpr std::uint64_t kEntryWireBytes = 48;
+
+/// Accumulates a service's handoff work and mirrors it into the metrics
+/// registry under "<system>.replication.{entries,bytes}_moved". The
+/// counters are interned on the first nonzero move, so runs where the
+/// protocol never fires (replicas == 1) keep the metrics JSON unchanged.
+class ReplicationRecorder {
+ public:
+  explicit ReplicationRecorder(std::string system)
+      : system_(std::move(system)) {}
+
+  void RecordMoved(std::uint64_t entries) {
+    if (entries == 0) return;
+    stats_.entries_moved += entries;
+    stats_.bytes_moved += entries * kEntryWireBytes;
+    if (!obs::MetricsEnabled()) return;
+    if (entries_ == nullptr) {
+      entries_ = &obs::Registry::Global().GetCounter(
+          system_ + ".replication.entries_moved");
+      bytes_ = &obs::Registry::Global().GetCounter(
+          system_ + ".replication.bytes_moved");
+    }
+    entries_->AddUnchecked(entries);
+    bytes_->AddUnchecked(entries * kEntryWireBytes);
+  }
+
+  const ReplicationStats& stats() const { return stats_; }
+
+ private:
+  std::string system_;
+  ReplicationStats stats_;
+  obs::Counter* entries_ = nullptr;  // lazily interned (see class comment)
+  obs::Counter* bytes_ = nullptr;
+};
+
+inline std::size_t LiveCountExcluding(const chord::ChordRing& ring,
+                                      NodeAddr excluded) {
+  const bool present = excluded != kNoNode && ring.Contains(excluded);
+  return ring.size() - (present ? 1 : 0);
+}
+
+/// The node's replica arc at replication depth `depth` (it holds the
+/// sectors of itself and its depth-1 predecessors): (id(pred_depth), id],
+/// or the full ring when fewer than `depth` other members exist. Pass
+/// `excluded` to evaluate the arc as if that member were already gone.
+inline RingRange<chord::Key> ReplicaArc(const chord::ChordRing& ring,
+                                        NodeAddr node, std::size_t depth,
+                                        NodeAddr excluded = kNoNode) {
+  RingRange<chord::Key> arc;
+  arc.hi = ring.IdOf(node);
+  if (depth >= LiveCountExcluding(ring, excluded)) {
+    arc.lo = arc.hi;
+    arc.full = true;
+    return arc;
+  }
+  arc.lo = ring.IdOf(ring.NthOraclePredecessor(node, depth, excluded));
+  return arc;
+}
+
+/// Replica label for a copy at `holder` of a key owned by `owner`: the
+/// oracle distance owner -> holder, 0 when holder is not in the owner's
+/// successor group (a stray copy awaiting shedding).
+inline std::uint8_t ReplicaDistance(const chord::ChordRing& ring,
+                                    NodeAddr owner, NodeAddr holder,
+                                    std::size_t replicas) {
+  NodeAddr cur = owner;
+  for (std::size_t i = 0; i < replicas; ++i) {
+    if (cur == holder) return static_cast<std::uint8_t>(i);
+    cur = ring.NthOracleSuccessor(cur, 1);
+  }
+  return 0;
+}
+
+/// Join handoff. Runs after `node` entered the ownership oracle. The new
+/// node copies its whole arc from its first successor; each of its `r`
+/// successors sheds the del-range its arc no longer covers. Work moved is
+/// O(one replica arc), independent of ring size.
+template <typename Filter>
+void ChordReplicaJoin(const chord::ChordRing& ring,
+                      DirectoryStore<chord::Key>& store, std::size_t replicas,
+                      NodeAddr node, ReplicationRecorder& rec,
+                      Filter&& filter) {
+  const std::size_t count = ring.size();
+  if (replicas < 2 || count <= 1) return;
+  const std::size_t eff = std::min(replicas, count);
+  const RingRange<chord::Key> arc = ReplicaArc(ring, node, eff);
+  const NodeAddr s1 = ring.NthOracleSuccessor(node, 1);
+  if (const auto* dir = store.Find(s1); dir != nullptr) {
+    std::vector<typename Directory<chord::Key>::Entry> gained;
+    dir->ForEach([&](const auto& e) {
+      if (arc.Contains(e.key) && filter(e)) gained.push_back(e);
+    });
+    for (auto& e : gained) {
+      e.replica = ReplicaDistance(ring, ring.OwnerOf(e.key), node, replicas);
+      store.Insert(node, std::move(e));
+    }
+    rec.RecordMoved(gained.size());
+  }
+  const std::size_t old_eff = std::min(replicas, count - 1);
+  NodeAddr t = node;
+  for (std::size_t j = 0; j < eff; ++j) {
+    t = ring.NthOracleSuccessor(t, 1);
+    if (t == node) break;
+    const RingRange<chord::Key> before = ReplicaArc(ring, t, old_eff, node);
+    const RingRange<chord::Key> after = ReplicaArc(ring, t, eff);
+    const RangeDiff<chord::Key> d = DiffSharedHigh(before, after);
+    if (d.type != RangeDiffType::kDel) continue;
+    store.EraseIf(t, [&](const auto& e) {
+      return d.range.Contains(e.key) && filter(e);
+    });
+  }
+}
+
+/// Graceful-leave handoff. Runs while `node` is still in the ownership
+/// oracle. Every entry it held gains exactly one new holder — the last
+/// member of the key's post-departure successor group; the other r-1
+/// holders already have their copies.
+template <typename Filter>
+void ChordReplicaLeave(const chord::ChordRing& ring,
+                       DirectoryStore<chord::Key>& store, std::size_t replicas,
+                       NodeAddr node, ReplicationRecorder& rec,
+                       Filter&& filter) {
+  const std::size_t count = ring.size();  // departing node still counted
+  if (replicas < 2) return;
+  if (count <= replicas) {
+    // Every survivor already holds every entry (all arcs are full-ring);
+    // the departing copies are redundant. Covers the last-node case too.
+    store.EraseIf(node, std::forward<Filter>(filter));
+    return;
+  }
+  auto moved = store.TakeIf(node, std::forward<Filter>(filter));
+  for (auto& e : moved) {
+    const NodeAddr owner = ring.OwnerOfExcluding(e.key, node);
+    const NodeAddr target = ring.NthOracleSuccessor(owner, replicas - 1, node);
+    e.replica = static_cast<std::uint8_t>(replicas - 1);
+    store.Insert(target, std::move(e));
+  }
+  rec.RecordMoved(moved.size());
+}
+
+/// Crash restore. Runs while the dead `node` is still in the ownership
+/// oracle (chord fires OnFail before the oracle erase); all walks exclude
+/// it. Its own copies are gone; each of its r nearest live successors lost
+/// one sector of coverage (its arc's new low end) and re-fetches exactly
+/// that add-range from a surviving holder. With r >= 2 a single crash
+/// loses nothing: the restored sector still has r-1 live copies.
+template <typename Filter>
+void ChordReplicaFail(const chord::ChordRing& ring,
+                      DirectoryStore<chord::Key>& store, std::size_t replicas,
+                      NodeAddr node, ReplicationRecorder& rec,
+                      Filter&& filter) {
+  store.EraseIf(node, filter);  // the crashed copies are lost
+  if (replicas < 2) return;
+  const std::size_t count = ring.size();  // failed node still counted
+  if (count <= 1) return;                 // no survivors
+  if (count <= replicas) return;  // survivors already hold everything
+  NodeAddr t = node;
+  for (std::size_t j = 0; j < replicas; ++j) {
+    t = ring.NthOracleSuccessor(t, 1, node);
+    if (t == node) break;
+    const RingRange<chord::Key> before = ReplicaArc(ring, t, replicas);
+    const RingRange<chord::Key> after = ReplicaArc(ring, t, replicas, node);
+    const RangeDiff<chord::Key> d = DiffSharedHigh(before, after);
+    if (d.type != RangeDiffType::kAdd) continue;
+    // The gained range is exactly one pre-failure sector, whose surviving
+    // holders are t's other group-mates; the owner of its high end
+    // (excluding the dead node) is one of them.
+    const NodeAddr source = ring.OwnerOfExcluding(d.range.hi, node);
+    if (source == t) continue;
+    const auto* dir = store.Find(source);
+    if (dir == nullptr) continue;
+    std::vector<typename Directory<chord::Key>::Entry> gained;
+    dir->ForEach([&](const auto& e) {
+      if (d.range.Contains(e.key) && filter(e)) gained.push_back(e);
+    });
+    for (auto& e : gained) {
+      e.replica = static_cast<std::uint8_t>(replicas - 1);
+      store.Insert(t, std::move(e));
+    }
+    rec.RecordMoved(gained.size());
+  }
+}
+
+}  // namespace lorm::discovery

@@ -123,12 +123,18 @@ struct ClusterWalkState {
   unsigned lo_k = 0;
   std::size_t guard = 0;
   std::size_t steps = 0;
+  /// Replica-fallback mode (replicated LORM): a leaf-set successor pointing
+  /// at a crashed member advances to the next *live* cluster member via the
+  /// oracle instead of abandoning the walk — the survivor holds a replica
+  /// of the dead node's sector, so coverage is preserved.
+  bool live_fallback = false;
   bool done = false;
 };
 
 inline void ClusterWalkBegin(const cycloid::CycloidNetwork& net, NodeAddr root,
                              cycloid::CycloidId key_lo,
-                             cycloid::CycloidId key_hi, ClusterWalkState& st) {
+                             cycloid::CycloidId key_hi, ClusterWalkState& st,
+                             bool live_fallback = false) {
   const unsigned d = net.dimension();
   st.cur = root;
   st.root = root;
@@ -136,6 +142,7 @@ inline void ClusterWalkBegin(const cycloid::CycloidNetwork& net, NodeAddr root,
   st.lo_k = key_lo.k;
   st.guard = d + 2;
   st.steps = 0;
+  st.live_fallback = live_fallback;
   st.done = false;
 }
 
@@ -149,15 +156,25 @@ inline bool ClusterWalkAdvance(const cycloid::CycloidNetwork& net,
     st.done = true;
     return false;
   }
-  const NodeAddr next = net.InsideSuccessor(st.cur);
+  NodeAddr next = net.InsideSuccessor(st.cur);
   if (next == st.root) {
     st.done = true;
     return false;
   }
   if (!net.Contains(next)) {
-    stats.failed = true;
-    st.done = true;
-    return false;
+    if (!st.live_fallback) {
+      stats.failed = true;
+      st.done = true;
+      return false;
+    }
+    // The leaf-set pointer leads to a crashed member: forward to the next
+    // live cluster member instead — it holds a replica of the dead node's
+    // sector.
+    next = net.ClusterSuccessorOf(st.cur);
+    if (next == st.root || next == st.cur) {
+      st.done = true;
+      return false;
+    }
   }
   LORM_CHECK_MSG(st.steps < st.guard, "cluster walk failed to terminate");
   ++st.steps;

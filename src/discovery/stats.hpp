@@ -20,6 +20,10 @@ struct QueryStats {
   HopCount dht_hops = 0;         ///< total routing hops across all lookups
   std::size_t visited_nodes = 0; ///< directory-checking nodes (roots + walks)
   std::size_t walk_steps = 0;    ///< range-walk forwards (visited minus roots)
+  /// Matches served from replica copies (entry.replica != 0) instead of the
+  /// primary — nonzero only with replication on, after churn rotated a
+  /// group or a walk fell back to a surviving holder.
+  std::uint64_t replica_hits = 0;
   bool failed = false;           ///< any sub-lookup failed to route
   /// Message-path length of each sub-query (its lookup hops + walk
   /// forwards). Sub-queries run in parallel, so a query's end-to-end
@@ -32,6 +36,7 @@ struct QueryStats {
     dht_hops += o.dht_hops;
     visited_nodes += o.visited_nodes;
     walk_steps += o.walk_steps;
+    replica_hits += o.replica_hits;
     failed = failed || o.failed;
     sub_costs.insert(sub_costs.end(), o.sub_costs.begin(), o.sub_costs.end());
     return *this;

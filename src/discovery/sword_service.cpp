@@ -134,13 +134,16 @@ QueryResult SwordService::Query(const resource::MultiQuery& q,
     result.stats.visited_nodes += 1;
     visit_counts_.Record(res.owner);
     const auto* dir = store_.Find(res.owner);
+    std::uint64_t replica_hits = 0;
     if (dir != nullptr) {
       dir->ForEachMatch(sub.attr, lo, hi, [&](const Store::Entry& e) {
         matches.push_back(e.info);
+        if (e.replica != 0) ++replica_hits;
       });
     }
+    result.stats.replica_hits += replica_hits;
     obs::OnDirectoryProbe(res.owner, matches.size(),
-                          dir != nullptr ? dir->size() : 0);
+                          dir != nullptr ? dir->size() : 0, replica_hits);
     DedupMatches(matches);  // a replica can share the root after churn
     if (result.stats.failed == failed_before) {
       // Only fully resolved sub-queries are cacheable; a truncated
@@ -226,13 +229,16 @@ QueryResult SwordService::QueryPlanned(const resource::MultiQuery& q,
         result.stats.visited_nodes += 1;
         visit_counts_.Record(res.owner);
         const auto* dir = store_.Find(res.owner);
+        std::uint64_t replica_hits = 0;
         if (dir != nullptr) {
           dir->ForEachMatch(sub.attr, lo, hi, [&](const Store::Entry& e) {
             matches.push_back(e.info);
+            if (e.replica != 0) ++replica_hits;
           });
         }
+        result.stats.replica_hits += replica_hits;
         obs::OnDirectoryProbe(res.owner, matches.size(),
-                              dir != nullptr ? dir->size() : 0);
+                              dir != nullptr ? dir->size() : 0, replica_hits);
         DedupMatches(matches);
         if (result.stats.failed == failed_before) {
           result_cache_.Store(sub.attr, lo, hi, matches);
@@ -305,8 +311,16 @@ std::size_t SwordService::WithdrawProvider(NodeAddr provider) {
   return store_.EraseProviderEverywhere(provider);
 }
 
+namespace {
+constexpr auto kAllEntries = [](const auto&) { return true; };
+}  // namespace
+
 void SwordService::OnJoin(NodeAddr node, NodeAddr successor) {
   result_cache_.InvalidateAll();  // the join re-homed part of some arc
+  if (cfg_.replicas > 1) {
+    ChordReplicaJoin(ring_, store_, cfg_.replicas, node, repl_, kAllEntries);
+    return;
+  }
   if (node == successor) return;
   auto moved = store_.TakeIf(successor, [&](const Store::Entry& e) {
     return e.replica == 0 && ring_.Owns(node, e.key);
@@ -316,11 +330,19 @@ void SwordService::OnJoin(NodeAddr node, NodeAddr successor) {
 
 void SwordService::OnFail(NodeAddr node) {
   result_cache_.InvalidateAll();
-  store_.Drop(node);  // nothing survives; no need to materialize the entries
+  if (cfg_.replicas > 1) {
+    ChordReplicaFail(ring_, store_, cfg_.replicas, node, repl_, kAllEntries);
+  }
+  store_.Drop(node);  // the crashed node's copies do not survive
 }
 
 void SwordService::OnLeave(NodeAddr node, NodeAddr successor) {
   result_cache_.InvalidateAll();
+  if (cfg_.replicas > 1) {
+    ChordReplicaLeave(ring_, store_, cfg_.replicas, node, repl_, kAllEntries);
+    store_.Drop(node);
+    return;
+  }
   auto orphaned = store_.TakeAll(node);
   store_.Drop(node);
   if (successor == kNoNode) return;  // last node: information is lost

@@ -18,6 +18,7 @@
 #include "common/hashing.hpp"
 #include "discovery/directory.hpp"
 #include "discovery/discovery.hpp"
+#include "discovery/replication.hpp"
 #include "discovery/selectivity.hpp"
 #include "discovery/visit_counter.hpp"
 
@@ -79,6 +80,7 @@ class SwordService final : public DiscoveryService,
   void ResetQueryLoad() override { visit_counts_.Clear(); }
   std::vector<double> OutlinkCounts() const override;
   std::size_t TotalInfoPieces() const override;
+  ReplicationStats ReplicationWork() const override { return repl_.stats(); }
 
   std::size_t WithdrawProvider(NodeAddr provider);
 
@@ -108,6 +110,8 @@ class SwordService final : public DiscoveryService,
   Store store_;
   std::vector<chord::Key> attr_key_;
   std::uint64_t epoch_ = 0;
+  /// Handoff work done by the replication protocol (replicas > 1 only).
+  ReplicationRecorder repl_{"SWORD"};
   /// Visits absorbed per node (roots + walk probes); mutable because Query
   /// is const, internally synchronized because the parallel experiment
   /// engine replays queries from many threads.

@@ -199,6 +199,7 @@ bool ParseProbe(Cursor& c, ProbeTrace& p) {
   p.node = static_cast<NodeAddr>(node);
   if (!c.Key("hits") || !c.U64(p.hits)) return false;
   if (!c.Key("dir_size") || !c.U64(p.dir_size)) return false;
+  if (!c.OptionalU64Key("replica_hits", p.replica_hits)) return false;
   return c.Literal("}");
 }
 

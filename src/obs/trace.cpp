@@ -104,7 +104,7 @@ void OnLookup(const std::vector<NodeAddr>& path, HopCount hops, bool ok,
 }
 
 void OnDirectoryProbe(NodeAddr node, std::uint64_t hits,
-                      std::uint64_t dir_size) {
+                      std::uint64_t dir_size, std::uint64_t replica_hits) {
   if (MetricsEnabled()) {
     static Histogram& size_h = Registry::Global().GetHistogram(
         "directory.probe_size", Histogram::ExponentialBounds(1.0, 16));
@@ -120,6 +120,7 @@ void OnDirectoryProbe(NodeAddr node, std::uint64_t hits,
   p.node = node;
   p.hits = hits;
   p.dir_size = dir_size;
+  p.replica_hits = replica_hits;
 }
 
 void OnPlanOrder(const std::uint32_t* order, std::size_t count) {
@@ -211,7 +212,10 @@ void JsonLinesTraceSink::WriteJson(std::ostream& os, const QueryTrace& trace) {
       const ProbeTrace& p = sub.probes[i];
       if (i) os << ",";
       os << "{\"node\":" << p.node << ",\"hits\":" << p.hits
-         << ",\"dir_size\":" << p.dir_size << "}";
+         << ",\"dir_size\":" << p.dir_size;
+      // Omitted when zero: r=1 traces keep the pre-replication wire format.
+      if (p.replica_hits != 0) os << ",\"replica_hits\":" << p.replica_hits;
+      os << "}";
     }
     os << "]";
     // Omitted when negative (planner off).

@@ -49,6 +49,10 @@ struct ProbeTrace {
   NodeAddr node = kNoNode;
   std::uint64_t hits = 0;      ///< matching entries found at this node
   std::uint64_t dir_size = 0;  ///< entries stored at this node when probed
+  /// Of `hits`, how many were served from replica copies (entry labels
+  /// != 0). Zero with replication off, and the wire format omits the key
+  /// then, so r=1 trace files are byte-identical to pre-replication builds.
+  std::uint64_t replica_hits = 0;
 };
 
 struct SubQueryTrace {
@@ -197,7 +201,10 @@ void OnLookup(const std::vector<NodeAddr>& path, HopCount hops, bool ok,
               std::uint64_t cache_hits = 0);
 
 /// Records one directory probe (called by the services per visited node).
-void OnDirectoryProbe(NodeAddr node, std::uint64_t hits, std::uint64_t dir_size);
+/// `replica_hits` counts the matches served from replica copies (0 with
+/// replication off).
+void OnDirectoryProbe(NodeAddr node, std::uint64_t hits, std::uint64_t dir_size,
+                      std::uint64_t replica_hits = 0);
 
 /// Records the planner's chosen sub-query execution order (`--plan` only;
 /// never called on the classic path, keeping plan-off traces byte-identical).

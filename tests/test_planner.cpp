@@ -55,32 +55,38 @@ const discovery::SelectivityEstimator& EstimatorOf(
   }
 }
 
-/// Graceful churn applied identically to both twins: a wave of leaves frees
-/// overlay positions (LORM's Cycloid starts full at the Small scale), then
-/// fresh addresses join and everything restabilizes. No FailNode: MAAN's
-/// dominated-query resolution reads attribute records where the classic path
-/// reads value records, and a crash can lose one copy but not the other —
-/// graceful re-homing keeps both record sets complete, crashes are the
-/// robustness benches' territory.
-void ApplyChurn(discovery::DiscoveryService& s, std::size_t n) {
+/// Churn applied identically to both twins: a wave of leaves frees overlay
+/// positions (LORM's Cycloid starts full at the Small scale), then fresh
+/// addresses join and everything restabilizes. With `crashes` a FailNode
+/// wave follows: MAAN's crash-time twin reconciliation (and, replicated,
+/// the successor-list restore protocol) keeps the attribute-keyed and
+/// value-keyed record sets in lockstep, so planned and classic resolution
+/// must agree even after abrupt failures.
+void ApplyChurn(discovery::DiscoveryService& s, std::size_t n, bool crashes) {
   for (NodeAddr a = 3; a < 45; a += 7) s.LeaveNode(a);
   s.Maintain();
   for (NodeAddr a = 0; a < 3; ++a) {
     s.JoinNode(static_cast<NodeAddr>(n + a));
   }
   s.Maintain();
+  if (crashes) {
+    for (NodeAddr a = 50; a < 92; a += 7) s.FailNode(a);
+    s.Maintain();
+  }
 }
 
-void ExpectPlannerEquivalent(SystemKind kind, bool cache, bool churn) {
+void ExpectPlannerEquivalent(SystemKind kind, bool cache, bool churn,
+                             bool crashes = false, std::size_t replicas = 1) {
   harness::Setup setup_off = harness::Setup::Small();
   setup_off.cache = cache;
+  setup_off.replicas = replicas;
   harness::Setup setup_on = setup_off;
   setup_on.plan = true;
   auto off = MakeBed(kind, setup_off);
   auto on = MakeBed(kind, setup_on);
   if (churn) {
-    ApplyChurn(*off.service, setup_off.nodes);
-    ApplyChurn(*on.service, setup_on.nodes);
+    ApplyChurn(*off.service, setup_off.nodes, crashes);
+    ApplyChurn(*on.service, setup_on.nodes, crashes);
     ASSERT_EQ(off.service->Nodes(), on.service->Nodes());
   }
 
@@ -92,7 +98,8 @@ void ExpectPlannerEquivalent(SystemKind kind, bool cache, bool churn) {
 
   const auto nodes = off.service->Nodes();
   Rng rng(0xD15C0FE2ull + static_cast<std::uint64_t>(kind) * 977 +
-          (cache ? 31 : 0) + (churn ? 17 : 0));
+          (cache ? 31 : 0) + (churn ? 17 : 0) + (crashes ? 131 : 0) +
+          replicas * 7);
   discovery::QueryScratch s_off, s_on;
   for (int i = 0; i < 60; ++i) {
     const NodeAddr requester = nodes[rng.NextBelow(nodes.size())];
@@ -137,6 +144,32 @@ TEST(PlannerEquivalence, AllSystemsWithResultCache) {
 TEST(PlannerEquivalence, AllSystemsUnderGracefulChurn) {
   for (const auto kind : harness::AllSystems()) {
     ExpectPlannerEquivalent(kind, /*cache=*/false, /*churn=*/true);
+  }
+}
+
+// The crash-churn coverage below was impossible before MAAN reconciled its
+// attribute-keyed and value-keyed record copies at crash time: a FailNode
+// could strand one copy of a tuple, so planned resolution (attribute
+// records) and classic resolution (value records) disagreed.
+
+TEST(PlannerEquivalence, AllSystemsUnderCrashChurn) {
+  for (const auto kind : harness::AllSystems()) {
+    ExpectPlannerEquivalent(kind, /*cache=*/false, /*churn=*/true,
+                            /*crashes=*/true);
+  }
+}
+
+TEST(PlannerEquivalence, AllSystemsUnderCrashChurnWithResultCache) {
+  for (const auto kind : harness::AllSystems()) {
+    ExpectPlannerEquivalent(kind, /*cache=*/true, /*churn=*/true,
+                            /*crashes=*/true);
+  }
+}
+
+TEST(PlannerEquivalence, AllSystemsReplicatedUnderCrashChurn) {
+  for (const auto kind : harness::AllSystems()) {
+    ExpectPlannerEquivalent(kind, /*cache=*/false, /*churn=*/true,
+                            /*crashes=*/true, /*replicas=*/3);
   }
 }
 

@@ -2,6 +2,7 @@
 // resilience without re-advertisement, and churn hygiene.
 #include <gtest/gtest.h>
 
+#include "discovery/replication.hpp"
 #include "harness/failures.hpp"
 #include "service_test_util.hpp"
 
@@ -130,6 +131,167 @@ TEST(ReplicationRecovery, HigherFactorRaisesDegradedRecall) {
     EXPECT_DOUBLE_EQ(result.recovered.recall, 1.0);
   }
   EXPECT_GT(recall_by_factor[3], recall_by_factor[1] + 0.1);
+}
+
+TEST(ReplicationHandoff, SingleJoinMovesOnlyTheRingDelta) {
+  // The O(Δ) property: one join hands the joiner its replica arc — a small
+  // contiguous slice — where a naive rebuild would re-scan every stored
+  // copy. Mercury and MAAN spread keys across the whole ring, so a random
+  // joiner's arc is guaranteed non-empty; SWORD (m attribute hashes) and
+  // LORM (cluster-local keys) may legitimately move nothing.
+  for (const auto kind : {SystemKind::kMercury, SystemKind::kMaan,
+                          SystemKind::kSword, SystemKind::kLorm}) {
+    auto bed = MakeReplicated(kind, 3);
+    const std::size_t stored = bed.service->TotalInfoPieces();
+    std::uint64_t total_moved = 0;
+    auto before = bed.service->ReplicationWork();
+    for (const NodeAddr joiner : {7, 11, 23, 38, 57}) {
+      bed.service->JoinNode(static_cast<NodeAddr>(bed.setup.nodes + joiner));
+      const auto after = bed.service->ReplicationWork();
+      const std::uint64_t moved = after.entries_moved - before.entries_moved;
+      EXPECT_LT(moved, stored / 8)
+          << bed.service->name() << ": a join re-homed a full-scan's worth";
+      // Wire accounting is per-entry.
+      EXPECT_EQ(after.bytes_moved - before.bytes_moved,
+                moved * discovery::kEntryWireBytes)
+          << bed.service->name();
+      total_moved += moved;
+      before = after;
+    }
+    if (kind == SystemKind::kMercury || kind == SystemKind::kMaan) {
+      EXPECT_GT(total_moved, 0u) << bed.service->name();
+    }
+  }
+}
+
+TEST(ReplicationHandoff, ProtocolIsInertAtFactorOne) {
+  for (const auto kind : {SystemKind::kLorm, SystemKind::kMercury,
+                          SystemKind::kSword, SystemKind::kMaan}) {
+    auto bed = MakeReplicated(kind, 1);
+    bed.service->JoinNode(static_cast<NodeAddr>(bed.setup.nodes + 7));
+    bed.service->LeaveNode(3);
+    bed.service->FailNode(9);
+    bed.service->Maintain();
+    const auto work = bed.service->ReplicationWork();
+    EXPECT_EQ(work.entries_moved, 0u) << bed.service->name();
+    EXPECT_EQ(work.bytes_moved, 0u) << bed.service->name();
+  }
+}
+
+TEST_P(ReplicationPerSystem, HandoffKeepsResultCacheFresh) {
+  // A cached answer must never outlive a handoff: join/leave/crash each
+  // re-home entries, and a stale cache line would surface providers that
+  // brute force (restricted to live members) no longer admits.
+  auto setup = Setup::Small();
+  setup.replicas = 2;
+  setup.cache = true;
+  auto bed = MakeBed(GetParam(), setup);
+  Rng rng(31);
+  std::vector<resource::MultiQuery> queries;
+  for (int i = 0; i < 10; ++i) {
+    const NodeAddr req = static_cast<NodeAddr>(rng.NextBelow(setup.nodes));
+    queries.push_back(
+        bed.workload->MakeRangeQuery(2, req, RangeStyle::kBounded, rng));
+  }
+  for (const auto& q : queries) {
+    // Fill the cache and sanity-check the pre-churn answers.
+    ASSERT_EQ(bed.service->Query(q).providers,
+              BruteForceProviders(bed.infos, q, *bed.service));
+  }
+  bed.service->JoinNode(static_cast<NodeAddr>(setup.nodes + 100));
+  bed.service->LeaveNode(17);
+  bed.service->FailNode(42);
+  bed.service->Maintain();
+  for (const auto& q : queries) {
+    EXPECT_EQ(bed.service->Query(q).providers,
+              BruteForceProviders(bed.infos, q, *bed.service))
+        << bed.service->name() << ": stale providers served across handoff";
+  }
+}
+
+TEST(ReplicationFallback, ReadsSurviveFailFractionsUpToOne) {
+  // Chord-based systems at r=3 restore full coverage after every crash in
+  // the sequence (each crash loses at most one copy per entry, re-fetched
+  // from a surviving holder), so even fail_fraction = 1.0 — everything but
+  // one node — leaves the repaired-phase recall at 1. LORM is exempt: its
+  // replicas cannot cross the cubical dimension, so whole-cluster crashes
+  // still lose data (that curve is the robustness_replication bench's).
+  for (const auto kind : {SystemKind::kMercury, SystemKind::kSword,
+                          SystemKind::kMaan}) {
+    for (const double fraction : {0.5, 1.0}) {
+      auto bed = MakeReplicated(kind, 3);
+      FailureConfig cfg;
+      cfg.fail_fraction = fraction;
+      cfg.queries = 30;
+      cfg.attrs_per_query = 2;
+      cfg.seed = 0xFA11;
+      const auto result =
+          RunFailureExperiment(*bed.service, *bed.workload, bed.infos, cfg);
+      EXPECT_GE(result.repaired.recall, 0.999)
+          << bed.service->name() << " fraction " << fraction;
+    }
+  }
+}
+
+TEST(ReplicationHandoff, ConcurrentReadsAfterHandoffAreDeterministic) {
+  // Handoff mutates directories; the parallel query engine replays from
+  // many threads afterwards. Run under TSan in CI: sharded replay over the
+  // re-homed stores must stay bit-identical to serial.
+  for (const auto kind : {SystemKind::kMercury, SystemKind::kMaan}) {
+    auto bed = MakeReplicated(kind, 3);
+    bed.service->JoinNode(static_cast<NodeAddr>(bed.setup.nodes + 100));
+    bed.service->FailNode(42);
+    bed.service->LeaveNode(17);
+    bed.service->Maintain();
+    QueryExperimentConfig cfg;
+    cfg.requesters = 8;
+    cfg.queries_per_requester = 4;
+    cfg.attrs_per_query = 2;
+    cfg.range = true;
+    cfg.jobs = 1;
+    const auto serial = RunQueries(*bed.service, *bed.workload, cfg);
+    cfg.jobs = 4;
+    const auto parallel = RunQueries(*bed.service, *bed.workload, cfg);
+    EXPECT_EQ(serial.total_hops, parallel.total_hops);
+    EXPECT_EQ(serial.total_visited, parallel.total_visited);
+    EXPECT_EQ(serial.avg_matches, parallel.avg_matches);
+    EXPECT_EQ(serial.failures, parallel.failures);
+  }
+}
+
+TEST(MaanCrashReconciliation, PlannedAndClassicAgreeAfterCrashes) {
+  // Headline bugfix regression: MAAN stores each tuple twice (value-keyed
+  // for the classic walk, attribute-keyed for the planner's dominated-query
+  // read), and before twin reconciliation a crash could lose one copy but
+  // not the other, splitting the two record sets permanently. Crash a wave
+  // at r=1 and require the two resolution paths to agree exactly.
+  auto setup = Setup::Small();
+  auto planned_setup = setup;
+  planned_setup.plan = true;
+  auto classic = MakeBed(SystemKind::kMaan, setup);
+  auto planned = MakeBed(SystemKind::kMaan, planned_setup);
+  for (NodeAddr a = 10; a < 120; a += 11) {
+    classic.service->FailNode(a);
+    planned.service->FailNode(a);
+  }
+  classic.service->Maintain();
+  planned.service->Maintain();
+  // Reconciliation keeps the stores themselves in lockstep, not just the
+  // answers: both beds lost exactly the same records.
+  EXPECT_EQ(classic.service->TotalInfoPieces(),
+            planned.service->TotalInfoPieces());
+  Rng rng(0x7717);
+  const auto nodes = classic.service->Nodes();
+  for (int i = 0; i < 40; ++i) {
+    const NodeAddr req = nodes[rng.NextBelow(nodes.size())];
+    const auto q = i % 3 == 0
+                       ? classic.workload->MakePointQuery(2, req, rng)
+                       : classic.workload->MakeRangeQuery(
+                             2, req, RangeStyle::kBounded, rng);
+    EXPECT_EQ(classic.service->Query(q).providers,
+              planned.service->Query(q).providers)
+        << "query " << i;
+  }
 }
 
 TEST(ReplicationEpochs, ExpiryAppliesToReplicasToo) {

@@ -1,0 +1,160 @@
+// Unit coverage for the ring-range algebra behind O(Δ) replica handoff
+// (common/ring_diff.hpp). The discovery services rely on two properties:
+// Contains implements the modular (lo, hi] ownership convention exactly,
+// and DiffSharedHigh of a node's replica arc before/after one membership
+// event is always a single add- or del-range (never a scattered set).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "common/ring_diff.hpp"
+
+namespace lorm {
+namespace {
+
+using Range = RingRange<std::uint64_t>;
+
+TEST(RingRange, ProperArcIsHalfOpenClosed) {
+  const Range r{10, 20, false};
+  EXPECT_FALSE(r.Contains(10));  // lo excluded
+  EXPECT_TRUE(r.Contains(11));
+  EXPECT_TRUE(r.Contains(20));  // hi included
+  EXPECT_FALSE(r.Contains(21));
+  EXPECT_FALSE(r.Contains(0));
+}
+
+TEST(RingRange, WrappedArcCoversBothEnds) {
+  const Range r{500, 20, false};  // (500, 20] across zero
+  EXPECT_TRUE(r.Contains(501));
+  EXPECT_TRUE(r.Contains(std::uint64_t{0} - 1));  // max key
+  EXPECT_TRUE(r.Contains(0));
+  EXPECT_TRUE(r.Contains(20));
+  EXPECT_FALSE(r.Contains(500));
+  EXPECT_FALSE(r.Contains(21));
+  EXPECT_FALSE(r.Contains(250));
+}
+
+TEST(RingRange, DegenerateAndFullArcs) {
+  const Range empty{42, 42, false};
+  EXPECT_FALSE(empty.Contains(42));
+  EXPECT_FALSE(empty.Contains(0));
+  const Range full{42, 42, true};
+  EXPECT_TRUE(full.Contains(42));
+  EXPECT_TRUE(full.Contains(0));
+  EXPECT_TRUE(full.Contains(7777));
+}
+
+TEST(DiffSharedHigh, UnchangedArcDiffsToNone) {
+  const Range arc{10, 90, false};
+  EXPECT_EQ(DiffSharedHigh(arc, arc).type, RangeDiffType::kNone);
+  const Range full{10, 90, true};
+  EXPECT_EQ(DiffSharedHigh(full, full).type, RangeDiffType::kNone);
+}
+
+TEST(DiffSharedHigh, JoinShrinksArcIntoDelRange) {
+  // A joiner lands inside (10, 90]: the node sheds (10, 40] to it.
+  const Range before{10, 90, false};
+  const Range after{40, 90, false};
+  const auto d = DiffSharedHigh(before, after);
+  ASSERT_EQ(d.type, RangeDiffType::kDel);
+  EXPECT_EQ(d.range.lo, 10u);
+  EXPECT_EQ(d.range.hi, 40u);
+  EXPECT_FALSE(d.range.full);
+  // The shed range is exactly before minus after.
+  EXPECT_TRUE(before.Contains(25));
+  EXPECT_FALSE(after.Contains(25));
+  EXPECT_TRUE(d.range.Contains(25));
+  EXPECT_FALSE(d.range.Contains(50));
+}
+
+TEST(DiffSharedHigh, DepartureGrowsArcIntoAddRange) {
+  // A predecessor left: the low boundary retreats from 40 back to 10, and
+  // the node fetches (10, 40] from a surviving holder.
+  const Range before{40, 90, false};
+  const Range after{10, 90, false};
+  const auto d = DiffSharedHigh(before, after);
+  ASSERT_EQ(d.type, RangeDiffType::kAdd);
+  EXPECT_EQ(d.range.lo, 10u);
+  EXPECT_EQ(d.range.hi, 40u);
+}
+
+TEST(DiffSharedHigh, WrappedBoundaryMovesStayOneRange) {
+  // Arcs crossing zero: the same shrink/grow logic must hold modularly.
+  const Range before{900, 30, false};  // wrapped
+  const Range after{980, 30, false};   // joiner at 980 took (900, 980]
+  const auto shrink = DiffSharedHigh(before, after);
+  ASSERT_EQ(shrink.type, RangeDiffType::kDel);
+  EXPECT_EQ(shrink.range.lo, 900u);
+  EXPECT_EQ(shrink.range.hi, 980u);
+
+  const auto grow = DiffSharedHigh(after, before);
+  ASSERT_EQ(grow.type, RangeDiffType::kAdd);
+  EXPECT_EQ(grow.range.lo, 900u);
+  EXPECT_EQ(grow.range.hi, 980u);
+
+  // Low boundary crossing zero itself: (1000, 30] -> (20, 30].
+  const Range tight{20, 30, false};
+  const auto shed = DiffSharedHigh(before, tight);
+  ASSERT_EQ(shed.type, RangeDiffType::kDel);
+  EXPECT_EQ(shed.range.lo, 900u);
+  EXPECT_EQ(shed.range.hi, 20u);
+  EXPECT_TRUE(shed.range.Contains(0));  // the shed range wraps
+}
+
+TEST(DiffSharedHigh, FullRingTransitions) {
+  // Ring shrank to <= r members: the arc becomes everything, and the node
+  // gains the complement of what it already held, i.e. (hi, old_lo].
+  const Range proper{40, 90, false};
+  const Range full{40, 90, true};
+  const auto gain = DiffSharedHigh(proper, full);
+  ASSERT_EQ(gain.type, RangeDiffType::kAdd);
+  EXPECT_EQ(gain.range.lo, 90u);
+  EXPECT_EQ(gain.range.hi, 40u);
+  EXPECT_FALSE(gain.range.full);
+  EXPECT_TRUE(gain.range.Contains(100));  // outside the old proper arc
+  EXPECT_FALSE(gain.range.Contains(50));  // already held
+
+  // Enough joins to leave the <= r regime: shed the same complement.
+  const Range narrower{55, 90, false};
+  const auto shed = DiffSharedHigh(full, narrower);
+  ASSERT_EQ(shed.type, RangeDiffType::kDel);
+  EXPECT_EQ(shed.range.lo, 90u);
+  EXPECT_EQ(shed.range.hi, 55u);
+  EXPECT_TRUE(shed.range.Contains(40));
+  EXPECT_FALSE(shed.range.Contains(70));  // still covered afterwards
+}
+
+TEST(DiffSharedHigh, DiffRangePartitionsTheArcChange) {
+  // Exhaustive small-ring sweep: over a 32-key ring, for every pair of
+  // proper arcs sharing hi, the diff range must contain exactly the keys
+  // whose membership changed, with kAdd/kDel matching the direction.
+  constexpr std::uint64_t kRing = 32;
+  const std::uint64_t hi = 13;
+  for (std::uint64_t lo_b = 0; lo_b < kRing; ++lo_b) {
+    for (std::uint64_t lo_a = 0; lo_a < kRing; ++lo_a) {
+      const Range before{lo_b, hi, false};
+      const Range after{lo_a, hi, false};
+      const auto d = DiffSharedHigh(before, after);
+      for (std::uint64_t k = 0; k < kRing; ++k) {
+        const bool was = before.Contains(k);
+        const bool now = after.Contains(k);
+        const bool in_diff =
+            d.type != RangeDiffType::kNone && d.range.Contains(k);
+        if (was == now) {
+          EXPECT_FALSE(in_diff)
+              << "key " << k << " unchanged but in diff, lo " << lo_b
+              << " -> " << lo_a;
+        } else {
+          EXPECT_TRUE(in_diff) << "key " << k << " changed but missed, lo "
+                               << lo_b << " -> " << lo_a;
+          EXPECT_EQ(d.type,
+                    now ? RangeDiffType::kAdd : RangeDiffType::kDel)
+              << "key " << k << ", lo " << lo_b << " -> " << lo_a;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace lorm
