@@ -44,9 +44,12 @@ int main(int argc, char** argv) {
       cfg.range = true;
       cfg.style = resource::RangeStyle::kBounded;
       cfg.seed = 0xF16B + static_cast<std::uint64_t>(rate * 10);
+      const auto sampler = bench::MakeTimelineSampler(opt, 5.0);
+      cfg.timeline = sampler.get();
       results[kind] = harness::RunChurn(
           *service, workload, static_cast<NodeAddr>(setup.nodes) + 1, cfg);
       failures += results[kind].failures;
+      if (sampler != nullptr) bench::WriteTimeline(opt, *sampler);
     }
     table.Row(
         {harness::TablePrinter::Num(rate, 1),

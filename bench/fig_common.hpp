@@ -23,7 +23,9 @@
 #include "harness/setup.hpp"
 #include "harness/table.hpp"
 #include "obs/analyze.hpp"
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
+#include "obs/timeline.hpp"
 #include "obs/trace.hpp"
 
 namespace lorm::bench {
@@ -43,6 +45,16 @@ struct BenchOptions {
   std::string metrics_file;      ///< --metrics=<file>: write JSON there
   std::string trace_file;        ///< --trace=<file>: per-query JSON lines
   bool analyze = false;          ///< --analyze: post-hoc trace report at exit
+  /// --timeline[=<file>]: sim-time-bucketed telemetry (dynamic benches
+  /// only). Empty file = print the JSONL to stdout.
+  bool timeline = false;
+  std::string timeline_file;
+  double timeline_window = 0;    ///< --timeline-window=<s>; 0 = bench default
+  /// --flight[=<file>]: enable the protocol flight recorder. With a file
+  /// the ring is dumped there at exit; without one it is only dumped on a
+  /// detected anomaly (--analyze path).
+  bool flight = false;
+  std::string flight_file;
   std::chrono::steady_clock::time_point start;  ///< bench wall-clock origin
 };
 
@@ -85,6 +97,20 @@ inline BenchOptions ParseOptions(int argc, char** argv) {
     }
     if (std::strncmp(argv[i], "--trace=", 8) == 0) opt.trace_file = argv[i] + 8;
     if (std::strcmp(argv[i], "--analyze") == 0) opt.analyze = true;
+    if (std::strcmp(argv[i], "--timeline") == 0) opt.timeline = true;
+    if (std::strncmp(argv[i], "--timeline=", 11) == 0) {
+      opt.timeline = true;
+      opt.timeline_file = argv[i] + 11;
+    }
+    if (std::strncmp(argv[i], "--timeline-window=", 18) == 0) {
+      opt.timeline = true;
+      opt.timeline_window = std::strtod(argv[i] + 18, nullptr);
+    }
+    if (std::strcmp(argv[i], "--flight") == 0) opt.flight = true;
+    if (std::strncmp(argv[i], "--flight=", 9) == 0) {
+      opt.flight = true;
+      opt.flight_file = argv[i] + 9;
+    }
     if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
       opt.jobs = ResolveJobs(
           static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10)));
@@ -102,6 +128,7 @@ inline BenchOptions ParseOptions(int argc, char** argv) {
   }
   harness::TablePrinter::SetCsvMode(opt.csv);
   if (opt.metrics) obs::SetMetricsEnabled(true);
+  if (opt.flight) obs::SetFlightEnabled(true);
   if (!opt.trace_file.empty()) {
     detail::TraceStream().open(opt.trace_file);
     if (!detail::TraceStream()) {
@@ -190,12 +217,62 @@ inline void FinishBench(const BenchOptions& opt, const std::string& name,
           obs::AnalyzeTraces(detail::AnalyzeSinkSlot()->Take());
       std::cout << "\n";
       obs::RenderReport(std::cout, report);
+      if (opt.flight && !report.anomalies.empty()) {
+        // Every detected anomaly ships with the flight recorder's view of
+        // the protocol events that led up to it.
+        std::cout << "\nflight recorder (dumped on anomaly):\n";
+        obs::DumpFlightOnAnomaly(report, std::cout);
+      }
     }
     detail::TeeSinkSlot().reset();
     detail::AnalyzeSinkSlot().reset();
     detail::TraceSinkSlot().reset();
     detail::TraceStream().close();
   }
+  if (opt.flight && !opt.flight_file.empty()) {
+    std::ofstream ff(opt.flight_file);
+    if (!ff) {
+      std::cerr << "cannot open flight file: " << opt.flight_file << "\n";
+      std::exit(2);
+    }
+    obs::FlightRecorder::Global().WriteJsonLines(ff);
+  }
+}
+
+/// One sampler per harness run (--timeline), or nullptr when telemetry is
+/// off. `default_window` is the bench's natural bucket width in sim
+/// seconds (churn: sim time; failures: 1.0 so each phase owns a window);
+/// --timeline-window overrides it.
+inline std::unique_ptr<obs::TimelineSampler> MakeTimelineSampler(
+    const BenchOptions& opt, double default_window) {
+  if (!opt.timeline) return nullptr;
+  obs::TimelineConfig cfg;
+  cfg.window = opt.timeline_window > 0 ? opt.timeline_window : default_window;
+  return std::make_unique<obs::TimelineSampler>(cfg);
+}
+
+/// Writes a bench's timeline sample to --timeline=<file>, or to stdout
+/// under a header when no file was given. Call after the harness finished
+/// (the sampler must be Finish()ed by then).
+inline void WriteTimeline(const BenchOptions& opt,
+                          const obs::TimelineSampler& sampler) {
+  if (!opt.timeline) return;
+  if (opt.timeline_file.empty()) {
+    std::cout << "\ntimeline:\n";
+    sampler.WriteJsonLines(std::cout);
+    return;
+  }
+  // Benches can call this once per system; append after the first write so
+  // one file carries the whole run.
+  static bool opened = false;
+  std::ofstream tf(opt.timeline_file,
+                   opened ? std::ios::app : std::ios::trunc);
+  if (!tf) {
+    std::cerr << "cannot open timeline file: " << opt.timeline_file << "\n";
+    std::exit(2);
+  }
+  opened = true;
+  sampler.WriteJsonLines(tf);
 }
 
 /// The paper's setup, or a proportionally reduced one for --quick runs.

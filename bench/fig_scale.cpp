@@ -39,6 +39,7 @@ struct ScalePoint {
   double seq_ns = 0;
   double batch_ns = 0;
   double mem_mb = 0;
+  obs::LatencyTail tail;  ///< per-lookup wall time, sequential walk (ns)
 };
 
 double NowNs() {
@@ -70,7 +71,13 @@ ScalePoint MeasurePoint(
   const bool traced = obs::GetGlobalTraceSink() != nullptr;
   const std::uint64_t id_base =
       traced ? obs::ReserveQueryIds(reqs.size()) : 0;
+  // Per-lookup tail: one boundary clock read per lookup (the delta between
+  // consecutive reads is that lookup's wall time), folded into an HDR-style
+  // histogram. The boundary read is the same clock the mean already pays,
+  // so the p50 column stays comparable with seq ns.
+  obs::LatencyHistogram hist;
   const double seq_start = NowNs();
+  double prev = seq_start;
   for (std::size_t i = 0; i < reqs.size(); ++i) {
     if (traced) {
       const obs::QueryTraceScope scope(trace_system, id_base + i);
@@ -80,8 +87,12 @@ ScalePoint MeasurePoint(
     }
     seq_hops += res.hops;
     seq_owner_sum += res.owner;
+    const double now = NowNs();
+    hist.Record(static_cast<std::uint64_t>(std::max(0.0, now - prev)));
+    prev = now;
   }
-  p.seq_ns = (NowNs() - seq_start) / static_cast<double>(reqs.size());
+  p.seq_ns = (prev - seq_start) / static_cast<double>(reqs.size());
+  p.tail = obs::SummarizeTail(hist);
 
   std::uint64_t batch_hops = 0;
   std::uint64_t batch_owner_sum = 0;
@@ -123,6 +134,8 @@ void PrintRow(harness::TablePrinter& table, const char* system, std::size_t n,
              harness::TablePrinter::Num(predicted, 2),
              harness::TablePrinter::Num(bias, 1),
              harness::TablePrinter::Num(p.seq_ns, 1),
+             std::to_string(p.tail.p50), std::to_string(p.tail.p99),
+             std::to_string(p.tail.p999),
              harness::TablePrinter::Num(p.batch_ns, 1),
              harness::TablePrinter::Num(p.seq_ns / p.batch_ns, 2),
              harness::TablePrinter::Num(p.mem_mb, 1)});
@@ -154,7 +167,8 @@ int main(int argc, char** argv) {
 
   harness::TablePrinter table(
       std::cout, {"system", "n", "bits/d", "hops", "analysis", "bias%",
-                  "seq ns", "batch ns", "speedup", "mem MB"},
+                  "seq ns", "p50", "p99", "p999", "batch ns", "speedup",
+                  "mem MB"},
       10);
   table.PrintHeader();
 

@@ -23,8 +23,10 @@ int main(int argc, char** argv) {
       "per-hop ~ 40 ms + Exp(20 ms); 3-attribute queries; seconds");
   bench::PrintSetup(setup, opt.quick ? 100 : 1000);
 
+  // p50/p90/p99/p999 come from the HDR-style LatencyHistogram (exact bucket
+  // bounds, <= ~3% quantization), bit-identical for any --jobs x --batch.
   harness::TablePrinter table(
-      std::cout, {"system", "kind", "mean", "p50", "p99"}, 12);
+      std::cout, {"system", "kind", "mean", "p50", "p90", "p99", "p999"}, 12);
   table.PrintHeader();
 
   for (const auto kind : harness::AllSystems()) {
@@ -42,8 +44,10 @@ int main(int argc, char** argv) {
           harness::MeasureQueryLatency(*service, workload, cfg, model);
       table.Row({harness::SystemName(kind), range ? "range" : "point",
                  harness::TablePrinter::Num(lat.mean, 3),
-                 harness::TablePrinter::Num(lat.p50, 3),
-                 harness::TablePrinter::Num(lat.p99, 3)});
+                 harness::TablePrinter::Num(lat.tail_p50, 3),
+                 harness::TablePrinter::Num(lat.tail_p90, 3),
+                 harness::TablePrinter::Num(lat.tail_p99, 3),
+                 harness::TablePrinter::Num(lat.tail_p999, 3)});
     }
   }
 

@@ -53,8 +53,12 @@ int main(int argc, char** argv) {
       cfg.queries = queries;
       cfg.attrs_per_query = 2;
       cfg.seed = 0xFA11 + static_cast<std::uint64_t>(fraction * 100);
+      // One window per failure phase (the harness stamps phases 0..3).
+      const auto sampler = bench::MakeTimelineSampler(opt, 1.0);
+      cfg.timeline = sampler.get();
       const auto r = harness::RunFailureExperiment(*service, workload, infos,
                                                    cfg);
+      if (sampler != nullptr) bench::WriteTimeline(opt, *sampler);
 
       table.Row({harness::TablePrinter::Num(fraction * 100, 0),
                  harness::SystemName(kind), std::to_string(r.lost_entries),

@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
 
 namespace lorm::cache {
@@ -151,20 +152,27 @@ void ResultCache::StoreJoined(
 void ResultCache::InvalidateAttr(AttrId attr) {
   if (!enabled_) return;
   std::lock_guard<std::mutex> lock(mu_);
+  std::size_t dropped = 0;
   for (auto it = joined_.begin(); it != joined_.end();) {
     bool contains = false;
     for (const JoinedKey& k : it->first) contains |= k.attr == attr;
     if (contains) {
       TickResultEvictions(1);
+      ++dropped;
       it = joined_.erase(it);
     } else {
       ++it;
     }
   }
-  const auto bucket = buckets_.find(attr);
-  if (bucket == buckets_.end()) return;
-  TickResultEvictions(bucket->second.size());
-  buckets_.erase(bucket);
+  if (const auto bucket = buckets_.find(attr); bucket != buckets_.end()) {
+    TickResultEvictions(bucket->second.size());
+    dropped += bucket->second.size();
+    buckets_.erase(bucket);
+  }
+  if (obs::FlightEnabled()) {
+    obs::RecordFlight(obs::FlightEventKind::kCacheInvalidate, "result_cache",
+                      kNoNode, dropped, attr);
+  }
 }
 
 void ResultCache::InvalidateAll() {
@@ -175,6 +183,10 @@ void ResultCache::InvalidateAll() {
   TickResultEvictions(dropped);
   buckets_.clear();
   joined_.clear();
+  if (obs::FlightEnabled()) {
+    obs::RecordFlight(obs::FlightEventKind::kCacheInvalidate, "result_cache",
+                      kNoNode, dropped, ~std::uint64_t{0});
+  }
 }
 
 }  // namespace lorm::cache

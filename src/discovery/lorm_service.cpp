@@ -9,6 +9,7 @@
 #include "discovery/join.hpp"
 #include "discovery/query_obs.hpp"
 #include "discovery/ring_walk.hpp"
+#include "obs/flight.hpp"
 #include "obs/trace.hpp"
 
 namespace lorm::discovery {
@@ -63,12 +64,25 @@ cycloid::CycloidId LormService::KeyFor(AttrId attr,
 bool LormService::JoinNode(NodeAddr addr) {
   if (net_.size() >= net_.capacity()) return false;  // id space exhausted
   net_.AddNode(addr);
+  if (obs::FlightEnabled()) {
+    obs::RecordFlight(obs::FlightEventKind::kJoin, name(), addr, net_.size());
+  }
   return true;
 }
 
-void LormService::LeaveNode(NodeAddr addr) { net_.RemoveNode(addr); }
+void LormService::LeaveNode(NodeAddr addr) {
+  if (obs::FlightEnabled()) {
+    obs::RecordFlight(obs::FlightEventKind::kLeave, name(), addr, net_.size());
+  }
+  net_.RemoveNode(addr);
+}
 
-void LormService::FailNode(NodeAddr addr) { net_.FailNode(addr); }
+void LormService::FailNode(NodeAddr addr) {
+  if (obs::FlightEnabled()) {
+    obs::RecordFlight(obs::FlightEventKind::kCrash, name(), addr, net_.size());
+  }
+  net_.FailNode(addr);
+}
 
 HopCount LormService::Advertise(const resource::ResourceInfo& info) {
   LORM_CHECK_MSG(net_.Contains(info.provider),
@@ -313,6 +327,10 @@ QueryResult LormService::QueryPlanned(const resource::MultiQuery& q,
     if (ps.candidates.empty() && rank + 1 < k) {
       pruned = true;
       TickPlanEarlyExit();
+      if (obs::FlightEnabled()) {
+        obs::RecordFlight(obs::FlightEventKind::kPlannerEarlyExit, name(),
+                          q.requester, rank + 1, k - rank - 1);
+      }
     }
   }
 
@@ -379,7 +397,7 @@ void LormService::OnJoin(NodeAddr node,
         cubicals.push_back(a);
       }
     }
-    RebuildClusterReplicas({}, cubicals);
+    RebuildClusterReplicas({}, cubicals, obs::FlightEventKind::kHandoff, node);
     return;
   }
   for (NodeAddr src : possible_sources) {
@@ -400,7 +418,10 @@ void LormService::OnFail(NodeAddr node) {
     // the cubical dimension.
     const std::uint64_t a = net_.IdOf(node).a;
     store_.Drop(node);
-    if (net_.ClusterCount() > 0) RebuildClusterReplicas({}, {a});
+    if (net_.ClusterCount() > 0) {
+      RebuildClusterReplicas({}, {a}, obs::FlightEventKind::kReplicaRepair,
+                             node);
+    }
     return;
   }
   // No handoff: whatever the failed node stored is gone until providers
@@ -414,7 +435,10 @@ void LormService::OnLeave(NodeAddr node) {
     const std::uint64_t a = net_.IdOf(node).a;
     auto pool = store_.TakeAll(node);
     store_.Drop(node);
-    if (net_.ClusterCount() > 0) RebuildClusterReplicas(std::move(pool), {a});
+    if (net_.ClusterCount() > 0) {
+      RebuildClusterReplicas(std::move(pool), {a},
+                             obs::FlightEventKind::kHandoff, node);
+    }
     return;
   }
   auto orphaned = store_.TakeAll(node);
@@ -430,7 +454,8 @@ void LormService::OnLeave(NodeAddr node) {
 
 void LormService::RebuildClusterReplicas(
     std::vector<Store::Entry> pool,
-    const std::vector<std::uint64_t>& cubicals) {
+    const std::vector<std::uint64_t>& cubicals, obs::FlightEventKind kind,
+    NodeAddr node) {
   // Union of the affected clusters' members (distinct cubical values can
   // resolve to the same owner cluster).
   std::vector<NodeAddr> members;
@@ -485,7 +510,7 @@ void LormService::RebuildClusterReplicas(
       if (!held_before) ++moved;
     }
   }
-  repl_.RecordMoved(moved);
+  repl_.RecordMovedEvent(moved, kind, node);
 }
 
 }  // namespace lorm::discovery

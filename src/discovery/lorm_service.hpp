@@ -121,9 +121,12 @@ class LormService final : public DiscoveryService,
   /// resolving one of `cubicals`, the invariant that each surviving tuple
   /// sits on its key's owner plus the owner's next replicas-1 live cyclic
   /// successors. `pool` carries copies taken from a departed node; copies
-  /// already in place are re-labelled but not billed as moved.
+  /// already in place are re-labelled but not billed as moved. `kind` and
+  /// `node` attribute the flight-recorder event to the membership change
+  /// that triggered the rebuild.
   void RebuildClusterReplicas(std::vector<Store::Entry> pool,
-                              const std::vector<std::uint64_t>& cubicals);
+                              const std::vector<std::uint64_t>& cubicals,
+                              obs::FlightEventKind kind, NodeAddr node);
 
   void OnJoin(NodeAddr node,
               const std::vector<NodeAddr>& possible_sources) override;

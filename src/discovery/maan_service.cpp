@@ -6,6 +6,7 @@
 #include "discovery/join.hpp"
 #include "discovery/query_obs.hpp"
 #include "discovery/ring_walk.hpp"
+#include "obs/flight.hpp"
 #include "obs/trace.hpp"
 
 namespace lorm::discovery {
@@ -48,12 +49,25 @@ chord::Key MaanService::ValueKeyFor(AttrId attr,
 bool MaanService::JoinNode(NodeAddr addr) {
   if (ring_.size() >= ring_.space()) return false;
   ring_.AddNode(addr);
+  if (obs::FlightEnabled()) {
+    obs::RecordFlight(obs::FlightEventKind::kJoin, name(), addr, ring_.size());
+  }
   return true;
 }
 
-void MaanService::LeaveNode(NodeAddr addr) { ring_.RemoveNode(addr); }
+void MaanService::LeaveNode(NodeAddr addr) {
+  if (obs::FlightEnabled()) {
+    obs::RecordFlight(obs::FlightEventKind::kLeave, name(), addr, ring_.size());
+  }
+  ring_.RemoveNode(addr);
+}
 
-void MaanService::FailNode(NodeAddr addr) { ring_.FailNode(addr); }
+void MaanService::FailNode(NodeAddr addr) {
+  if (obs::FlightEnabled()) {
+    obs::RecordFlight(obs::FlightEventKind::kCrash, name(), addr, ring_.size());
+  }
+  ring_.FailNode(addr);
+}
 
 HopCount MaanService::Advertise(const resource::ResourceInfo& info) {
   LORM_CHECK_MSG(ring_.Contains(info.provider),
@@ -371,6 +385,10 @@ QueryResult MaanService::QueryPlanned(const resource::MultiQuery& q,
     if (ps.candidates.empty() && rank + 1 < k) {
       pruned = true;
       TickPlanEarlyExit();
+      if (obs::FlightEnabled()) {
+        obs::RecordFlight(obs::FlightEventKind::kPlannerEarlyExit, name(),
+                          q.requester, rank + 1, k - rank - 1);
+      }
     }
   }
 

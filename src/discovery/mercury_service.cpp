@@ -6,6 +6,7 @@
 #include "discovery/join.hpp"
 #include "discovery/query_obs.hpp"
 #include "discovery/ring_walk.hpp"
+#include "obs/flight.hpp"
 #include "obs/trace.hpp"
 
 namespace lorm::discovery {
@@ -57,10 +58,19 @@ chord::Key MercuryService::KeyFor(AttrId attr,
 bool MercuryService::JoinNode(NodeAddr addr) {
   if (hubs_.front()->size() >= hubs_.front()->space()) return false;
   for (auto& hub : hubs_) hub->AddNode(addr);
+  // One flight event per membership change, not per hub.
+  if (obs::FlightEnabled()) {
+    obs::RecordFlight(obs::FlightEventKind::kJoin, name(), addr,
+                      hubs_.front()->size());
+  }
   return true;
 }
 
 void MercuryService::LeaveNode(NodeAddr addr) {
+  if (obs::FlightEnabled()) {
+    obs::RecordFlight(obs::FlightEventKind::kLeave, name(), addr,
+                      hubs_.front()->size());
+  }
   for (auto& hub : hubs_) hub->RemoveNode(addr);
   store_.Drop(addr);  // per-hub handlers already moved everything out
 }
@@ -82,6 +92,10 @@ void MercuryService::Maintain() {
 }
 
 void MercuryService::FailNode(NodeAddr addr) {
+  if (obs::FlightEnabled()) {
+    obs::RecordFlight(obs::FlightEventKind::kCrash, name(), addr,
+                      hubs_.front()->size());
+  }
   for (auto& hub : hubs_) hub->FailNode(addr);
   // Replicated hubs restore their own attribute's entries from surviving
   // copies hub by hub; whatever is left on the crashed node dies with it.
@@ -330,6 +344,10 @@ QueryResult MercuryService::QueryPlanned(const resource::MultiQuery& q,
     if (ps.candidates.empty() && rank + 1 < k) {
       pruned = true;
       TickPlanEarlyExit();
+      if (obs::FlightEnabled()) {
+        obs::RecordFlight(obs::FlightEventKind::kPlannerEarlyExit, name(),
+                          q.requester, rank + 1, k - rank - 1);
+      }
     }
   }
 

@@ -47,6 +47,7 @@
 #include "common/types.hpp"
 #include "discovery/directory.hpp"
 #include "discovery/discovery.hpp"
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
 
 namespace lorm::discovery {
@@ -78,6 +79,18 @@ class ReplicationRecorder {
     }
     entries_->AddUnchecked(entries);
     bytes_->AddUnchecked(entries * kEntryWireBytes);
+  }
+
+  /// RecordMoved plus a flight-recorder event attributing the move to the
+  /// membership change at `node` (kHandoff for join/leave handoffs,
+  /// kReplicaRepair for crash restores). a = entries, b = wire bytes.
+  void RecordMovedEvent(std::uint64_t entries, obs::FlightEventKind kind,
+                        NodeAddr node) {
+    RecordMoved(entries);
+    if (entries != 0 && obs::FlightEnabled()) {
+      obs::RecordFlight(kind, system_, node, entries,
+                        entries * kEntryWireBytes);
+    }
   }
 
   const ReplicationStats& stats() const { return stats_; }
@@ -150,7 +163,7 @@ void ChordReplicaJoin(const chord::ChordRing& ring,
       e.replica = ReplicaDistance(ring, ring.OwnerOf(e.key), node, replicas);
       store.Insert(node, std::move(e));
     }
-    rec.RecordMoved(gained.size());
+    rec.RecordMovedEvent(gained.size(), obs::FlightEventKind::kHandoff, node);
   }
   const std::size_t old_eff = std::min(replicas, count - 1);
   NodeAddr t = node;
@@ -191,7 +204,7 @@ void ChordReplicaLeave(const chord::ChordRing& ring,
     e.replica = static_cast<std::uint8_t>(replicas - 1);
     store.Insert(target, std::move(e));
   }
-  rec.RecordMoved(moved.size());
+  rec.RecordMovedEvent(moved.size(), obs::FlightEventKind::kHandoff, node);
 }
 
 /// Crash restore. Runs while the dead `node` is still in the ownership
@@ -233,7 +246,8 @@ void ChordReplicaFail(const chord::ChordRing& ring,
       e.replica = static_cast<std::uint8_t>(replicas - 1);
       store.Insert(t, std::move(e));
     }
-    rec.RecordMoved(gained.size());
+    rec.RecordMovedEvent(gained.size(), obs::FlightEventKind::kReplicaRepair,
+                         node);
   }
 }
 

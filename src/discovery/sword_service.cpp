@@ -5,6 +5,7 @@
 #include "common/error.hpp"
 #include "discovery/join.hpp"
 #include "discovery/query_obs.hpp"
+#include "obs/flight.hpp"
 #include "obs/trace.hpp"
 
 namespace lorm::discovery {
@@ -38,12 +39,25 @@ chord::Key SwordService::KeyFor(AttrId attr) const {
 bool SwordService::JoinNode(NodeAddr addr) {
   if (ring_.size() >= ring_.space()) return false;
   ring_.AddNode(addr);
+  if (obs::FlightEnabled()) {
+    obs::RecordFlight(obs::FlightEventKind::kJoin, name(), addr, ring_.size());
+  }
   return true;
 }
 
-void SwordService::LeaveNode(NodeAddr addr) { ring_.RemoveNode(addr); }
+void SwordService::LeaveNode(NodeAddr addr) {
+  if (obs::FlightEnabled()) {
+    obs::RecordFlight(obs::FlightEventKind::kLeave, name(), addr, ring_.size());
+  }
+  ring_.RemoveNode(addr);
+}
 
-void SwordService::FailNode(NodeAddr addr) { ring_.FailNode(addr); }
+void SwordService::FailNode(NodeAddr addr) {
+  if (obs::FlightEnabled()) {
+    obs::RecordFlight(obs::FlightEventKind::kCrash, name(), addr, ring_.size());
+  }
+  ring_.FailNode(addr);
+}
 
 HopCount SwordService::Advertise(const resource::ResourceInfo& info) {
   LORM_CHECK_MSG(ring_.Contains(info.provider),
@@ -262,6 +276,10 @@ QueryResult SwordService::QueryPlanned(const resource::MultiQuery& q,
     if (ps.candidates.empty() && rank + 1 < k) {
       pruned = true;
       TickPlanEarlyExit();
+      if (obs::FlightEnabled()) {
+        obs::RecordFlight(obs::FlightEventKind::kPlannerEarlyExit, name(),
+                          q.requester, rank + 1, k - rank - 1);
+      }
     }
   }
 

@@ -25,8 +25,20 @@ ChurnResult RunChurn(discovery::DiscoveryService& service,
   sim::PoissonProcess departures(cfg.rate, rng.Fork());
   sim::PoissonProcess queries(cfg.query_rate, rng.Fork());
 
+  obs::TimelineSampler* const timeline = cfg.timeline;
+  if (timeline != nullptr) {
+    // Window loads are per-window deltas: the probe drains the service's
+    // load counters every time a window closes.
+    timeline->SetLoadProbe([&service]() {
+      auto loads = service.QueryLoadCounts();
+      service.ResetQueryLoad();
+      return loads;
+    });
+  }
+
   // --- Join events: a new node arrives and advertises its resources. ------
   std::function<void(sim::EventQueue&)> on_join = [&](sim::EventQueue& q) {
+    if (timeline != nullptr) timeline->Advance(q.now());
     const NodeAddr addr = next_addr++;
     if (!service.JoinNode(addr)) {
       // Identifier space full (a Cycloid holds at most d * 2^d nodes); the
@@ -36,6 +48,7 @@ ChurnResult RunChurn(discovery::DiscoveryService& service,
       return;
     }
     ++result.joins;
+    if (timeline != nullptr) timeline->Add("joins", 1.0);
     for (std::size_t i = 0; i < cfg.adverts_per_join; ++i) {
       resource::ResourceInfo info;
       info.attr = static_cast<AttrId>(
@@ -49,10 +62,12 @@ ChurnResult RunChurn(discovery::DiscoveryService& service,
 
   // --- Departure events: a random live node leaves gracefully. -----------
   std::function<void(sim::EventQueue&)> on_depart = [&](sim::EventQueue& q) {
+    if (timeline != nullptr) timeline->Advance(q.now());
     if (service.NetworkSize() > cfg.min_network) {
       const auto nodes = service.Nodes();
       service.LeaveNode(nodes[depart_rng.NextBelow(nodes.size())]);
       ++result.departures;
+      if (timeline != nullptr) timeline->Add("departures", 1.0);
     }
     q.ScheduleAt(departures.NextArrival(), on_depart);
   };
@@ -62,6 +77,7 @@ ChurnResult RunChurn(discovery::DiscoveryService& service,
   SimTime last_query_time = 0.0;
   std::function<void(sim::EventQueue&)> on_query = [&](sim::EventQueue& q) {
     if (result.queries >= cfg.total_queries) return;
+    if (timeline != nullptr) timeline->Advance(q.now());
     const auto nodes = service.Nodes();
     const NodeAddr requester = nodes[query_rng.NextBelow(nodes.size())];
     const resource::MultiQuery mq =
@@ -86,6 +102,12 @@ ChurnResult RunChurn(discovery::DiscoveryService& service,
       result.avg_hops += res.stats.dht_hops;      // accumulate; divide later
       result.avg_visited += res.stats.visited_nodes;
     }
+    if (timeline != nullptr) {
+      timeline->Add("queries", 1.0);
+      timeline->Add("hops", static_cast<double>(res.stats.dht_hops));
+      timeline->Add("visited", static_cast<double>(res.stats.visited_nodes));
+      if (res.stats.failed) timeline->Add("failures", 1.0);
+    }
     if (obs::MetricsEnabled()) {
       static obs::Histogram& hops_h = obs::Registry::Global().GetHistogram(
           "churn.query.hops", obs::Histogram::LinearBounds(0.0, 1.0, 64));
@@ -102,7 +124,9 @@ ChurnResult RunChurn(discovery::DiscoveryService& service,
   // --- Periodic maintenance. ----------------------------------------------
   std::function<void(sim::EventQueue&)> on_maintain =
       [&](sim::EventQueue& q) {
+        if (timeline != nullptr) timeline->Advance(q.now());
         service.Maintain();
+        if (timeline != nullptr) timeline->Add("maintenance", 1.0);
         if (result.queries < cfg.total_queries) {
           q.ScheduleAfter(cfg.maintain_interval, on_maintain);
         }
@@ -123,6 +147,7 @@ ChurnResult RunChurn(discovery::DiscoveryService& service,
   while (result.queries < cfg.total_queries && queue.RunOne()) {
   }
   result.sim_duration = last_query_time;
+  if (timeline != nullptr) timeline->Finish(result.sim_duration);
 
   const std::size_t succeeded = result.queries - result.failures;
   if (succeeded > 0) {

@@ -10,6 +10,7 @@
 
 #include "discovery/discovery.hpp"
 #include "harness/setup.hpp"
+#include "obs/timeline.hpp"
 #include "resource/workload.hpp"
 
 namespace lorm::harness {
@@ -28,6 +29,14 @@ struct ChurnConfig {
   /// Departures are skipped while the network is at or below this size.
   std::size_t min_network = 16;
   std::uint64_t seed = 0xD34D11FEull;
+  /// Optional time-series sampler (`--timeline`). RunChurn advances it with
+  /// the sim clock and feeds it per-event series (queries/hops/visited/
+  /// failures/joins/departures/maintenance); it installs a load probe that
+  /// reads *and resets* the service's per-node query-load counters at each
+  /// window close, and calls Finish(sim_duration) before returning. The
+  /// churn loop is single-threaded, so the timeline is byte-identical for
+  /// any --jobs x --batch. Not owned.
+  obs::TimelineSampler* timeline = nullptr;
 };
 
 struct ChurnResult {

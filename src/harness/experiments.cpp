@@ -1,6 +1,7 @@
 #include "harness/experiments.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/error.hpp"
 #include "common/hashing.hpp"
@@ -189,12 +190,26 @@ LatencyMeasurement MeasureQueryLatency(
     samples[t] = EstimateQueryLatency(res.stats, model, lat_rng);
   });
 
+  // Fold the per-trial samples into the HDR histogram sequentially, in
+  // trial order: the merge is then independent of how RunTrials sharded the
+  // work, so the tail columns are bit-identical for any jobs x batch.
+  obs::LatencyHistogram hist;
+  for (const double s : samples) {
+    hist.Record(static_cast<std::uint64_t>(
+        std::llround(std::max(0.0, s) * 1e9)));
+  }
+
   const Summary s = Summarize(std::move(samples));
   LatencyMeasurement out;
   out.queries = s.count;
   out.mean = s.mean;
   out.p50 = s.p50;
   out.p99 = s.p99;
+  out.tail = obs::SummarizeTail(hist);
+  out.tail_p50 = static_cast<double>(out.tail.p50) / 1e9;
+  out.tail_p90 = static_cast<double>(out.tail.p90) / 1e9;
+  out.tail_p99 = static_cast<double>(out.tail.p99) / 1e9;
+  out.tail_p999 = static_cast<double>(out.tail.p999) / 1e9;
   return out;
 }
 

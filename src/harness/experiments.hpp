@@ -7,6 +7,7 @@
 #include "common/stats.hpp"
 #include "discovery/discovery.hpp"
 #include "harness/setup.hpp"
+#include "obs/timeline.hpp"
 #include "resource/workload.hpp"
 #include "sim/latency.hpp"
 
@@ -85,8 +86,17 @@ SimTime EstimateQueryLatency(const discovery::QueryStats& stats,
 struct LatencyMeasurement {
   std::size_t queries = 0;
   double mean = 0;
-  double p50 = 0;
-  double p99 = 0;
+  double p50 = 0;   ///< exact sample quantile (Summarize)
+  double p99 = 0;   ///< exact sample quantile (Summarize)
+  /// Exact-bucket-bound quantiles from an HDR-style LatencyHistogram over
+  /// the same samples (seconds; <= ~3% quantization error). Per-trial
+  /// samples are folded into the histogram sequentially after the parallel
+  /// replay, so these are bit-identical for any jobs x batch.
+  obs::LatencyTail tail;  ///< nanoseconds
+  double tail_p50 = 0;    ///< seconds, = tail.p50 / 1e9
+  double tail_p90 = 0;
+  double tail_p99 = 0;
+  double tail_p999 = 0;
 };
 
 /// Runs the query batch and estimates per-query latency under `model`.

@@ -4,11 +4,33 @@
 
 #include "common/error.hpp"
 #include "harness/experiments.hpp"
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
 namespace lorm::harness {
 namespace {
+
+/// Synthetic phase clock: this harness is phase-structured, not
+/// event-driven, so flight events and timeline windows are stamped with the
+/// phase index (0 = crash, 1 = degraded, 2 = repaired, 3 = recovered).
+void BeginPhase(const FailureConfig& cfg, const std::string& system,
+                double phase, std::uint64_t detail) {
+  if (obs::FlightEnabled()) {
+    obs::SetFlightSimTime(phase);
+    obs::RecordFlight(obs::FlightEventKind::kPhase, system, kNoNode,
+                      static_cast<std::uint64_t>(phase), detail);
+  }
+  if (cfg.timeline != nullptr) cfg.timeline->Advance(phase);
+}
+
+void AddPhaseSeries(const FailureConfig& cfg, const FailurePhase& phase) {
+  if (cfg.timeline == nullptr) return;
+  cfg.timeline->Add("queries", static_cast<double>(phase.queries));
+  cfg.timeline->Add("routing_failures",
+                    static_cast<double>(phase.routing_failures));
+  cfg.timeline->Add("recall_pct", 100.0 * phase.recall);
+}
 
 FailurePhase MeasurePhase(const discovery::DiscoveryService& service,
                           const resource::Workload& workload,
@@ -65,6 +87,7 @@ FailureResult RunFailureExperiment(
                  "fail fraction must be in [0, 1]");
   FailureResult result;
   Rng rng(cfg.seed);
+  const std::string system = service.name();
 
   // 1. Crash a random fraction of the nodes. At least one node always
   //    survives: the measurement phases need a live requester, and a
@@ -76,25 +99,35 @@ FailureResult RunFailureExperiment(
                                static_cast<double>(nodes.size())),
       nodes.empty() ? std::size_t{0} : nodes.size() - 1);
   const std::size_t before_pieces = service.TotalInfoPieces();
+  BeginPhase(cfg, system, 0.0, kill_count);
   for (std::uint64_t idx : rng.SampleWithoutReplacement(nodes.size(),
                                                         kill_count)) {
     service.FailNode(nodes[idx]);
     ++result.failed_nodes;
   }
   result.lost_entries = before_pieces - service.TotalInfoPieces();
+  if (cfg.timeline != nullptr) {
+    cfg.timeline->Add("failed_nodes", static_cast<double>(result.failed_nodes));
+    cfg.timeline->Add("lost_entries", static_cast<double>(result.lost_entries));
+  }
 
   // 2. Degraded service: stale links, lost directory entries.
+  BeginPhase(cfg, system, 1.0, 0);
   result.degraded =
       MeasurePhase(service, workload, infos, cfg, rng.Fork());
+  AddPhaseSeries(cfg, result.degraded);
 
   // 3. Routing repair: one self-organization round. Still-missing answers
   //    now reflect lost data only (replicas, if configured, fill the gap).
+  BeginPhase(cfg, system, 2.0, 0);
   service.Maintain();
   result.repaired = MeasurePhase(service, workload, infos, cfg, rng.Fork());
+  AddPhaseSeries(cfg, result.repaired);
 
   // 4. Data repair: a fresh soft-state epoch — every surviving provider
   //    re-reports its resources and the stale epoch is expired (paper §III:
   //    nodes report periodically).
+  BeginPhase(cfg, system, 3.0, 0);
   const std::uint64_t epoch = service.CurrentEpoch() + 1;
   service.SetEpoch(epoch);
   for (const auto& info : infos) {
@@ -105,6 +138,8 @@ FailureResult RunFailureExperiment(
   // 5. Fully recovered service.
   result.recovered =
       MeasurePhase(service, workload, infos, cfg, rng.Fork());
+  AddPhaseSeries(cfg, result.recovered);
+  if (cfg.timeline != nullptr) cfg.timeline->Finish(4.0);
   return result;
 }
 

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "discovery/discovery.hpp"
+#include "obs/timeline.hpp"
 #include "resource/workload.hpp"
 
 namespace lorm::harness {
@@ -30,6 +31,12 @@ struct FailureConfig {
   std::size_t attrs_per_query = 2;
   resource::RangeStyle style = resource::RangeStyle::kBounded;
   std::uint64_t seed = 0xFA11ull;
+  /// Optional time-series sampler (`--timeline`). This harness has no sim
+  /// clock, so phases are stamped at synthetic times 0 (crash), 1
+  /// (degraded), 2 (repaired), 3 (recovered) — pair it with a 1-second
+  /// window so each phase lands in its own window. The same synthetic
+  /// clock is published to the flight recorder. Not owned.
+  obs::TimelineSampler* timeline = nullptr;
 };
 
 struct FailurePhase {

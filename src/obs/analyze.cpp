@@ -10,6 +10,7 @@
 #include <sstream>
 
 #include "common/error.hpp"
+#include "obs/flight.hpp"
 
 namespace lorm::obs {
 
@@ -353,11 +354,20 @@ const char* AnomalyKindName(Anomaly::Kind kind) {
       return "dead-link-burst";
     case Anomaly::Kind::kZeroHitWalkOverrun:
       return "zero-hit-walk-overrun";
+    case Anomaly::Kind::kTailLatencyDrift:
+      return "tail-latency-drift";
   }
   return "?";
 }
 
 namespace {
+
+/// Fixed-precision number for deterministic reports.
+std::string Num(double v, int digits = 2) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(digits) << v;
+  return os.str();
+}
 
 /// The smallest Cycloid dimension whose full population d * 2^d holds n.
 unsigned InferDimension(std::size_t n) {
@@ -386,6 +396,7 @@ struct SystemAccumulator {
   std::vector<double> visited_per_query;
   std::vector<double> query_dur_us;
   std::vector<double> lookup_dur_us;
+  LatencyHistogram dur_hist;
   std::map<NodeAddr, std::uint64_t> probe_counts;
   std::size_t lookups = 0;
   std::size_t failed_lookups = 0;
@@ -521,6 +532,7 @@ TraceReport AnalyzeTraces(std::vector<QueryTrace> traces,
     a.visited_per_query.push_back(static_cast<double>(visited));
     if (t.duration_ns > 0) {
       a.query_dur_us.push_back(static_cast<double>(t.duration_ns) / 1e3);
+      a.dur_hist.Record(t.duration_ns);
     }
   }
 
@@ -539,6 +551,18 @@ TraceReport AnalyzeTraces(std::vector<QueryTrace> traces,
     sr.visited_per_query = Summarize(std::move(a.visited_per_query));
     sr.query_dur_us = Summarize(std::move(a.query_dur_us));
     sr.lookup_dur_us = Summarize(std::move(a.lookup_dur_us));
+    sr.query_tail_ns = SummarizeTail(a.dur_hist);
+    if (cfg.p99_drift_ratio > 0.0 && sr.query_tail_ns.count >= 2 &&
+        sr.query_tail_ns.p50 > 0 &&
+        static_cast<double>(sr.query_tail_ns.p99) >
+            cfg.p99_drift_ratio * static_cast<double>(sr.query_tail_ns.p50)) {
+      std::ostringstream detail;
+      detail << "query p99 " << Num(static_cast<double>(sr.query_tail_ns.p99) / 1e3, 2)
+             << " us > " << Num(cfg.p99_drift_ratio, 2) << " x p50 "
+             << Num(static_cast<double>(sr.query_tail_ns.p50) / 1e3, 2) << " us";
+      report.anomalies.push_back({Anomaly::Kind::kTailLatencyDrift, system, 0,
+                                  0, detail.str()});
+    }
     sr.planned_queries = a.planned_queries;
     sr.reordered_queries = a.reordered_queries;
     sr.subs_skipped = a.subs_skipped;
@@ -604,13 +628,6 @@ bool GatePasses(const TraceReport& report,
 
 namespace {
 
-/// Fixed-precision number for deterministic reports.
-std::string Num(double v, int digits = 2) {
-  std::ostringstream os;
-  os << std::fixed << std::setprecision(digits) << v;
-  return os.str();
-}
-
 void RenderSummaryRow(std::ostream& os, const char* label, const Summary& s,
                       int digits = 2) {
   os << "    " << std::left << std::setw(16) << label << std::right
@@ -652,6 +669,17 @@ void RenderReport(std::ostream& os, const TraceReport& report,
     }
     if (sr.lookup_dur_us.count > 0) {
       RenderSummaryRow(os, "lookup dur (us)", sr.lookup_dur_us);
+    }
+    if (sr.query_tail_ns.count > 0) {
+      const LatencyTail& t = sr.query_tail_ns;
+      os << "    " << std::left << std::setw(16) << "query tail (us)"
+         << std::right << " p50  " << std::setw(10)
+         << Num(static_cast<double>(t.p50) / 1e3, 2) << "  p90 "
+         << std::setw(10) << Num(static_cast<double>(t.p90) / 1e3, 2)
+         << "  p99 " << std::setw(10)
+         << Num(static_cast<double>(t.p99) / 1e3, 2) << "  p999 "
+         << std::setw(9) << Num(static_cast<double>(t.p999) / 1e3, 2)
+         << "\n";
     }
     const LoadProfile& load = sr.load;
     os << "    load: " << load.probes << " probes over " << load.nodes
@@ -722,6 +750,15 @@ void RenderReportJson(std::ostream& os, const TraceReport& report,
     WriteSummaryJson(os, sr.query_dur_us);
     os << ",\"lookup_dur_us\":";
     WriteSummaryJson(os, sr.lookup_dur_us);
+    // Omitted for untimed trace sets: their reports stay byte-identical.
+    if (sr.query_tail_ns.count > 0) {
+      const LatencyTail& t = sr.query_tail_ns;
+      os << ",\"query_tail_us\":{\"count\":" << t.count << ",\"p50\":"
+         << Num(static_cast<double>(t.p50) / 1e3, 4) << ",\"p90\":"
+         << Num(static_cast<double>(t.p90) / 1e3, 4) << ",\"p99\":"
+         << Num(static_cast<double>(t.p99) / 1e3, 4) << ",\"p999\":"
+         << Num(static_cast<double>(t.p999) / 1e3, 4) << "}";
+    }
     os << ",\"load\":{\"nodes\":" << sr.load.nodes
        << ",\"probes\":" << sr.load.probes << ",\"gini\":"
        << Num(sr.load.gini, 4) << ",\"jain\":" << Num(sr.load.jain, 4)
@@ -762,6 +799,216 @@ void RenderReportJson(std::ostream& os, const TraceReport& report,
   }
   os << "],\"gate\":" << (GatePasses(report, drift) ? "\"pass\"" : "\"fail\"")
      << "}";
+}
+
+// ---- Timeline series -------------------------------------------------------
+
+bool ParseTimelineLine(std::string_view line, TimelineWindow& out,
+                       std::string* error) {
+  out = TimelineWindow{};
+  Cursor c{line.data(), line.data() + line.size(), {}};
+  bool ok = c.Literal("{") && c.Key("window", /*first=*/true) &&
+            c.U64(out.index) && c.Key("t0") && c.Number(out.t0) &&
+            c.Key("t1") && c.Number(out.t1) && c.Key("series") &&
+            c.Literal("{");
+  if (ok) {
+    bool first = true;
+    while (ok && !c.Peek('}')) {
+      if (!first && !c.Literal(",")) { ok = false; break; }
+      first = false;
+      std::string name;
+      double value = 0.0;
+      ok = c.String(name) && c.Literal(":") && c.Number(value);
+      if (ok) out.series[name] = value;
+    }
+    ok = ok && c.Literal("}");
+  }
+  if (ok && c.OptionalKeyStart("load")) {
+    std::uint64_t nodes = 0;
+    ok = c.Literal("{") && c.Key("nodes", /*first=*/true) && c.U64(nodes) &&
+         c.Key("total") && c.Number(out.load_total) && c.Key("max") &&
+         c.Number(out.load_max) && c.Literal("}");
+    out.has_load = ok;
+    out.load_nodes = static_cast<std::size_t>(nodes);
+  }
+  ok = ok && c.Literal("}");
+  if (ok && c.p != c.end) ok = c.Fail("trailing characters");
+  if (!ok && error != nullptr) {
+    *error = (c.err.empty() ? "malformed timeline line" : c.err) +
+             " (offset " + std::to_string(c.p - line.data()) + ")";
+  }
+  return ok;
+}
+
+std::vector<TimelineWindow> ParseTimelineStream(std::istream& is) {
+  std::vector<TimelineWindow> windows;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(is, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    std::string err;
+    if (!ParseTimelineLine(line, windows.emplace_back(), &err)) {
+      throw ConfigError("timeline line " + std::to_string(lineno) + ": " +
+                        err);
+    }
+  }
+  return windows;
+}
+
+void RenderTimelineReport(std::ostream& os,
+                          const std::vector<TimelineWindow>& windows) {
+  os << "== timeline ==\n";
+  if (windows.empty()) {
+    os << "0 windows\n";
+    return;
+  }
+  const double width = windows.front().t1 - windows.front().t0;
+  os << windows.size() << " windows x " << Num(width, 2) << " s, t "
+     << Num(windows.front().t0, 2) << " .. " << Num(windows.back().t1, 2)
+     << "\n";
+
+  // Per-series totals and peak windows (std::map: name order).
+  struct SeriesAgg {
+    double total = 0.0;
+    double peak = 0.0;
+    std::uint64_t peak_window = 0;
+  };
+  std::map<std::string, SeriesAgg> agg;
+  for (const TimelineWindow& w : windows) {
+    for (const auto& [name, value] : w.series) {
+      SeriesAgg& s = agg[name];
+      s.total += value;
+      if (value > s.peak) {
+        s.peak = value;
+        s.peak_window = w.index;
+      }
+    }
+  }
+  for (const auto& [name, s] : agg) {
+    os << "    " << std::left << std::setw(32) << name << std::right
+       << " total " << std::setw(12) << Num(s.total, 2) << "  peak "
+       << std::setw(10) << Num(s.peak, 2) << " @ window " << s.peak_window
+       << "\n";
+  }
+
+  bool any_load = false;
+  std::size_t nodes_min = 0, nodes_max = 0;
+  double peak_total = 0.0, peak_max = 0.0;
+  std::uint64_t peak_total_w = 0, peak_max_w = 0;
+  for (const TimelineWindow& w : windows) {
+    if (!w.has_load) continue;
+    if (!any_load) {
+      nodes_min = nodes_max = w.load_nodes;
+      any_load = true;
+    }
+    nodes_min = std::min(nodes_min, w.load_nodes);
+    nodes_max = std::max(nodes_max, w.load_nodes);
+    if (w.load_total > peak_total) {
+      peak_total = w.load_total;
+      peak_total_w = w.index;
+    }
+    if (w.load_max > peak_max) {
+      peak_max = w.load_max;
+      peak_max_w = w.index;
+    }
+  }
+  if (any_load) {
+    os << "    load: nodes " << nodes_min << ".." << nodes_max
+       << ", peak window total " << Num(peak_total, 2) << " @ window "
+       << peak_total_w << ", peak node " << Num(peak_max, 2) << " @ window "
+       << peak_max_w << "\n";
+  }
+}
+
+// ---- Exporters -------------------------------------------------------------
+
+void WriteChromeTrace(std::ostream& os, std::vector<QueryTrace> traces) {
+  std::sort(traces.begin(), traces.end(),
+            [](const QueryTrace& a, const QueryTrace& b) {
+              if (a.query_id != b.query_id) return a.query_id < b.query_id;
+              return a.system < b.system;
+            });
+  // One synthetic track (tid) per system, name order; queries are laid out
+  // sequentially on each track so span lengths — not wall-clock arrival —
+  // carry the timing information.
+  std::map<std::string, std::uint64_t> tids;
+  for (const QueryTrace& t : traces) tids.emplace(t.system, 0);
+  std::uint64_t next_tid = 0;
+  for (auto& [name, tid] : tids) tid = next_tid++;
+
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  auto emit = [&](auto&& write_event) {
+    if (!first) os << ",";
+    first = false;
+    write_event();
+  };
+  emit([&] {
+    os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
+          "\"args\":{\"name\":\"lorm traces\"}}";
+  });
+  for (const auto& [name, tid] : tids) {
+    emit([&] {
+      os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" << tid
+         << ",\"args\":{\"name\":";
+      WriteJsonString(os, name);
+      os << "}}";
+    });
+  }
+
+  std::map<std::string, std::uint64_t> cursor_us;  // per-track clock
+  for (const QueryTrace& t : traces) {
+    const std::uint64_t tid = tids[t.system];
+    std::uint64_t& cursor = cursor_us[t.system];
+    // Child spans: one per lookup, at least 1 us each so zero-duration
+    // (untimed) traces still render visible spans.
+    std::uint64_t children_us = 0;
+    std::uint64_t hops = 0;
+    std::size_t lookups = 0, probes = 0;
+    for (const SubQueryTrace& sub : t.subs) {
+      probes += sub.probes.size();
+      for (const LookupTrace& l : sub.lookups) {
+        ++lookups;
+        hops += l.hops;
+        children_us += std::max<std::uint64_t>(1, l.duration_ns / 1000);
+      }
+    }
+    const std::uint64_t query_us = std::max<std::uint64_t>(
+        {1, t.duration_ns / 1000, children_us});
+    emit([&] {
+      os << "{\"name\":\"query " << t.query_id
+         << "\",\"ph\":\"X\",\"pid\":1,\"tid\":" << tid << ",\"ts\":" << cursor
+         << ",\"dur\":" << query_us << ",\"args\":{\"attrs\":" << t.subs.size()
+         << ",\"lookups\":" << lookups << ",\"probes\":" << probes
+         << ",\"hops\":" << hops << "}}";
+    });
+    std::uint64_t child_ts = cursor;
+    for (const SubQueryTrace& sub : t.subs) {
+      for (const LookupTrace& l : sub.lookups) {
+        const std::uint64_t dur =
+            std::max<std::uint64_t>(1, l.duration_ns / 1000);
+        emit([&] {
+          os << "{\"name\":\"lookup attr " << sub.attr
+             << "\",\"ph\":\"X\",\"pid\":1,\"tid\":" << tid
+             << ",\"ts\":" << child_ts << ",\"dur\":" << dur
+             << ",\"args\":{\"hops\":" << l.hops << ",\"ok\":"
+             << (l.ok ? "true" : "false")
+             << ",\"dead_skips\":" << l.dead_links_skipped << "}}";
+        });
+        child_ts += dur;
+      }
+    }
+    cursor += query_us + 1;  // 1 us gap between consecutive query spans
+  }
+  os << "]}";
+}
+
+std::size_t DumpFlightOnAnomaly(const TraceReport& report, std::ostream& os) {
+  if (report.anomalies.empty()) return 0;
+  const std::vector<FlightEvent> events = FlightRecorder::Global().Snapshot();
+  WriteFlightJsonLines(os, events);
+  return events.size();
 }
 
 }  // namespace lorm::obs

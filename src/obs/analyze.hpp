@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "common/stats.hpp"
+#include "obs/timeline.hpp"
 #include "obs/trace.hpp"
 
 namespace lorm::obs {
@@ -84,6 +85,11 @@ struct AnomalyConfig {
   /// A sub-query whose successor walk probed >= this many nodes without a
   /// single hit overran for nothing.
   std::size_t walk_overrun_probes = 32;
+  /// Tail-latency drift gate (`--p99-drift=R`): a system whose per-query
+  /// duration p99 exceeds R x its p50 is anomalous. 0 disables the check
+  /// (the default — wall-clock tails are machine-dependent, so this is an
+  /// opt-in gate, not a standing one).
+  double p99_drift_ratio = 0.0;
 };
 
 struct Anomaly {
@@ -92,6 +98,7 @@ struct Anomaly {
     kHopBoundExceeded,
     kDeadLinkBurst,
     kZeroHitWalkOverrun,
+    kTailLatencyDrift,
   };
   Kind kind;
   std::string system;
@@ -124,6 +131,10 @@ struct SystemReport {
   Summary visited_per_query;       ///< probes per query
   Summary query_dur_us;            ///< per-query wall time, microseconds
   Summary lookup_dur_us;           ///< per-lookup wall time, microseconds
+  /// HDR-histogram tail of the per-query durations (nanoseconds; exact
+  /// bucket bounds, <= ~3% quantization). count == 0 for untimed traces,
+  /// and both renderings omit the row then.
+  LatencyTail query_tail_ns;
   LoadProfile load;
   // Planner effectiveness (`--plan` traces only; all zero — and omitted
   // from both renderings — when no trace carried a plan).
@@ -181,5 +192,50 @@ void RenderReportJson(std::ostream& os, const TraceReport& report,
 /// True when the report (and optional drift rows) pass the CI gate: zero
 /// anomalies and every drift row within tolerance.
 bool GatePasses(const TraceReport& report, const std::vector<DriftRow>& drift);
+
+// ---- Timeline series -------------------------------------------------------
+
+/// One closed sampler window parsed back from a `--timeline` JSONL file
+/// (TimelineSampler::WriteJsonLines is the producing half).
+struct TimelineWindow {
+  std::uint64_t index = 0;
+  double t0 = 0.0;
+  double t1 = 0.0;
+  std::map<std::string, double> series;
+  bool has_load = false;
+  std::size_t load_nodes = 0;
+  double load_total = 0.0;
+  double load_max = 0.0;
+};
+
+/// Parses one timeline JSONL line; strict about key order, like
+/// ParseTraceLine.
+bool ParseTimelineLine(std::string_view line, TimelineWindow& out,
+                       std::string* error = nullptr);
+
+/// Parses a whole timeline stream, skipping blank lines. Throws
+/// lorm::ConfigError naming the offending line on malformed input.
+std::vector<TimelineWindow> ParseTimelineStream(std::istream& is);
+
+/// Human-readable timeline section: window count/width, per-series totals
+/// with the peak window, and the load-probe trajectory when present.
+/// Deterministic for a given file.
+void RenderTimelineReport(std::ostream& os,
+                          const std::vector<TimelineWindow>& windows);
+
+// ---- Exporters -------------------------------------------------------------
+
+/// Chrome-trace/Perfetto JSON ("traceEvents" array of complete "X" spans)
+/// from a trace set: one track per system, queries laid out sequentially in
+/// query-id order on a synthetic timebase, lookups nested inside their
+/// query span. Load the file in chrome://tracing or ui.perfetto.dev.
+void WriteChromeTrace(std::ostream& os, std::vector<QueryTrace> traces);
+
+/// When `report` contains anomalies, dumps the global flight recorder's
+/// surviving events to `os` (JSONL, oldest first) and returns how many were
+/// written; otherwise writes nothing and returns 0. The benches and
+/// lorm-analyze call this so every anomaly report ships with the protocol
+/// events that preceded it.
+std::size_t DumpFlightOnAnomaly(const TraceReport& report, std::ostream& os);
 
 }  // namespace lorm::obs

@@ -193,4 +193,63 @@ void Registry::WriteJson(std::ostream& os) const {
   os << "}}";
 }
 
+std::vector<std::pair<std::string, std::uint64_t>> Registry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, std::uint64_t>> out;
+  out.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) out.emplace_back(name, c->Value());
+  return out;  // std::map iteration: already name-sorted
+}
+
+namespace {
+
+/// Prometheus metric names must match [a-zA-Z_:][a-zA-Z0-9_:]*; our dotted
+/// registry names ("chord.lookups") become underscored, prefixed "lorm_" so
+/// the first character is always legal.
+std::string ExpositionName(std::string_view name) {
+  std::string out = "lorm_";
+  for (const char ch : name) {
+    const bool ok = (ch >= 'a' && ch <= 'z') || (ch >= 'A' && ch <= 'Z') ||
+                    (ch >= '0' && ch <= '9') || ch == '_' || ch == ':';
+    out += ok ? ch : '_';
+  }
+  return out;
+}
+
+}  // namespace
+
+void Registry::WriteExposition(std::ostream& os) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, c] : counters_) {
+    const std::string pname = ExpositionName(name);
+    os << "# TYPE " << pname << " counter\n";
+    os << pname << "_total " << c->Value() << "\n";
+  }
+  for (const auto& [name, h] : histograms_) {
+    const std::string pname = ExpositionName(name);
+    os << "# TYPE " << pname << " histogram\n";
+    const auto& bounds = h->bounds();
+    const auto counts = h->BucketCounts();
+    std::uint64_t cum = 0;
+    for (std::size_t i = 0; i < bounds.size(); ++i) {
+      cum += counts[i];
+      os << pname << "_bucket{le=\"";
+      WriteJsonNumber(os, bounds[i]);
+      os << "\"} " << cum << "\n";
+    }
+    cum += counts.back();  // overflow bucket
+    os << pname << "_bucket{le=\"+Inf\"} " << cum << "\n";
+    os << pname << "_sum ";
+    WriteJsonNumber(os, h->Sum());
+    os << "\n";
+    os << pname << "_count " << h->TotalCount() << "\n";
+  }
+}
+
+std::string Registry::ExpositionText() const {
+  std::ostringstream os;
+  WriteExposition(os);
+  return os.str();
+}
+
 }  // namespace lorm::obs

@@ -30,6 +30,7 @@
 #include <mutex>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 namespace lorm::obs {
@@ -129,6 +130,18 @@ class Registry {
   /// {"counters":{name:value,...},"histograms":{name:{"bounds":[...],
   ///  "counts":[...],"count":N,"sum":S},...}} — keys in name order.
   void WriteJson(std::ostream& os) const;
+
+  /// Name-sorted snapshot of every counter's current value. The timeline
+  /// sampler diffs two snapshots to get per-window counter deltas.
+  std::vector<std::pair<std::string, std::uint64_t>> Snapshot() const;
+
+  /// Prometheus text exposition format (version 0.0.4): every counter as a
+  /// `<name>_total` counter, every histogram as cumulative `_bucket{le=...}`
+  /// series plus `_sum`/`_count`, names sanitized ('.' -> '_', prefixed
+  /// "lorm_") and emitted in registry name order — ready for a scrape
+  /// endpoint in the live runtime.
+  void WriteExposition(std::ostream& os) const;
+  std::string ExpositionText() const;
 
  private:
   Registry() = default;

@@ -5,8 +5,20 @@
 #include <utility>
 
 #include "common/error.hpp"
+#include "obs/flight.hpp"
 
 namespace lorm::sim {
+
+namespace {
+
+/// Publishes the dispatch clock to the flight recorder so protocol events
+/// recorded inside handlers carry simulated timestamps. Gated: with flight
+/// recording off, dispatch pays one relaxed load.
+inline void PublishSimTime(SimTime now) {
+  if (obs::FlightEnabled()) obs::SetFlightSimTime(now);
+}
+
+}  // namespace
 
 void EventQueue::ScheduleAt(SimTime at, EventFn fn) {
   LORM_CHECK_MSG(at >= now_, "cannot schedule event in the past");
@@ -25,6 +37,7 @@ std::size_t EventQueue::RunUntil(SimTime until) {
     Entry e = heap_.top();
     heap_.pop();
     now_ = e.at;
+    PublishSimTime(now_);
     e.fn(*this);
     ++executed;
   }
@@ -39,6 +52,7 @@ bool EventQueue::RunOne() {
   Entry e = heap_.top();
   heap_.pop();
   now_ = e.at;
+  PublishSimTime(now_);
   e.fn(*this);
   return true;
 }

@@ -8,6 +8,7 @@
 #include <sstream>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -662,6 +663,244 @@ TEST(MetricsJobsIndependence, ReplayTotalsMatchAcrossJobCounts) {
   const auto seq = run(1);
   const auto par = run(4);
   EXPECT_EQ(seq, par);
+}
+
+// ---- Dump ordering and exposition -----------------------------------------
+
+TEST(MetricsRegistry, JsonDumpIsNameSortedAndStable) {
+  // The dump order is the registry map's name order, never registration
+  // order — lorm-analyze and the golden-file diffs rely on it.
+  MetricsOn on;
+  Registry::Global().GetCounter("test.sort.zebra").Add(1);
+  Registry::Global().GetCounter("test.sort.alpha").Add(2);
+  Registry::Global().GetCounter("test.sort.mid").Add(3);
+  std::ostringstream os;
+  Registry::Global().WriteJson(os);
+  const std::string json = os.str();
+  const auto alpha = json.find("test.sort.alpha");
+  const auto mid = json.find("test.sort.mid");
+  const auto zebra = json.find("test.sort.zebra");
+  ASSERT_NE(alpha, std::string::npos);
+  ASSERT_NE(mid, std::string::npos);
+  ASSERT_NE(zebra, std::string::npos);
+  EXPECT_LT(alpha, mid);
+  EXPECT_LT(mid, zebra);
+  // Byte-stable: a second dump of the same state is identical.
+  std::ostringstream again;
+  Registry::Global().WriteJson(again);
+  EXPECT_EQ(again.str(), json);
+}
+
+TEST(MetricsExposition, TextFollowsPrometheusGrammar) {
+  MetricsOn on;
+  Registry::Global().GetCounter("test.expo.counter").Add(7);
+  Histogram& h = Registry::Global().GetHistogram(
+      "test.expo.hist", Histogram::LinearBounds(0.0, 1.0, 2));
+  h.Record(0.5);
+  h.Record(1.5);
+  h.Record(99.0);
+  const std::string text = Registry::Global().ExpositionText();
+
+  // Targeted content: our counter and the histogram's cumulative buckets.
+  EXPECT_NE(text.find("# TYPE lorm_test_expo_counter counter\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("lorm_test_expo_counter_total 7\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE lorm_test_expo_hist histogram\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("lorm_test_expo_hist_bucket{le=\"1\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("lorm_test_expo_hist_bucket{le=\"2\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("lorm_test_expo_hist_bucket{le=\"+Inf\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("lorm_test_expo_hist_sum 101\n"), std::string::npos);
+  EXPECT_NE(text.find("lorm_test_expo_hist_count 3\n"), std::string::npos);
+
+  // Grammar: every line is either a "# TYPE <name> counter|histogram"
+  // comment or "<name>[{le="..."}] <value>" with a legal metric name
+  // ([a-zA-Z_:][a-zA-Z0-9_:]*, always our "lorm_" prefix).
+  const auto legal_name = [](std::string_view name) {
+    if (name.substr(0, 5) != "lorm_") return false;
+    for (const char ch : name) {
+      const bool ok = (ch >= 'a' && ch <= 'z') || (ch >= 'A' && ch <= 'Z') ||
+                      (ch >= '0' && ch <= '9') || ch == '_' || ch == ':';
+      if (!ok) return false;
+    }
+    return true;
+  };
+  std::istringstream lines(text);
+  std::string line;
+  std::size_t checked = 0;
+  while (std::getline(lines, line)) {
+    ASSERT_FALSE(line.empty());
+    ++checked;
+    if (line.rfind("# TYPE ", 0) == 0) {
+      const std::string rest = line.substr(7);
+      const auto sp = rest.find(' ');
+      ASSERT_NE(sp, std::string::npos) << line;
+      EXPECT_TRUE(legal_name(rest.substr(0, sp))) << line;
+      const std::string type = rest.substr(sp + 1);
+      EXPECT_TRUE(type == "counter" || type == "histogram") << line;
+      continue;
+    }
+    const auto sp = line.rfind(' ');
+    ASSERT_NE(sp, std::string::npos) << line;
+    std::string name = line.substr(0, sp);
+    const auto brace = name.find('{');
+    if (brace != std::string::npos) {
+      EXPECT_EQ(name.back(), '}') << line;
+      const std::string labels = name.substr(brace);
+      EXPECT_EQ(labels.rfind("{le=\"", 0), 0u) << line;
+      name = name.substr(0, brace);
+    }
+    EXPECT_TRUE(legal_name(name)) << line;
+    // The value parses as a number with nothing left over.
+    const std::string value = line.substr(sp + 1);
+    std::size_t used = 0;
+    (void)std::stod(value, &used);
+    EXPECT_EQ(used, value.size()) << line;
+  }
+  EXPECT_GT(checked, 0u);
+}
+
+// ---- Tail-latency drift gate ----------------------------------------------
+
+TEST(Anomalies, TailLatencyDriftFiresOnlyWhenEnabled) {
+  // 20 fast queries and one 1000x outlier: p99 lands on the outlier, so a
+  // ratio gate of 10 fires; the default (0 = off) must stay silent because
+  // wall-clock tails are machine-dependent.
+  std::vector<QueryTrace> traces;
+  for (std::uint64_t i = 0; i < 20; ++i) {
+    QueryTrace t = CleanTrace(i);
+    t.duration_ns = 1000;
+    traces.push_back(t);
+  }
+  QueryTrace slow = CleanTrace(20);
+  slow.duration_ns = 1000000;
+  traces.push_back(slow);
+
+  AnomalyConfig off;
+  off.nodes = 16;
+  const TraceReport quiet = AnalyzeTraces(traces, off);
+  EXPECT_TRUE(quiet.anomalies.empty());
+  ASSERT_EQ(quiet.systems.size(), 1u);
+  EXPECT_EQ(quiet.systems[0].query_tail_ns.count, 21u);
+
+  AnomalyConfig on;
+  on.nodes = 16;
+  on.p99_drift_ratio = 10.0;
+  const TraceReport report = AnalyzeTraces(std::move(traces), on);
+  ASSERT_EQ(report.anomalies.size(), 1u);
+  EXPECT_EQ(report.anomalies[0].kind, Anomaly::Kind::kTailLatencyDrift);
+  EXPECT_EQ(report.anomalies[0].system, "SWORD");
+  EXPECT_FALSE(GatePasses(report, {}));
+}
+
+// ---- Tee sink under the parallel replay engine -----------------------------
+
+TEST(TraceSinks, TeeDuplicatesEveryTraceUnderConcurrentReplay) {
+  // Two memory sinks behind a tee, fed by a --jobs 2 replay (worker threads
+  // finish traces concurrently — TSan covers the locking in CI). Both sinks
+  // must hold the same trace set, and its totals must equal the replay's
+  // own QueryStats accounting.
+  auto bed = testutil::MakeBed(harness::SystemKind::kLorm);
+  MemoryTraceSink left;
+  MemoryTraceSink right;
+  TeeTraceSink tee(left, right);
+  SetGlobalTraceSink(&tee);
+  harness::QueryExperimentConfig cfg;
+  cfg.requesters = 8;
+  cfg.queries_per_requester = 4;
+  cfg.attrs_per_query = 2;
+  cfg.range = true;
+  cfg.jobs = 2;
+  const auto r = harness::RunQueries(*bed.service, *bed.workload, cfg);
+  SetGlobalTraceSink(nullptr);
+
+  auto normalize = [](std::vector<QueryTrace> traces) {
+    std::sort(traces.begin(), traces.end(),
+              [](const QueryTrace& a, const QueryTrace& b) {
+                return a.query_id < b.query_id;
+              });
+    std::string bytes;
+    for (QueryTrace& t : traces) {
+      t.duration_ns = 0;  // compare structure, not clock reads
+      for (SubQueryTrace& sub : t.subs) {
+        for (LookupTrace& l : sub.lookups) l.duration_ns = 0;
+      }
+      bytes += Serialize(t);
+    }
+    return std::pair{traces, bytes};
+  };
+  const auto [ltraces, lbytes] = normalize(left.Take());
+  const auto [rtraces, rbytes] = normalize(right.Take());
+  ASSERT_EQ(ltraces.size(), r.queries);
+  EXPECT_EQ(lbytes, rbytes);
+
+  HopCount hops = 0;
+  std::size_t probes = 0;
+  for (const QueryTrace& t : ltraces) {
+    for (const SubQueryTrace& sub : t.subs) {
+      for (const LookupTrace& l : sub.lookups) hops += l.hops;
+      probes += sub.probes.size();
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(hops) / static_cast<double>(r.queries),
+              r.avg_hops, 1e-9);
+  EXPECT_NEAR(static_cast<double>(probes) / static_cast<double>(r.queries),
+              r.avg_visited, 1e-9);
+}
+
+// ---- Chrome-trace export ---------------------------------------------------
+
+TEST(ChromeTrace, ExportIsBalancedJsonWithOneTrackPerSystem) {
+  std::vector<QueryTrace> traces;
+  QueryTrace a = CleanTrace(0);
+  a.duration_ns = 5000;
+  a.subs[0].lookups[0].duration_ns = 1200;
+  traces.push_back(a);
+  QueryTrace b = CleanTrace(1);
+  b.system = "LORM";
+  b.duration_ns = 3000;
+  traces.push_back(b);
+
+  std::ostringstream os;
+  WriteChromeTrace(os, std::move(traces));
+  const std::string out = os.str();
+  ASSERT_EQ(out.rfind("{\"traceEvents\":[", 0), 0u) << out.substr(0, 40);
+  EXPECT_EQ(out.substr(out.size() - 2), "]}");
+  EXPECT_NE(out.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(out.find("\"ph\":\"M\""), std::string::npos);  // track metadata
+  EXPECT_NE(out.find("SWORD"), std::string::npos);
+  EXPECT_NE(out.find("LORM"), std::string::npos);
+
+  // Braces and brackets balance outside string literals, and never go
+  // negative — the cheap structural check CI's python json.tool smoke
+  // duplicates on real bench output.
+  int braces = 0;
+  int brackets = 0;
+  bool in_string = false;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const char ch = out[i];
+    if (in_string) {
+      if (ch == '\\') {
+        ++i;
+      } else if (ch == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    if (ch == '"') in_string = true;
+    if (ch == '{') ++braces;
+    if (ch == '}') --braces;
+    if (ch == '[') ++brackets;
+    if (ch == ']') --brackets;
+    ASSERT_GE(braces, 0);
+    ASSERT_GE(brackets, 0);
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+  EXPECT_FALSE(in_string);
 }
 
 }  // namespace

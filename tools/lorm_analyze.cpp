@@ -19,7 +19,8 @@
 // Usage:
 //   lorm-analyze --trace fig4a.jsonl [--metrics fig4a_metrics.json]
 //                [--expect n=384,m=40,k=100,d=6] [--tolerance 0.35]
-//                [--json[=report.json]]
+//                [--timeline timeline.jsonl] [--p99-drift 20]
+//                [--chrome out.json] [--json[=report.json]]
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
@@ -52,6 +53,12 @@ int Usage(const char* argv0) {
          "  --walk-overrun  zero-hit walk anomaly threshold in probes\n"
          "               (default 32; raise for sparse range workloads whose\n"
          "               system-wide walks legitimately probe many nodes)\n"
+         "  --timeline   timeline JSONL written by a bench's --timeline=...;\n"
+         "               adds the per-window time-series section\n"
+         "  --p99-drift  gate on tail latency: fail when a system's p99\n"
+         "               query latency exceeds <ratio> x its p50 (0 = off)\n"
+         "  --chrome     write the traces as a Chrome-trace JSON file\n"
+         "               (load in chrome://tracing or Perfetto)\n"
          "  --json       emit the machine-readable report (stdout or file)\n";
   return 2;
 }
@@ -91,8 +98,11 @@ int main(int argc, char** argv) {
   std::string metrics_file;
   std::string expect_spec;
   std::string json_file;
+  std::string timeline_file;
+  std::string chrome_file;
   bool json = false;
   double tolerance = 0.35;
+  double p99_drift = 0.0;
   unsigned long long walk_overrun = 32;
 
   for (int i = 1; i < argc; ++i) {
@@ -124,6 +134,18 @@ int main(int argc, char** argv) {
       walk_overrun = std::strtoull(value("--walk-overrun"), nullptr, 10);
     } else if (std::strncmp(arg, "--walk-overrun=", 15) == 0) {
       walk_overrun = std::strtoull(arg + 15, nullptr, 10);
+    } else if (std::strcmp(arg, "--timeline") == 0) {
+      timeline_file = value("--timeline");
+    } else if (std::strncmp(arg, "--timeline=", 11) == 0) {
+      timeline_file = arg + 11;
+    } else if (std::strcmp(arg, "--chrome") == 0) {
+      chrome_file = value("--chrome");
+    } else if (std::strncmp(arg, "--chrome=", 9) == 0) {
+      chrome_file = arg + 9;
+    } else if (std::strcmp(arg, "--p99-drift") == 0) {
+      p99_drift = std::strtod(value("--p99-drift"), nullptr);
+    } else if (std::strncmp(arg, "--p99-drift=", 12) == 0) {
+      p99_drift = std::strtod(arg + 12, nullptr);
     } else if (std::strcmp(arg, "--json") == 0) {
       json = true;
     } else if (std::strncmp(arg, "--json=", 7) == 0) {
@@ -134,9 +156,15 @@ int main(int argc, char** argv) {
       return Usage(argv[0]);
     }
   }
-  if (trace_file.empty() && metrics_file.empty()) return Usage(argv[0]);
+  if (trace_file.empty() && metrics_file.empty() && timeline_file.empty()) {
+    return Usage(argv[0]);
+  }
   if (tolerance <= 0.0) {
     std::cerr << "--tolerance must be positive\n";
+    return 2;
+  }
+  if (p99_drift < 0.0) {
+    std::cerr << "--p99-drift must be >= 0\n";
     return 2;
   }
 
@@ -187,6 +215,36 @@ int main(int argc, char** argv) {
     have_metrics = true;
   }
 
+  std::vector<obs::TimelineWindow> timeline;
+  bool have_timeline = false;
+  if (!timeline_file.empty()) {
+    std::ifstream tl(timeline_file);
+    if (!tl) {
+      std::cerr << "cannot open timeline file: " << timeline_file << "\n";
+      return 2;
+    }
+    try {
+      timeline = obs::ParseTimelineStream(tl);
+    } catch (const std::exception& e) {
+      std::cerr << timeline_file << ": " << e.what() << "\n";
+      return 2;
+    }
+    have_timeline = true;
+  }
+
+  // ---- Exporters ----------------------------------------------------------
+  // The Chrome-trace export reads the traces before AnalyzeTraces consumes
+  // them by move.
+  if (!chrome_file.empty()) {
+    std::ofstream cf(chrome_file);
+    if (!cf) {
+      std::cerr << "cannot open chrome trace file: " << chrome_file << "\n";
+      return 2;
+    }
+    obs::WriteChromeTrace(cf, traces);
+    cf << "\n";
+  }
+
   // ---- Aggregate + theorem comparison ------------------------------------
   obs::AnomalyConfig cfg;
   if (expect) {
@@ -194,6 +252,7 @@ int main(int argc, char** argv) {
     cfg.dimension = model.d;
   }
   cfg.walk_overrun_probes = static_cast<std::size_t>(walk_overrun);
+  cfg.p99_drift_ratio = p99_drift;
   const obs::TraceReport report = obs::AnalyzeTraces(std::move(traces), cfg);
 
   std::vector<obs::DriftRow> drift;
@@ -215,6 +274,10 @@ int main(int argc, char** argv) {
   // ---- Emit ---------------------------------------------------------------
   obs::RenderReport(std::cout, report, drift,
                     have_metrics ? &metrics : nullptr);
+  if (have_timeline) {
+    std::cout << "\n";
+    obs::RenderTimelineReport(std::cout, timeline);
+  }
   if (json) {
     if (json_file.empty()) {
       obs::RenderReportJson(std::cout, report, drift);
