@@ -5,7 +5,9 @@
 // "Analysis-LORM" (MAAN's measurement divided by log(n)/d — Theorem 4.7),
 // LORM (one Cycloid lookup per attribute), Mercury (which also represents
 // SWORD and "Analysis-SWORD/Mercury" = MAAN/2, since those curves overlap —
-// Theorem 4.8). SWORD is printed anyway to show the overlap.
+// Theorem 4.8). SWORD is printed anyway to show the overlap. D1HT (MAAN's
+// mapping on the single-hop substrate) bounds the plot from below at ~2
+// one-hop lookups per attribute — the lookup-optimal bracket.
 #include "fig45_common.hpp"
 
 int main(int argc, char** argv) {
@@ -31,7 +33,7 @@ int main(int argc, char** argv) {
 
   harness::TablePrinter table(std::cout,
                               {"attrs", "MAAN", "Analysis-LORM", "LORM",
-                               "Mercury", "SWORD", "Analysis-Mrc/SWD"},
+                               "Mercury", "SWORD", "Analysis-Mrc/SWD", "D1HT"},
                               12);
   table.PrintHeader();
   for (const auto& p : points) {
@@ -43,12 +45,14 @@ int main(int argc, char** argv) {
                harness::TablePrinter::Num(p.value.at(SystemKind::kMercury), 1),
                harness::TablePrinter::Num(p.value.at(SystemKind::kSword), 1),
                harness::TablePrinter::Num(
-                   maan / analysis::T48MercurySwordVsMaanFactor(), 1)});
+                   maan / analysis::T48MercurySwordVsMaanFactor(), 1),
+               harness::TablePrinter::Num(p.value.at(SystemKind::kD1ht), 1)});
   }
 
   std::cout << "\nshape check: MAAN highest, Mercury==SWORD lowest, LORM in "
                "between near Analysis-LORM; all grow linearly in the "
-               "attribute count\n";
+               "attribute count; D1HT floors the plot at ~2 hops/attribute "
+               "(one-hop lookups)\n";
   bench::FinishBench(opt, "fig4a_hops_avg",
                      attr_counts.size() * harness::AllSystems().size() *
                          (opt.quick ? 20 : 100) * 10);

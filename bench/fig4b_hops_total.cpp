@@ -26,7 +26,7 @@ int main(int argc, char** argv) {
 
   harness::TablePrinter table(std::cout,
                               {"attrs", "MAAN", "Analysis-LORM", "LORM",
-                               "Mercury", "SWORD", "Analysis-Mrc/SWD"},
+                               "Mercury", "SWORD", "Analysis-Mrc/SWD", "D1HT"},
                               14);
   table.PrintHeader();
   for (const auto& p : points) {
@@ -38,7 +38,8 @@ int main(int argc, char** argv) {
                harness::TablePrinter::Int(p.value.at(SystemKind::kMercury)),
                harness::TablePrinter::Int(p.value.at(SystemKind::kSword)),
                harness::TablePrinter::Int(
-                   maan / analysis::T48MercurySwordVsMaanFactor())});
+                   maan / analysis::T48MercurySwordVsMaanFactor()),
+               harness::TablePrinter::Int(p.value.at(SystemKind::kD1ht))});
   }
 
   std::cout << "\nshape check: same ordering as Figure 4(a), scaled by the "

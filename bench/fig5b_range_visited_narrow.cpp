@@ -4,7 +4,8 @@
 // Paper §V-B: SWORD visits exactly m nodes per m-attribute range query (all
 // information of an attribute is in one directory node); LORM visits
 // ~m(1 + d/4) (the walk is confined to a d-node cluster). LORM's measured
-// curve runs a little below its analysis curve, as in the paper.
+// curve runs a little below its analysis curve, as in the paper. D1HT is a
+// system-wide walker like MAAN and plots in panel (a).
 #include "fig45_common.hpp"
 
 int main(int argc, char** argv) {

@@ -26,7 +26,8 @@ int main(int argc, char** argv) {
 
   harness::TablePrinter table(std::cout,
                               {"R", "Mercury", "MAAN", "Analysis-Mercury",
-                               "LORM", "Analysis-LORM", "SWORD", "failures"},
+                               "LORM", "Analysis-LORM", "SWORD", "D1HT",
+                               "failures"},
                               14);
   table.PrintHeader();
 
@@ -63,11 +64,13 @@ int main(int argc, char** argv) {
                                     1),
          harness::TablePrinter::Num(results[SystemKind::kSword].avg_visited,
                                     1),
+         harness::TablePrinter::Int(results[SystemKind::kD1ht].avg_visited),
          std::to_string(failures)});
   }
 
-  std::cout << "\nshape check: Mercury ~ MAAN ~ their analysis (overlapping); "
-               "LORM ~ m(1+d/4) and SWORD ~ m, flat in R, zero failures\n";
+  std::cout << "\nshape check: Mercury ~ MAAN ~ D1HT ~ their analysis "
+               "(overlapping); LORM ~ m(1+d/4) and SWORD ~ m, flat in R, "
+               "zero failures\n";
   bench::FinishBench(opt, "fig6b_churn_visited",
                      rates.size() * harness::AllSystems().size() *
                          queries_per_rate);

@@ -34,6 +34,11 @@ constexpr RecallPin kQuickR1Pins[] = {
     {"Mercury", 0.822, 0.800},
     {"SWORD", 0.839, 0.795},
     {"MAAN", 0.791, 0.798},
+    // D1HT joined with the single-hop substrate; measured the same way on
+    // its introduction run. It reproduces MAAN's numbers exactly: identical
+    // dual placement over the identical key assignment, so the same entries
+    // are lost and the same surviving twins answer after repair.
+    {"D1HT", 0.791, 0.798},
 };
 
 bool NearPin(double measured, double pinned) {
@@ -71,9 +76,9 @@ int main(int argc, char** argv) {
   const auto systems = harness::AllSystems();
   // Repaired/degraded recall at fraction 0.20, indexed [r][system] (the
   // gate + pin snapshots; r=0 unused).
-  double degraded_20[5][4] = {};
-  double repaired_20[5][4] = {};
-  double final_20[5][4] = {};
+  double degraded_20[5][5] = {};
+  double repaired_20[5][5] = {};
+  double final_20[5][5] = {};
 
   for (const std::size_t r : {std::size_t{1}, std::size_t{2}, std::size_t{3},
                               std::size_t{4}}) {

@@ -67,6 +67,11 @@ int main(int argc, char** argv) {
           worst = static_cast<double>(attrs) *
                   (analysis::Log2(static_cast<double>(model.n)) + 1.0);
           break;
+        case SystemKind::kD1ht:
+          // MAAN's walk with one-hop lookups: 2 hops + ~n probed nodes.
+          worst = static_cast<double>(attrs) *
+                  (2.0 + static_cast<double>(model.n));
+          break;
       }
       table.Row({std::to_string(attrs), harness::SystemName(kind),
                  harness::TablePrinter::Num(contacted, 1),

@@ -1,8 +1,8 @@
-// Side-by-side comparison of the four discovery architectures on one
+// Side-by-side comparison of the five discovery architectures on one
 // workload — the paper's §IV comparative study as a runnable program.
 //
-// Builds LORM, Mercury, SWORD and MAAN over the same nodes and resource
-// advertisements, issues identical point and range query batches to each,
+// Builds LORM, Mercury, SWORD, MAAN and D1HT over the same nodes and
+// resource advertisements, issues identical point and range query batches,
 // and prints the §IV cost axes: structure overhead (out-links), information
 // overhead (directory sizes, total pieces), and discovery efficiency (hops,
 // visited nodes). The answers are verified to be identical across systems.
@@ -30,7 +30,7 @@ int main() {
   Rng rng(setup.seed ^ 0xBEEF);
   const auto infos = workload.GenerateInfos(providers, rng);
 
-  std::cout << "one grid, four architectures: n=" << setup.nodes << ", m="
+  std::cout << "one grid, five architectures: n=" << setup.nodes << ", m="
             << setup.attributes << " attributes, k="
             << setup.infos_per_attribute << " tuples/attribute\n\n";
 
@@ -78,12 +78,13 @@ int main() {
       all_agree &= services[s]->Query(q).providers == expected;
     }
   }
-  std::cout << "\nanswer agreement across all four systems: "
+  std::cout << "\nanswer agreement across all five systems: "
             << (all_agree ? "yes" : "NO — BUG") << "\n";
   std::cout << "\nreading guide: Mercury buys its balance with m*log(n) "
                "out-links; SWORD/MAAN pool per-attribute piles (high p99); "
                "MAAN stores twice the pieces and pays double lookups; LORM "
                "keeps constant degree, cluster-bounded walks and near-"
-               "Mercury balance — the paper's Table-less summary of §IV.\n";
+               "Mercury balance; D1HT buys one-hop lookups with n-1 "
+               "out-links per node — the paper's Table-less summary of §IV.\n";
   return all_agree ? 0 : 1;
 }

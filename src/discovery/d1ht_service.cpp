@@ -1,0 +1,545 @@
+#include "discovery/d1ht_service.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "discovery/join.hpp"
+#include "discovery/query_obs.hpp"
+#include "discovery/ring_walk.hpp"
+#include "obs/flight.hpp"
+#include "obs/trace.hpp"
+
+namespace lorm::discovery {
+
+D1htService::D1htService(std::size_t n,
+                         const resource::AttributeRegistry& registry,
+                         Config cfg)
+    : registry_(registry),
+      cfg_(cfg),
+      ring_(singlehop::MakeSingleHopRing(n, cfg.ring,
+                                         cfg.deterministic_ids)) {
+  const ConsistentHash ch(cfg_.ring.bits);
+  attr_key_.reserve(registry_.size());
+  lph_.reserve(registry_.size());
+  for (AttrId a = 0; a < registry_.size(); ++a) {
+    const auto& schema = registry_.Get(a);
+    attr_key_.push_back(ch(schema.name()));
+    lph_.emplace_back(cfg_.ring.bits, schema.ordinal_min(),
+                      schema.ordinal_max());
+  }
+  if (cfg_.result_cache) result_cache_.Enable();
+  if (cfg_.plan) {
+    selectivity_.Configure(registry_);
+    store_.SetEstimator(&selectivity_);
+  }
+  ring_.AddObserver(this);
+}
+
+D1htService::~D1htService() { ring_.RemoveObserver(this); }
+
+singlehop::Key D1htService::AttributeKeyFor(AttrId attr) const {
+  LORM_CHECK_MSG(attr < attr_key_.size(), "attribute id out of range");
+  return attr_key_[attr];
+}
+
+singlehop::Key D1htService::ValueKeyFor(AttrId attr,
+                                    const resource::AttrValue& v) const {
+  return lph_[attr](registry_.Get(attr).OrdinalOf(v));
+}
+
+bool D1htService::JoinNode(NodeAddr addr) {
+  if (ring_.size() >= ring_.space()) return false;
+  ring_.AddNode(addr);
+  if (obs::FlightEnabled()) {
+    obs::RecordFlight(obs::FlightEventKind::kJoin, name(), addr, ring_.size());
+  }
+  return true;
+}
+
+void D1htService::LeaveNode(NodeAddr addr) {
+  if (obs::FlightEnabled()) {
+    obs::RecordFlight(obs::FlightEventKind::kLeave, name(), addr, ring_.size());
+  }
+  ring_.RemoveNode(addr);
+}
+
+void D1htService::FailNode(NodeAddr addr) {
+  if (obs::FlightEnabled()) {
+    obs::RecordFlight(obs::FlightEventKind::kCrash, name(), addr, ring_.size());
+  }
+  ring_.FailNode(addr);
+}
+
+HopCount D1htService::Advertise(const resource::ResourceInfo& info) {
+  LORM_CHECK_MSG(ring_.Contains(info.provider),
+                 "provider is not a member of the overlay");
+  const double ordinal = registry_.Get(info.attr).OrdinalOf(info.value);
+  HopCount hops = 0;
+
+  const auto place = [&](chord::Key key, std::uint8_t tag,
+                         const char* what) {
+    const auto res = ring_.Lookup(key, info.provider);
+    LORM_CHECK_MSG(res.ok, what);
+    hops += res.hops;
+    NodeAddr target = res.owner;
+    for (std::size_t copy = 0; copy < cfg_.replicas; ++copy) {
+      if (copy > 0) {
+        target = ring_.Successor(target);
+        if (target == res.owner) break;
+        hops += 1;
+      }
+      Store::Entry e;
+      e.info = info;
+      e.ordinal = ordinal;
+      e.key = key;
+      e.epoch = epoch_;
+      e.tag = tag;
+      e.replica = static_cast<std::uint8_t>(copy);
+      store_.Insert(target, std::move(e));
+    }
+  };
+  place(AttributeKeyFor(info.attr), kAttributeRecord,
+        "D1HT attribute-record insert failed to route");
+  place(ValueKeyFor(info.attr, info.value), kValueRecord,
+        "D1HT value-record insert failed to route");
+  // A new advertisement changes the attribute's ground truth.
+  result_cache_.InvalidateAttr(info.attr);
+  static AdvertiseInstruments advertise_obs("D1HT");
+  advertise_obs.Record(hops);
+  return hops;
+}
+
+QueryResult D1htService::Query(const resource::MultiQuery& q,
+                               QueryScratch& scratch) const {
+  if (cfg_.plan) return QueryPlanned(q, scratch);
+  QueryResult result;
+  LORM_CHECK_MSG(ring_.Contains(q.requester),
+                 "requester is not a member of the overlay");
+
+  const bool joined = result_cache_.enabled() && !q.subs.empty();
+  if (joined) {
+    PlanScratch& ps = scratch.plan;
+    ComputeSubRanges(registry_, q, ps);
+    CanonicalSubKeys(q, ps);
+    if (JoinedCacheFetch(result_cache_, ps, q.subs.size(), result.per_sub,
+                         result.providers)) {
+      for (const auto& sub : q.subs) {
+        const obs::SubQueryScope sub_trace(sub.attr);
+        result.stats.sub_costs.push_back(0);
+      }
+      static QueryInstruments query_obs("D1HT");
+      query_obs.Record(result.stats);
+      return result;
+    }
+  }
+
+  for (const auto& sub : q.subs) {
+    const obs::SubQueryScope sub_trace(sub.attr);
+    const HopCount cost_before =
+        result.stats.dht_hops + static_cast<HopCount>(result.stats.walk_steps);
+    const auto& schema = registry_.Get(sub.attr);
+    const double lo = schema.OrdinalOf(sub.range.lo);
+    const double hi = schema.OrdinalOf(sub.range.hi);
+
+    std::vector<resource::ResourceInfo> matches;
+    if (result_cache_.enabled() &&
+        result_cache_.Lookup(sub.attr, lo, hi, matches)) {
+      // Served from the result cache: no routing, no walk, no probes. The
+      // cached matches are exactly what a fresh resolution would find (the
+      // range root depends on the range, never on the requester).
+      result.per_sub.push_back(std::move(matches));
+      result.stats.sub_costs.push_back(0);
+      continue;
+    }
+    const bool failed_before = result.stats.failed;
+
+    // Lookup 1: the attribute root (resolves the attribute name).
+    {
+      chord::LookupResult& res = scratch.chord;
+      ring_.LookupInto(AttributeKeyFor(sub.attr), q.requester, res);
+      result.stats.lookups += 1;
+      result.stats.dht_hops += res.hops;
+      result.stats.visited_nodes += res.ok ? 1 : 0;
+      if (res.ok) {
+        visit_counts_.Record(res.owner);
+        // The attribute root is checked but yields no value matches; the
+        // probe is recorded so a trace's probe count equals visited_nodes.
+        const auto* dir = store_.Find(res.owner);
+        obs::OnDirectoryProbe(res.owner, 0,
+                              dir != nullptr ? dir->size() : 0);
+      }
+      if (!res.ok) result.stats.failed = true;
+    }
+
+    // Lookup 2: the value root, then (for ranges) the system-wide value walk.
+    const singlehop::Key key_lo = lph_[sub.attr](lo);
+    const singlehop::Key key_hi = lph_[sub.attr](hi);
+    chord::LookupResult& res = scratch.chord;
+    ring_.LookupInto(key_lo, q.requester, res);
+    result.stats.lookups += 1;
+    result.stats.dht_hops += res.hops;
+    if (!res.ok) {
+      result.stats.failed = true;
+      result.per_sub.push_back(std::move(matches));
+      result.stats.sub_costs.push_back(
+          result.stats.dht_hops +
+          static_cast<HopCount>(result.stats.walk_steps) - cost_before);
+      continue;
+    }
+    WalkSuccessors(ring_, res.owner, key_lo, key_hi, result.stats,
+                   [&](NodeAddr cur) {
+                     visit_counts_.Record(cur);
+                     const std::size_t matches_before = matches.size();
+                     std::uint64_t replica_hits = 0;
+                     const auto* dir = store_.Find(cur);
+                     if (dir != nullptr) {
+                       dir->ForEachMatch(sub.attr, lo, hi,
+                                         [&](const Store::Entry& e) {
+                                           if (e.tag == kValueRecord) {
+                                             matches.push_back(e.info);
+                                             if (e.replica != 0) ++replica_hits;
+                                           }
+                                         });
+                     }
+                     result.stats.replica_hits += replica_hits;
+                     obs::OnDirectoryProbe(
+                         cur, matches.size() - matches_before,
+                         dir != nullptr ? dir->size() : 0, replica_hits);
+                   });
+    DedupMatches(matches);  // replicas may repeat tuples along the walk
+    if (result.stats.failed == failed_before) {
+      // Only fully resolved sub-queries are cacheable; a truncated
+      // resolution would freeze an incomplete answer.
+      result_cache_.Store(sub.attr, lo, hi, matches);
+    }
+    result.per_sub.push_back(std::move(matches));
+    result.stats.sub_costs.push_back(
+        result.stats.dht_hops + static_cast<HopCount>(result.stats.walk_steps) -
+        cost_before);
+  }
+
+  result.providers = JoinProviders(result.per_sub);
+  result.providers.erase(
+      std::remove_if(result.providers.begin(), result.providers.end(),
+                     [&](NodeAddr p) { return !ring_.Contains(p); }),
+      result.providers.end());
+  if (joined && !result.stats.failed) {
+    JoinedCacheStore(result_cache_, scratch.plan, result.per_sub,
+                     result.providers);
+  }
+  static QueryInstruments query_obs("D1HT");
+  query_obs.Record(result.stats);
+  return result;
+}
+
+QueryResult D1htService::QueryPlanned(const resource::MultiQuery& q,
+                                      QueryScratch& scratch) const {
+  QueryResult result;
+  LORM_CHECK_MSG(ring_.Contains(q.requester),
+                 "requester is not a member of the overlay");
+  const std::size_t k = q.subs.size();
+  PlanScratch& ps = scratch.plan;
+  ComputeSubRanges(registry_, q, ps);
+  const bool joined = result_cache_.enabled() && k > 0;
+  if (joined) {
+    CanonicalSubKeys(q, ps);
+    if (JoinedCacheFetch(result_cache_, ps, k, result.per_sub,
+                         result.providers)) {
+      for (const auto& sub : q.subs) {
+        const obs::SubQueryScope sub_trace(sub.attr);
+        result.stats.sub_costs.push_back(0);
+      }
+      static QueryInstruments query_obs("D1HT");
+      query_obs.Record(result.stats);
+      return result;
+    }
+  }
+  PlanOrder(selectivity_, q, ps);
+  obs::OnPlanOrder(ps.order.data(), ps.order.size());
+
+  result.per_sub.resize(k);
+  result.stats.sub_costs.assign(k, 0);
+  ps.candidates.clear();
+  bool pruned = false;
+  bool first = true;
+  for (std::size_t rank = 0; rank < k; ++rank) {
+    const std::uint32_t idx = ps.order[rank];
+    const auto& sub = q.subs[idx];
+    const obs::SubQueryScope sub_trace(sub.attr);
+    if (pruned) {
+      // The join is already empty; this sub-query cannot resurrect it.
+      obs::OnSubQueryCandidates(0);
+      TickPlanSubsSkipped(1);
+      continue;
+    }
+    const HopCount cost_before =
+        result.stats.dht_hops + static_cast<HopCount>(result.stats.walk_steps);
+    const double lo = ps.lo[idx];
+    const double hi = ps.hi[idx];
+
+    std::vector<resource::ResourceInfo>& matches = result.per_sub[idx];
+    if (result_cache_.enabled() &&
+        result_cache_.Lookup(sub.attr, lo, hi, matches)) {
+      // Served from the per-sub cache: zero cost, as on the classic path.
+    } else if (first) {
+      // The most selective sub-query pays the full classic resolution:
+      // attribute-root lookup, value-root lookup, system-wide value walk.
+      const bool failed_before = result.stats.failed;
+      {
+        chord::LookupResult& res = scratch.chord;
+        ring_.LookupInto(AttributeKeyFor(sub.attr), q.requester, res);
+        result.stats.lookups += 1;
+        result.stats.dht_hops += res.hops;
+        result.stats.visited_nodes += res.ok ? 1 : 0;
+        if (res.ok) {
+          visit_counts_.Record(res.owner);
+          const auto* dir = store_.Find(res.owner);
+          obs::OnDirectoryProbe(res.owner, 0,
+                                dir != nullptr ? dir->size() : 0);
+        }
+        if (!res.ok) result.stats.failed = true;
+      }
+      const singlehop::Key key_lo = lph_[sub.attr](lo);
+      const singlehop::Key key_hi = lph_[sub.attr](hi);
+      chord::LookupResult& res = scratch.chord;
+      ring_.LookupInto(key_lo, q.requester, res);
+      result.stats.lookups += 1;
+      result.stats.dht_hops += res.hops;
+      if (res.ok) {
+        WalkSuccessors(ring_, res.owner, key_lo, key_hi, result.stats,
+                       [&](NodeAddr cur) {
+                         visit_counts_.Record(cur);
+                         const std::size_t matches_before = matches.size();
+                         std::uint64_t replica_hits = 0;
+                         const auto* dir = store_.Find(cur);
+                         if (dir != nullptr) {
+                           dir->ForEachMatch(sub.attr, lo, hi,
+                                             [&](const Store::Entry& e) {
+                                               if (e.tag == kValueRecord) {
+                                                 matches.push_back(e.info);
+                                                 if (e.replica != 0) {
+                                                   ++replica_hits;
+                                                 }
+                                               }
+                                             });
+                         }
+                         result.stats.replica_hits += replica_hits;
+                         obs::OnDirectoryProbe(
+                             cur, matches.size() - matches_before,
+                             dir != nullptr ? dir->size() : 0, replica_hits);
+                       });
+        DedupMatches(matches);  // replicas may repeat tuples along the walk
+        if (result.stats.failed == failed_before) {
+          result_cache_.Store(sub.attr, lo, hi, matches);
+        }
+      } else {
+        result.stats.failed = true;
+      }
+      result.stats.sub_costs[idx] =
+          result.stats.dht_hops +
+          static_cast<HopCount>(result.stats.walk_steps) - cost_before;
+    } else {
+      // Dominated sub-query: the attribute root holds every tuple of this
+      // attribute as attribute records, so one lookup answers the range —
+      // no value walk. This is MAAN's single-attribute dominated query.
+      const bool failed_before = result.stats.failed;
+      chord::LookupResult& res = scratch.chord;
+      ring_.LookupInto(AttributeKeyFor(sub.attr), q.requester, res);
+      result.stats.lookups += 1;
+      result.stats.dht_hops += res.hops;
+      if (res.ok) {
+        result.stats.visited_nodes += 1;
+        visit_counts_.Record(res.owner);
+        std::uint64_t replica_hits = 0;
+        const auto* dir = store_.Find(res.owner);
+        if (dir != nullptr) {
+          dir->ForEachMatch(sub.attr, lo, hi, [&](const Store::Entry& e) {
+            if (e.tag == kAttributeRecord) {
+              matches.push_back(e.info);
+              if (e.replica != 0) ++replica_hits;
+            }
+          });
+        }
+        result.stats.replica_hits += replica_hits;
+        obs::OnDirectoryProbe(res.owner, matches.size(),
+                              dir != nullptr ? dir->size() : 0, replica_hits);
+        DedupMatches(matches);  // replicas can share the root after churn
+        if (result.stats.failed == failed_before) {
+          result_cache_.Store(sub.attr, lo, hi, matches);
+        }
+      } else {
+        result.stats.failed = true;
+      }
+      result.stats.sub_costs[idx] =
+          result.stats.dht_hops +
+          static_cast<HopCount>(result.stats.walk_steps) - cost_before;
+    }
+
+    ProvidersOf(matches, ps.providers);
+    if (first) {
+      ps.candidates = ps.providers;
+      first = false;
+    } else {
+      IntersectSorted(ps.candidates, ps.providers, ps.tmp);
+    }
+    obs::OnSubQueryCandidates(ps.candidates.size());
+    if (ps.candidates.empty() && rank + 1 < k) {
+      pruned = true;
+      TickPlanEarlyExit();
+      if (obs::FlightEnabled()) {
+        obs::RecordFlight(obs::FlightEventKind::kPlannerEarlyExit, name(),
+                          q.requester, rank + 1, k - rank - 1);
+      }
+    }
+  }
+
+  result.providers = ps.candidates;
+  result.providers.erase(
+      std::remove_if(result.providers.begin(), result.providers.end(),
+                     [&](NodeAddr p) { return !ring_.Contains(p); }),
+      result.providers.end());
+  if (joined && !result.stats.failed && !pruned) {
+    JoinedCacheStore(result_cache_, ps, result.per_sub, result.providers);
+  }
+  static QueryInstruments query_obs("D1HT");
+  query_obs.Record(result.stats);
+  return result;
+}
+
+std::vector<double> D1htService::QueryLoadCounts() const {
+  std::vector<double> out;
+  for (NodeAddr addr : ring_.Members()) {
+    out.push_back(static_cast<double>(visit_counts_.CountOf(addr)));
+  }
+  return out;
+}
+
+std::vector<double> D1htService::DirectorySizes() const {
+  std::vector<double> out;
+  for (NodeAddr addr : ring_.Members()) {
+    out.push_back(static_cast<double>(store_.SizeAt(addr)));
+  }
+  return out;
+}
+
+std::vector<double> D1htService::OutlinkCounts() const {
+  std::vector<double> out;
+  for (NodeAddr addr : ring_.Members()) {
+    out.push_back(static_cast<double>(ring_.Outlinks(addr)));
+  }
+  return out;
+}
+
+std::size_t D1htService::TotalInfoPieces() const {
+  return store_.TotalEntries();
+}
+
+std::size_t D1htService::WithdrawProvider(NodeAddr provider) {
+  result_cache_.InvalidateAll();
+  return store_.EraseProviderEverywhere(provider);
+}
+
+namespace {
+// Both record kinds replicate through the one successor-list protocol: an
+// attribute record's key is the attribute key and a value record's key is the
+// locality-preserving value key, so the generic ring-arc handoff places each
+// kind correctly without knowing about tags.
+constexpr auto kAllEntries = [](const auto&) { return true; };
+}  // namespace
+
+void D1htService::OnJoin(NodeAddr node, NodeAddr successor) {
+  result_cache_.InvalidateAll();  // the join re-homed part of some arc
+  if (cfg_.replicas > 1) {
+    ChordReplicaJoin(ring_, store_, cfg_.replicas, node, repl_, kAllEntries);
+    return;
+  }
+  if (node == successor) return;
+  auto moved = store_.TakeIf(successor, [&](const Store::Entry& e) {
+    return e.replica == 0 && ring_.Owns(node, e.key);
+  });
+  for (auto& e : moved) store_.Insert(node, std::move(e));
+}
+
+void D1htService::OnFail(NodeAddr node) {
+  result_cache_.InvalidateAll();
+  if (cfg_.replicas > 1) {
+    // The crashed node's copies are gone, but each lost key range survives on
+    // the rest of its replica group; the generic protocol restores both
+    // record kinds of every lost range, so the attribute-keyed and
+    // value-keyed record sets stay in lockstep with no extra work.
+    ChordReplicaFail(ring_, store_, cfg_.replicas, node, repl_, kAllEntries);
+    store_.Drop(node);
+    return;
+  }
+  ReconcileTwins(node);
+}
+
+void D1htService::OnLeave(NodeAddr node, NodeAddr successor) {
+  result_cache_.InvalidateAll();
+  if (cfg_.replicas > 1) {
+    ChordReplicaLeave(ring_, store_, cfg_.replicas, node, repl_, kAllEntries);
+    store_.Drop(node);
+    return;
+  }
+  auto orphaned = store_.TakeAll(node);
+  store_.Drop(node);
+  if (successor == kNoNode) return;
+  for (auto& e : orphaned) {
+    if (e.replica != 0) continue;  // replicas are rebuilt by the next epoch
+    store_.Insert(successor, std::move(e));
+  }
+}
+
+void D1htService::ReconcileTwins(NodeAddr node) {
+  // Unreplicated, every tuple still exists as two records on (usually) two
+  // different nodes. Dropping the crashed node's directory alone leaves the
+  // surviving twins behind: value records whose attribute record died make
+  // the classic path and the planned path (which answers dominated
+  // sub-queries from attribute records) disagree forever after a crash.
+  // Walk the lost records and re-synchronize both sets.
+  const auto lost = store_.TakeAll(node);
+  store_.Drop(node);
+  for (const auto& e : lost) {
+    if (e.tag == kValueRecord) {
+      // The authoritative value record died; retire its attribute-record
+      // twin so the attribute root does not advertise a tuple the classic
+      // path can no longer find. (If the twin also lived on the crashed
+      // node, TakeAll already removed it and this erases nothing.)
+      const NodeAddr attr_root =
+          ring_.OwnerOfExcluding(AttributeKeyFor(e.info.attr), node);
+      if (attr_root == kNoNode) continue;
+      store_.EraseIf(attr_root, [&](const Store::Entry& t) {
+        return t.tag == kAttributeRecord && t.info.attr == e.info.attr &&
+               t.ordinal == e.ordinal && t.info.provider == e.info.provider &&
+               t.epoch == e.epoch;
+      });
+    } else {
+      // An attribute record died; if its value-record twin survived, rebuild
+      // the attribute record at the post-failure attribute root so dominated
+      // sub-queries keep seeing exactly what the value walk sees.
+      const NodeAddr value_root =
+          ring_.OwnerOfExcluding(lph_[e.info.attr](e.ordinal), node);
+      if (value_root == kNoNode) continue;
+      const auto* dir = store_.Find(value_root);
+      if (dir == nullptr) continue;
+      bool twin_alive = false;
+      dir->ForEachMatch(e.info.attr, e.ordinal, e.ordinal,
+                        [&](const Store::Entry& t) {
+                          if (t.tag == kValueRecord &&
+                              t.info.provider == e.info.provider &&
+                              t.epoch == e.epoch) {
+                            twin_alive = true;
+                          }
+                        });
+      if (!twin_alive) continue;
+      const NodeAddr attr_root =
+          ring_.OwnerOfExcluding(AttributeKeyFor(e.info.attr), node);
+      if (attr_root == kNoNode) continue;
+      Store::Entry rebuilt = e;
+      rebuilt.replica = 0;
+      store_.Insert(attr_root, std::move(rebuilt));
+    }
+  }
+}
+
+}  // namespace lorm::discovery

@@ -1,4 +1,4 @@
-// The common interface of the four resource-discovery systems.
+// The common interface of the five resource-discovery systems.
 //
 // Each implementation owns its DHT substrate(s) and its directory state:
 //
@@ -6,8 +6,10 @@
 //   MercuryService — m Chord rings, one per attribute
 //   SwordService   — one Chord ring, attribute-rooted directories
 //   MaanService    — one Chord ring, dual attribute/value placement
+//   D1htService    — one single-hop ring, MAAN's dual placement (the
+//                    maintenance-heavy end of the design space)
 //
-// All four expose identical advertise/query/membership operations so the
+// All five expose identical advertise/query/membership operations so the
 // experiment harnesses and examples can drive them interchangeably.
 #pragma once
 
@@ -88,6 +90,19 @@ class DiscoveryService {
   /// Total overlay maintenance messages spent so far (joins + leaves +
   /// stabilization) — the structure-maintenance overhead behind Thm 4.1.
   virtual std::uint64_t MaintenanceMessages() const = 0;
+
+  /// Modeled wire size of one maintenance message: header + node id +
+  /// address + event payload. Fixed so MaintenanceBytes() is a
+  /// deterministic multiple of MaintenanceMessages() — differentiation
+  /// between systems comes from message *counts* (Θ(log n) per Chord event
+  /// vs Θ(n) per single-hop event), not per-message sizes.
+  static constexpr std::uint64_t kMaintenanceMessageBytes = 64;
+
+  /// Total overlay maintenance traffic in modeled bytes — the
+  /// bytes/node/s axis of the maintenance-vs-lookup tradeoff table.
+  virtual std::uint64_t MaintenanceBytes() const {
+    return MaintenanceMessages() * kMaintenanceMessageBytes;
+  }
 
   // ---- Resource information ---------------------------------------------
 

@@ -34,6 +34,11 @@
 //
 // LORM replicates over cyclic cluster successors instead of a global ring;
 // its cluster-local rebuild lives in lorm_service.cpp.
+//
+// The handlers are templated over the ring: any substrate keyed by
+// chord::Key that exposes the oracle walks (IdOf, OwnerOf/OwnerOfExcluding,
+// NthOracleSuccessor/Predecessor, Contains, size) replicates identically —
+// ChordRing and the single-hop ring both qualify.
 #pragma once
 
 #include <algorithm>
@@ -102,8 +107,8 @@ class ReplicationRecorder {
   obs::Counter* bytes_ = nullptr;
 };
 
-inline std::size_t LiveCountExcluding(const chord::ChordRing& ring,
-                                      NodeAddr excluded) {
+template <typename Ring>
+std::size_t LiveCountExcluding(const Ring& ring, NodeAddr excluded) {
   const bool present = excluded != kNoNode && ring.Contains(excluded);
   return ring.size() - (present ? 1 : 0);
 }
@@ -112,9 +117,10 @@ inline std::size_t LiveCountExcluding(const chord::ChordRing& ring,
 /// sectors of itself and its depth-1 predecessors): (id(pred_depth), id],
 /// or the full ring when fewer than `depth` other members exist. Pass
 /// `excluded` to evaluate the arc as if that member were already gone.
-inline RingRange<chord::Key> ReplicaArc(const chord::ChordRing& ring,
-                                        NodeAddr node, std::size_t depth,
-                                        NodeAddr excluded = kNoNode) {
+template <typename Ring>
+RingRange<chord::Key> ReplicaArc(const Ring& ring, NodeAddr node,
+                                std::size_t depth,
+                                NodeAddr excluded = kNoNode) {
   RingRange<chord::Key> arc;
   arc.hi = ring.IdOf(node);
   if (depth >= LiveCountExcluding(ring, excluded)) {
@@ -129,9 +135,9 @@ inline RingRange<chord::Key> ReplicaArc(const chord::ChordRing& ring,
 /// Replica label for a copy at `holder` of a key owned by `owner`: the
 /// oracle distance owner -> holder, 0 when holder is not in the owner's
 /// successor group (a stray copy awaiting shedding).
-inline std::uint8_t ReplicaDistance(const chord::ChordRing& ring,
-                                    NodeAddr owner, NodeAddr holder,
-                                    std::size_t replicas) {
+template <typename Ring>
+std::uint8_t ReplicaDistance(const Ring& ring, NodeAddr owner,
+                             NodeAddr holder, std::size_t replicas) {
   NodeAddr cur = owner;
   for (std::size_t i = 0; i < replicas; ++i) {
     if (cur == holder) return static_cast<std::uint8_t>(i);
@@ -144,8 +150,8 @@ inline std::uint8_t ReplicaDistance(const chord::ChordRing& ring,
 /// node copies its whole arc from its first successor; each of its `r`
 /// successors sheds the del-range its arc no longer covers. Work moved is
 /// O(one replica arc), independent of ring size.
-template <typename Filter>
-void ChordReplicaJoin(const chord::ChordRing& ring,
+template <typename Ring, typename Filter>
+void ChordReplicaJoin(const Ring& ring,
                       DirectoryStore<chord::Key>& store, std::size_t replicas,
                       NodeAddr node, ReplicationRecorder& rec,
                       Filter&& filter) {
@@ -184,8 +190,8 @@ void ChordReplicaJoin(const chord::ChordRing& ring,
 /// oracle. Every entry it held gains exactly one new holder — the last
 /// member of the key's post-departure successor group; the other r-1
 /// holders already have their copies.
-template <typename Filter>
-void ChordReplicaLeave(const chord::ChordRing& ring,
+template <typename Ring, typename Filter>
+void ChordReplicaLeave(const Ring& ring,
                        DirectoryStore<chord::Key>& store, std::size_t replicas,
                        NodeAddr node, ReplicationRecorder& rec,
                        Filter&& filter) {
@@ -213,8 +219,8 @@ void ChordReplicaLeave(const chord::ChordRing& ring,
 /// one sector of coverage (its arc's new low end) and re-fetches exactly
 /// that add-range from a surviving holder. With r >= 2 a single crash
 /// loses nothing: the restored sector still has r-1 live copies.
-template <typename Filter>
-void ChordReplicaFail(const chord::ChordRing& ring,
+template <typename Ring, typename Filter>
+void ChordReplicaFail(const Ring& ring,
                       DirectoryStore<chord::Key>& store, std::size_t replicas,
                       NodeAddr node, ReplicationRecorder& rec,
                       Filter&& filter) {

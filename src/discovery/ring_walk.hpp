@@ -49,10 +49,12 @@ struct SuccessorWalkState {
 
 /// Starts a walk at `root` (the owner of key_lo) over [key_lo, key_hi].
 /// Requires key_lo <= key_hi in the unwrapped ID order (locality-preserving
-/// hashes are monotone, so range endpoints never wrap).
-inline void WalkBegin(const chord::ChordRing& ring, NodeAddr root,
-                      chord::Key key_lo, chord::Key key_hi,
-                      SuccessorWalkState& st) {
+/// hashes are monotone, so range endpoints never wrap). Templated over the
+/// ring: any substrate exposing space()/size()/IdOf/Successor over
+/// chord::Key walks identically (ChordRing and the single-hop ring do).
+template <typename Ring>
+void WalkBegin(const Ring& ring, NodeAddr root, chord::Key key_lo,
+               chord::Key key_hi, SuccessorWalkState& st) {
   st.cur = root;
   st.root = root;
   st.mask = ring.space() - 1;
@@ -66,8 +68,9 @@ inline void WalkBegin(const chord::ChordRing& ring, NodeAddr root,
 
 /// Advances past the already-visited st.cur. Returns true when another node
 /// must be visited (st.cur updated), false when the walk is complete.
-inline bool WalkAdvance(const chord::ChordRing& ring, SuccessorWalkState& st,
-                        QueryStats& stats) {
+template <typename Ring>
+bool WalkAdvance(const Ring& ring, SuccessorWalkState& st,
+                 QueryStats& stats) {
   // Covered up to cur's ID: done once that reaches key_hi.
   if (((ring.IdOf(st.cur) - st.key_lo) & st.mask) >= st.target) {
     st.done = true;
@@ -99,10 +102,9 @@ inline void WalkFinish(const SuccessorWalkState& st) {
 /// Walks from `root` (the owner of key_lo) along successors until the
 /// segment [key_lo, key_hi] is covered, calling `visit(addr)` for each node
 /// checked (including `root`). Updates stats.visited_nodes/walk_steps.
-template <typename Visit>
-void WalkSuccessors(const chord::ChordRing& ring, NodeAddr root,
-                    chord::Key key_lo, chord::Key key_hi, QueryStats& stats,
-                    Visit&& visit) {
+template <typename Ring, typename Visit>
+void WalkSuccessors(const Ring& ring, NodeAddr root, chord::Key key_lo,
+                    chord::Key key_hi, QueryStats& stats, Visit&& visit) {
   SuccessorWalkState st;
   WalkBegin(ring, root, key_lo, key_hi, st);
   do {

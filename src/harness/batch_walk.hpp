@@ -40,7 +40,8 @@
 
 namespace lorm::harness {
 
-/// Advances up to `batch` independent successor walks over one ChordRing.
+/// Advances up to `batch` independent successor walks over one ring
+/// (ChordRing or any substrate WalkBegin/WalkAdvance accept).
 class BatchWalkEngine {
  public:
   struct Request {
@@ -59,10 +60,9 @@ class BatchWalkEngine {
   /// the node the walk will visit next, and done(index, stats) exactly once
   /// per request, in submission order. The stats reference is only valid
   /// for the duration of the callback (lanes are recycled immediately).
-  template <typename Visit, typename Prefetch, typename Done>
-  void Run(const chord::ChordRing& ring, const Request* reqs,
-           std::size_t count, Visit&& visit, Prefetch&& prefetch,
-           Done&& done) {
+  template <typename Ring, typename Visit, typename Prefetch, typename Done>
+  void Run(const Ring& ring, const Request* reqs, std::size_t count,
+           Visit&& visit, Prefetch&& prefetch, Done&& done) {
     if (count == 0) return;
     const std::size_t lanes = std::min(lanes_.size(), count);
     std::size_t submitted = 0;
@@ -104,7 +104,8 @@ class BatchWalkEngine {
     bool active = false;
   };
 
-  void Refill(const chord::ChordRing& ring, Lane& lane, const Request* reqs,
+  template <typename Ring>
+  void Refill(const Ring& ring, Lane& lane, const Request* reqs,
               std::size_t index) {
     lane.stats = discovery::QueryStats{};
     discovery::WalkBegin(ring, reqs[index].root, reqs[index].key_lo,

@@ -1,9 +1,12 @@
 #include "harness/setup.hpp"
 
 #include <algorithm>
+#include <deque>
+#include <utility>
 
 #include "common/error.hpp"
 #include "cycloid/cycloid.hpp"
+#include "discovery/d1ht_service.hpp"
 #include "discovery/lorm_service.hpp"
 #include "discovery/maan_service.hpp"
 #include "discovery/mercury_service.hpp"
@@ -11,23 +14,99 @@
 
 namespace lorm::harness {
 
-const char* SystemName(SystemKind kind) {
-  switch (kind) {
-    case SystemKind::kLorm:
-      return "LORM";
-    case SystemKind::kMercury:
-      return "Mercury";
-    case SystemKind::kSword:
-      return "SWORD";
-    case SystemKind::kMaan:
-      return "MAAN";
+namespace {
+
+struct RegistryEntry {
+  SystemKind kind;
+  std::string name;  // stable storage: SystemName hands out c_str()
+  SystemFactory factory;
+};
+
+// std::deque: RegisterSystem must not invalidate the `name` storage that
+// SystemName() has already handed out as const char*.
+std::deque<RegistryEntry>& MutableRegistry();
+
+RegistryEntry* FindEntry(SystemKind kind) {
+  for (auto& e : MutableRegistry()) {
+    if (e.kind == kind) return &e;
   }
-  return "?";
+  return nullptr;
+}
+
+template <typename Service>
+std::unique_ptr<discovery::DiscoveryService> MakeRingService(
+    const Setup& setup, const resource::AttributeRegistry& registry) {
+  typename Service::Config cfg;
+  cfg.ring.bits = setup.chord_bits;
+  cfg.ring.seed = setup.seed;
+  cfg.ring.route_cache = setup.cache;
+  cfg.replicas = setup.replicas;
+  cfg.result_cache = setup.cache;
+  cfg.plan = setup.plan;
+  return std::make_unique<Service>(setup.nodes, registry, cfg);
+}
+
+std::deque<RegistryEntry> MakeBuiltins() {
+  std::deque<RegistryEntry> reg;
+  reg.push_back({SystemKind::kLorm, "LORM",
+                 [](const Setup& setup,
+                    const resource::AttributeRegistry& registry) {
+                   discovery::LormService::Config cfg;
+                   cfg.overlay.dimension = setup.dimension;
+                   cfg.overlay.seed = setup.seed;
+                   cfg.overlay.route_cache = setup.cache;
+                   cfg.replicas = setup.replicas;
+                   cfg.result_cache = setup.cache;
+                   cfg.plan = setup.plan;
+                   return std::make_unique<discovery::LormService>(
+                       setup.nodes, registry, std::move(cfg));
+                 }});
+  reg.push_back({SystemKind::kMercury, "Mercury",
+                 MakeRingService<discovery::MercuryService>});
+  reg.push_back({SystemKind::kSword, "SWORD",
+                 MakeRingService<discovery::SwordService>});
+  reg.push_back({SystemKind::kMaan, "MAAN",
+                 MakeRingService<discovery::MaanService>});
+  // D1HT's ring config has no `bits` knob mismatch — singlehop::Config uses
+  // the same field names, so the generic wiring applies. Its full-view table
+  // ignores route_cache (every lookup already resolves locally).
+  reg.push_back({SystemKind::kD1ht, "D1HT",
+                 MakeRingService<discovery::D1htService>});
+  return reg;
+}
+
+std::deque<RegistryEntry>& MutableRegistry() {
+  static std::deque<RegistryEntry> reg = MakeBuiltins();
+  return reg;
+}
+
+}  // namespace
+
+const char* SystemName(SystemKind kind) {
+  const RegistryEntry* e = FindEntry(kind);
+  return e != nullptr ? e->name.c_str() : "?";
 }
 
 std::vector<SystemKind> AllSystems() {
   return {SystemKind::kLorm, SystemKind::kMercury, SystemKind::kSword,
-          SystemKind::kMaan};
+          SystemKind::kMaan, SystemKind::kD1ht};
+}
+
+void RegisterSystem(SystemKind kind, std::string name, SystemFactory factory) {
+  if (RegistryEntry* e = FindEntry(kind); e != nullptr) {
+    e->name = std::move(name);
+    e->factory = std::move(factory);
+    return;
+  }
+  MutableRegistry().push_back({kind, std::move(name), std::move(factory)});
+}
+
+bool SystemRegistered(SystemKind kind) { return FindEntry(kind) != nullptr; }
+
+std::vector<SystemKind> RegisteredSystems() {
+  std::vector<SystemKind> kinds;
+  for (const auto& e : MutableRegistry()) kinds.push_back(e.kind);
+  return kinds;
 }
 
 Setup Setup::Small() {
@@ -79,53 +158,9 @@ resource::WorkloadConfig Setup::MakeWorkloadConfig() const {
 std::unique_ptr<discovery::DiscoveryService> MakeService(
     SystemKind kind, const Setup& setup,
     const resource::AttributeRegistry& registry) {
-  switch (kind) {
-    case SystemKind::kLorm: {
-      discovery::LormService::Config cfg;
-      cfg.overlay.dimension = setup.dimension;
-      cfg.overlay.seed = setup.seed;
-      cfg.overlay.route_cache = setup.cache;
-      cfg.replicas = setup.replicas;
-      cfg.result_cache = setup.cache;
-      cfg.plan = setup.plan;
-      return std::make_unique<discovery::LormService>(setup.nodes, registry,
-                                                      std::move(cfg));
-    }
-    case SystemKind::kMercury: {
-      discovery::MercuryService::Config cfg;
-      cfg.ring.bits = setup.chord_bits;
-      cfg.ring.seed = setup.seed;
-      cfg.ring.route_cache = setup.cache;
-      cfg.replicas = setup.replicas;
-      cfg.result_cache = setup.cache;
-      cfg.plan = setup.plan;
-      return std::make_unique<discovery::MercuryService>(setup.nodes, registry,
-                                                         cfg);
-    }
-    case SystemKind::kSword: {
-      discovery::SwordService::Config cfg;
-      cfg.ring.bits = setup.chord_bits;
-      cfg.ring.seed = setup.seed;
-      cfg.ring.route_cache = setup.cache;
-      cfg.replicas = setup.replicas;
-      cfg.result_cache = setup.cache;
-      cfg.plan = setup.plan;
-      return std::make_unique<discovery::SwordService>(setup.nodes, registry,
-                                                       cfg);
-    }
-    case SystemKind::kMaan: {
-      discovery::MaanService::Config cfg;
-      cfg.ring.bits = setup.chord_bits;
-      cfg.ring.seed = setup.seed;
-      cfg.ring.route_cache = setup.cache;
-      cfg.replicas = setup.replicas;
-      cfg.result_cache = setup.cache;
-      cfg.plan = setup.plan;
-      return std::make_unique<discovery::MaanService>(setup.nodes, registry,
-                                                      cfg);
-    }
-  }
-  throw ConfigError("unknown system kind");
+  const RegistryEntry* e = FindEntry(kind);
+  if (e == nullptr) throw ConfigError("unknown system kind");
+  return e->factory(setup, registry);
 }
 
 HopCount AdvertiseAll(discovery::DiscoveryService& service,

@@ -2,10 +2,12 @@
 //
 // Encapsulates the paper's §V configuration (n = 2048 nodes, Cycloid d = 8,
 // Chord 11 bits, m = 200 attributes, k = 500 pieces per attribute, Bounded
-// Pareto values) and builds any of the four systems against a common
-// workload.
+// Pareto values) and builds any of the five systems against a common
+// workload. Systems resolve through a small registry (RegisterSystem), so
+// tests can add experimental systems without touching the harness.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -15,10 +17,35 @@
 
 namespace lorm::harness {
 
-enum class SystemKind { kLorm, kMercury, kSword, kMaan };
+/// The five standard systems. The enum is open-ended: the registry below
+/// accepts additional kinds (any value outside the built-in range), so
+/// experiment code iterating RegisteredSystems() picks up extensions
+/// without enum edits.
+enum class SystemKind { kLorm, kMercury, kSword, kMaan, kD1ht };
 
 const char* SystemName(SystemKind kind);
+/// The five standard systems in canonical figure order (the four paper
+/// systems first, so four-system table prefixes stay byte-identical, then
+/// the single-hop bracket). Test-registered extras are NOT included — the
+/// golden tables iterate this list.
 std::vector<SystemKind> AllSystems();
+
+struct Setup;
+
+/// Builds one service of `setup.nodes` nodes for a registered system.
+using SystemFactory =
+    std::function<std::unique_ptr<discovery::DiscoveryService>(
+        const Setup&, const resource::AttributeRegistry&)>;
+
+/// Registers (or replaces) a system under `kind`. SystemName/MakeService
+/// and RegisteredSystems() resolve through this table; the built-ins are
+/// pre-registered. Not thread-safe: register before spawning replay
+/// workers.
+void RegisterSystem(SystemKind kind, std::string name, SystemFactory factory);
+bool SystemRegistered(SystemKind kind);
+/// Every registered kind in registration order: the built-ins of
+/// AllSystems() first, then anything tests/extensions added.
+std::vector<SystemKind> RegisteredSystems();
 
 struct Setup {
   std::size_t nodes = 2048;        ///< n

@@ -29,8 +29,22 @@ namespace lorm {
 namespace {
 
 // Committed golden hashes of the quick-mode sweeps (jobs-independent).
+//
+// The *four-system* hashes predate the single-hop system and are pinned to
+// the explicit four-kind prefix of AllSystems(): adding D1HT must not move
+// a single byte of the original systems' measurements (each system builds
+// and replays independently). The *five-system* hashes cover the full
+// AllSystems() sweeps the benches now emit.
 constexpr const char* kGoldenFig4a = "628a342e8eb1983fb99819cdcc65e57cde6401f9";
 constexpr const char* kGoldenFig5a = "51f7334b86b3587d731fbd0988b41d26a4d9a7c7";
+constexpr const char* kGoldenFig4aFive =
+    "1f29df17041145f41a15ac51e35384825fc05027";
+constexpr const char* kGoldenFig5aFive =
+    "704d357ae4dc4d75f3caf3878a814e65ac35181b";
+
+const std::vector<harness::SystemKind> kFourSystems{
+    harness::SystemKind::kLorm, harness::SystemKind::kMercury,
+    harness::SystemKind::kSword, harness::SystemKind::kMaan};
 
 std::unique_ptr<discovery::DiscoveryService> BuildPopulated(
     harness::SystemKind kind, const harness::Setup& setup,
@@ -88,8 +102,7 @@ void ExpectGolden(const char* golden, const std::string& serialization) {
 
 TEST(GoldenTables, Fig4aQuickSweepMatchesCommittedHash) {
   ExpectGolden(kGoldenFig4a,
-               SweepSerialization(harness::AllSystems(), /*range=*/false,
-                                  /*jobs=*/1));
+               SweepSerialization(kFourSystems, /*range=*/false, /*jobs=*/1));
 }
 
 TEST(GoldenTables, Fig5aQuickSweepMatchesCommittedHash) {
@@ -97,6 +110,31 @@ TEST(GoldenTables, Fig5aQuickSweepMatchesCommittedHash) {
                SweepSerialization(
                    {harness::SystemKind::kMaan, harness::SystemKind::kMercury},
                    /*range=*/true, /*jobs=*/1));
+}
+
+TEST(GoldenTables, Fig4aFiveSystemSweepMatchesCommittedHash) {
+  ExpectGolden(kGoldenFig4aFive,
+               SweepSerialization(harness::AllSystems(), /*range=*/false,
+                                  /*jobs=*/1));
+}
+
+TEST(GoldenTables, Fig5aFiveCurveSweepMatchesCommittedHash) {
+  // The fig5a bench's kind list: the system-wide walkers, D1HT appended.
+  ExpectGolden(kGoldenFig5aFive,
+               SweepSerialization(
+                   {harness::SystemKind::kMaan, harness::SystemKind::kMercury,
+                    harness::SystemKind::kD1ht},
+                   /*range=*/true, /*jobs=*/1));
+}
+
+// The four-system serialization must be byte-for-byte the prefix of the
+// five-system one: registering a fifth system cannot perturb the originals.
+TEST(GoldenTables, FourSystemRowsAreAPrefixOfTheFiveSystemSweep) {
+  const std::string four = SweepSerialization(kFourSystems, false, 1);
+  const std::string five = SweepSerialization(harness::AllSystems(), false, 1);
+  ASSERT_LT(four.size(), five.size());
+  EXPECT_EQ(five.compare(0, four.size(), four), 0);
+  EXPECT_EQ(five.substr(four.size()).rfind("D1HT,", 0), 0u);
 }
 
 // The golden hash must not depend on the worker count — the determinism

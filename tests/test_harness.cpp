@@ -156,7 +156,8 @@ TEST(FactoryTest, ReplicatedSetupBuilds) {
     auto svc = MakeService(kind, setup, w.registry());
     resource::ResourceInfo info{0, resource::AttrValue::Number(600.0), 1};
     svc->Advertise(info);
-    const std::size_t per_tuple = kind == SystemKind::kMaan ? 2 : 1;
+    const std::size_t per_tuple =
+        (kind == SystemKind::kMaan || kind == SystemKind::kD1ht) ? 2 : 1;
     EXPECT_EQ(svc->TotalInfoPieces(), 2 * per_tuple) << SystemName(kind);
   }
 }

@@ -19,6 +19,11 @@
 // shortcuts are fuzzed under the same churn as the tables they bypass: a
 // cached jump that survives validation must never change where a lookup
 // lands.
+// The single-hop ring runs the same churn script with a stronger
+// after-every-step contract: each live node's full routing table must equal
+// the live membership exactly (the EDRA discrete-step model), every lookup
+// must land on the oracle owner in at most one hop, and stale crash links
+// must never change where anything lands.
 #include <gtest/gtest.h>
 
 #include <cstdint>
@@ -28,6 +33,7 @@
 #include "chord/chord.hpp"
 #include "common/random.hpp"
 #include "cycloid/cycloid.hpp"
+#include "singlehop/singlehop.hpp"
 
 namespace lorm {
 namespace {
@@ -292,6 +298,140 @@ TEST_P(CycloidInvariants, RandomizedChurnPreservesStructure) {
 }
 
 INSTANTIATE_TEST_SUITE_P(RouteCache, CycloidInvariants, ::testing::Bool(),
+                         [](const auto& info) {
+                           return info.param ? "CacheOn" : "CacheOff";
+                         });
+
+// ---- Single-hop ------------------------------------------------------------
+
+// Keys are chord::Key, so the single-hop model and brute-force owner are the
+// Chord ones.
+
+/// The defining invariant, after *every* step: each live node's full view is
+/// exactly the live membership, in ring order starting from itself.
+void CheckSingleHopFullViews(const singlehop::SingleHopRing& ring,
+                             const ChordModel& model) {
+  ASSERT_EQ(ring.size(), model.size());
+  std::vector<NodeAddr> circle;  // model in ring (sorted-id) order
+  circle.reserve(model.size());
+  for (const auto& [id, addr] : model) circle.push_back(addr);
+  std::size_t start = 0;
+  for (const auto& [id, addr] : model) {
+    const auto view = ring.FullViewOf(addr);
+    ASSERT_EQ(view.size(), circle.size()) << "view of " << addr;
+    for (std::size_t i = 0; i < view.size(); ++i) {
+      ASSERT_EQ(view[i], circle[(start + i) % circle.size()])
+          << "view of " << addr << " diverges at offset " << i;
+    }
+    ++start;  // model iterates in the same sorted-id order as `circle`
+  }
+}
+
+void CheckSingleHopOracle(const singlehop::SingleHopRing& ring,
+                          const ChordModel& model, Rng& rng) {
+  ASSERT_EQ(ring.size(), model.size());
+  for (const auto& [id, addr] : model) {
+    ASSERT_TRUE(ring.Contains(addr));
+    ASSERT_EQ(ring.IdOf(addr), id);
+  }
+  for (int i = 0; i < 8; ++i) {
+    const singlehop::Key key = rng.NextBelow(ring.space());
+    ASSERT_EQ(ring.OwnerOf(key), BruteChordOwner(model, key));
+  }
+}
+
+/// Lookups resolve correctly after *every* step — a full table has no
+/// pre-repair failure mode — and never spend more than one hop.
+void CheckSingleHopLookups(const singlehop::SingleHopRing& ring,
+                           const ChordModel& model, Rng& rng) {
+  const auto members = ring.Members();
+  for (int i = 0; i < 6; ++i) {
+    const singlehop::Key key = rng.NextBelow(ring.space());
+    const NodeAddr origin = members[rng.NextBelow(members.size())];
+    const auto res = ring.Lookup(key, origin);
+    ASSERT_TRUE(res.ok);
+    ASSERT_EQ(res.owner, BruteChordOwner(model, key));
+    ASSERT_LE(res.hops, 1u);
+    ASSERT_EQ(res.hops == 0, origin == res.owner);
+    ASSERT_EQ(res.path.front(), origin);
+    ASSERT_EQ(res.path.back(), res.owner);
+    ASSERT_EQ(res.path.size(), res.hops + 1u);
+  }
+}
+
+/// Neighbor-link structure after stabilization: the spliced successor/
+/// predecessor circle is the sorted ID circle (what the range walks chase).
+void CheckSingleHopStructure(const singlehop::SingleHopRing& ring,
+                             const ChordModel& model) {
+  ASSERT_TRUE(ring.LinksFresh());
+  std::vector<std::pair<singlehop::Key, NodeAddr>> sorted(model.begin(),
+                                                          model.end());
+  const std::size_t n = sorted.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto [id, addr] = sorted[i];
+    ASSERT_EQ(ring.Successor(addr), sorted[(i + 1) % n].second);
+    ASSERT_EQ(ring.Predecessor(addr), sorted[(i + n - 1) % n].second);
+    ASSERT_TRUE(ring.Owns(addr, id));
+    if (n > 1) {
+      ASSERT_FALSE(ring.Owns(addr, (id + 1) & (ring.space() - 1)));
+    }
+    ASSERT_EQ(ring.Outlinks(addr), n - 1);
+  }
+}
+
+class SingleHopInvariants : public ::testing::TestWithParam<bool> {};
+
+TEST_P(SingleHopInvariants, RandomizedChurnPreservesFullViews) {
+  for (const std::uint64_t seed : {31ull, 32ull, 33ull}) {
+    singlehop::Config cfg;
+    cfg.bits = 14;
+    cfg.seed = seed;
+    cfg.route_cache = GetParam();
+    auto ring =
+        singlehop::MakeSingleHopRing(96, cfg, /*deterministic_ids=*/false);
+
+    ChordModel model;
+    for (const NodeAddr addr : ring.Members()) model[ring.IdOf(addr)] = addr;
+
+    Rng rng(seed * 9349);
+    NodeAddr next_addr = 10'000;
+    for (int step = 0; step < 80; ++step) {
+      const auto op = rng.NextBelow(10);
+      if (op < 4 || ring.size() < 16) {
+        const NodeAddr addr = next_addr++;
+        const singlehop::Key id = ring.AddNode(addr);
+        model[id] = addr;
+      } else {
+        const auto members = ring.Members();
+        const NodeAddr victim = members[rng.NextBelow(members.size())];
+        if (op < 7) {
+          ring.RemoveNode(victim);
+        } else {
+          ring.FailNode(victim);
+        }
+        for (auto it = model.begin(); it != model.end(); ++it) {
+          if (it->second == victim) {
+            model.erase(it);
+            break;
+          }
+        }
+      }
+      ASSERT_NO_FATAL_FAILURE(CheckSingleHopFullViews(ring, model))
+          << "seed " << seed << " step " << step;
+      ASSERT_NO_FATAL_FAILURE(CheckSingleHopOracle(ring, model, rng))
+          << "seed " << seed << " step " << step;
+      ASSERT_NO_FATAL_FAILURE(CheckSingleHopLookups(ring, model, rng))
+          << "seed " << seed << " step " << step;
+      ring.StabilizeAll();
+      ASSERT_NO_FATAL_FAILURE(CheckSingleHopStructure(ring, model))
+          << "seed " << seed << " step " << step;
+      ASSERT_NO_FATAL_FAILURE(CheckSingleHopLookups(ring, model, rng))
+          << "seed " << seed << " step " << step;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RouteCache, SingleHopInvariants, ::testing::Bool(),
                          [](const auto& info) {
                            return info.param ? "CacheOn" : "CacheOff";
                          });

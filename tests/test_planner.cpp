@@ -12,6 +12,7 @@
 #include <memory>
 #include <vector>
 
+#include "discovery/d1ht_service.hpp"
 #include "discovery/directory.hpp"
 #include "discovery/join.hpp"
 #include "discovery/lorm_service.hpp"
@@ -50,6 +51,8 @@ const discovery::SelectivityEstimator& EstimatorOf(
       return dynamic_cast<const discovery::MercuryService&>(s).selectivity();
     case SystemKind::kSword:
       return dynamic_cast<const discovery::SwordService&>(s).selectivity();
+    case SystemKind::kD1ht:
+      return dynamic_cast<const discovery::D1htService&>(s).selectivity();
     default:
       return dynamic_cast<const discovery::MaanService&>(s).selectivity();
   }

@@ -259,11 +259,15 @@ int main(int argc, char** argv) {
   if (expect) {
     for (const obs::SystemReport& sr : report.systems) {
       if (sr.lookups == 0) continue;
-      // LORM routes on Cycloid (per-lookup cost d, Theorem 4.7); Mercury,
-      // SWORD and MAAN route on Chord (per-lookup cost log2(n)/2, the cost
-      // behind Theorems 4.7/4.8's ratios).
+      // LORM routes on Cycloid (per-lookup cost d, Theorem 4.7); D1HT on
+      // the single-hop ring (every lookup resolves at the full routing
+      // table, exactly 1 hop unless the requester already owns the key);
+      // Mercury, SWORD and MAAN route on Chord (per-lookup cost
+      // log2(n)/2, the cost behind Theorems 4.7/4.8's ratios).
       const double predicted = sr.system == "LORM"
                                    ? analysis::CycloidLookupHops(model)
+                               : sr.system == "D1HT"
+                                   ? 1.0
                                    : analysis::ChordLookupHops(model);
       drift.push_back(obs::EvaluateDrift(sr.system, "hops/lookup",
                                          sr.hops_per_lookup.mean, predicted,
